@@ -1,0 +1,55 @@
+//! Criterion bench for Table 4: whole-corpus (file) compression throughput
+//! of the block codecs and the PBC block variants on the HDFS log dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbc_bench::data::{corpus, corpus_bytes, training_refs};
+use pbc_codecs::traits::Codec;
+use pbc_codecs::{Lz4Like, LzmaLike, SnappyLike, ZstdLike};
+use pbc_core::{PbcBlockCompressor, PbcConfig};
+use pbc_datagen::Dataset;
+
+fn bench_file_compression(c: &mut Criterion) {
+    let records = corpus(Dataset::Hdfs, 0.1);
+    let file: Vec<u8> = records.join(&b'\n');
+    let raw_bytes = corpus_bytes(&records) as u64;
+    let sample = training_refs(&records, 256);
+
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("Snappy", Box::new(SnappyLike::new())),
+        ("LZ4", Box::new(Lz4Like::new())),
+        ("Zstd", Box::new(ZstdLike::new(3))),
+        ("LZMA", Box::new(LzmaLike::new(4))),
+    ];
+
+    let mut group = c.benchmark_group("table4_hdfs_compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw_bytes));
+    for (name, codec) in &codecs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| codec.compress(&file).len())
+        });
+    }
+    let pbc_z = PbcBlockCompressor::zstd(&sample, &PbcConfig::default(), 3);
+    group.bench_function(BenchmarkId::from_parameter("PBC_Z"), |b| {
+        b.iter(|| pbc_z.compress_block(&records).len())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("table4_hdfs_decompress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw_bytes));
+    for (name, codec) in &codecs {
+        let compressed = codec.compress(&file);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| codec.decompress(&compressed).unwrap().len())
+        });
+    }
+    let block = pbc_z.compress_block(&records);
+    group.bench_function(BenchmarkId::from_parameter("PBC_Z"), |b| {
+        b.iter(|| pbc_z.decompress_block(&block).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_file_compression);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion bench for Table 3: per-record compression and decompression
+//! throughput of FSST, Zstd(dict), PBC and PBC_F on a representative
+//! production-style dataset (KV2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbc_bench::data::{corpus, corpus_bytes, training_refs};
+use pbc_codecs::dict::Dictionary;
+use pbc_codecs::traits::{DictCodec, TrainableCodec};
+use pbc_codecs::{FsstCodec, ZstdLike};
+use pbc_core::{PbcCompressor, PbcConfig};
+use pbc_datagen::Dataset;
+
+fn bench_line_by_line(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv2, 0.1);
+    let raw_bytes = corpus_bytes(&records) as u64;
+    let sample = training_refs(&records, 256);
+
+    let fsst = FsstCodec::train(&sample);
+    let dict = Dictionary::train(&sample, 4096);
+    let zstd = ZstdLike::new(1);
+    let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
+    let pbc_f = PbcCompressor::train_fsst(&sample, &PbcConfig::default());
+
+    let mut group = c.benchmark_group("table3_kv2_compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw_bytes));
+    group.bench_function(BenchmarkId::from_parameter("FSST"), |b| {
+        b.iter(|| records.iter().map(|r| fsst.encode(r).len()).sum::<usize>())
+    });
+    group.bench_function(BenchmarkId::from_parameter("Zstd(dict)"), |b| {
+        b.iter(|| {
+            records
+                .iter()
+                .map(|r| zstd.compress_with_dict(r, dict.as_bytes()).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("PBC"), |b| {
+        b.iter(|| records.iter().map(|r| pbc.compress(r).len()).sum::<usize>())
+    });
+    group.bench_function(BenchmarkId::from_parameter("PBC_F"), |b| {
+        b.iter(|| records.iter().map(|r| pbc_f.compress(r).len()).sum::<usize>())
+    });
+    group.finish();
+
+    // Decompression throughput.
+    let pbc_compressed: Vec<Vec<u8>> = records.iter().map(|r| pbc.compress(r)).collect();
+    let fsst_compressed: Vec<Vec<u8>> = records.iter().map(|r| fsst.encode(r)).collect();
+    let zstd_compressed: Vec<Vec<u8>> = records
+        .iter()
+        .map(|r| zstd.compress_with_dict(r, dict.as_bytes()))
+        .collect();
+
+    let mut group = c.benchmark_group("table3_kv2_decompress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw_bytes));
+    group.bench_function(BenchmarkId::from_parameter("FSST"), |b| {
+        b.iter(|| {
+            fsst_compressed
+                .iter()
+                .map(|c| fsst.decode(c).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("Zstd(dict)"), |b| {
+        b.iter(|| {
+            zstd_compressed
+                .iter()
+                .map(|c| zstd.decompress_with_dict(c, dict.as_bytes()).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("PBC"), |b| {
+        b.iter(|| {
+            pbc_compressed
+                .iter()
+                .map(|c| pbc.decompress(c).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_by_line);
+criterion_main!(benches);

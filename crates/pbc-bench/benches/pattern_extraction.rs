@@ -1,0 +1,53 @@
+//! Criterion bench for Figures 7 and 8: clustering cost with and without
+//! 1-gram pruning, and under the three clustering criteria.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::data::{corpus, training_refs};
+use pbc_core::clustering::{cluster_records, ClusteringConfig};
+use pbc_core::Criterion as PbcCriterion;
+use pbc_datagen::Dataset;
+
+fn bench_pattern_extraction(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv1, 0.1);
+    let samples: Vec<Vec<u8>> = training_refs(&records, 128)
+        .into_iter()
+        .map(|r| r.to_vec())
+        .collect();
+
+    let mut group = c.benchmark_group("fig8_kv1_extraction");
+    group.sample_size(10);
+    for (name, pruning) in [("naive", false), ("onegram_pruning", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let config = ClusteringConfig {
+                    use_onegram_pruning: pruning,
+                    ..ClusteringConfig::default()
+                };
+                cluster_records(&samples, &config).clusters.len()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig7_kv1_criteria");
+    group.sample_size(10);
+    for (name, criterion) in [
+        ("edit_distance", PbcCriterion::EditDistance),
+        ("entropy", PbcCriterion::Entropy),
+        ("encoding_length", PbcCriterion::EncodingLength),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let config = ClusteringConfig {
+                    criterion,
+                    ..ClusteringConfig::default()
+                };
+                cluster_records(&samples, &config).clusters.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_extraction);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 5: random-access lookup cost of block-wise
+//! Zstd (several block sizes) vs per-record FSST / PBC_F on KV2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::data::{corpus, training_refs};
+use pbc_codecs::traits::TrainableCodec;
+use pbc_codecs::{FsstCodec, ZstdLike};
+use pbc_core::{PbcCompressor, PbcConfig};
+use pbc_datagen::Dataset;
+use pbc_store::{BlockStore, PerRecordStore};
+
+fn bench_random_access(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv2, 0.1);
+    let sample = training_refs(&records, 256);
+    let lookups: Vec<usize> = (0..100).map(|i| (i * 977 + 13) % records.len()).collect();
+
+    let mut group = c.benchmark_group("fig5_kv2_lookup");
+    group.sample_size(10);
+
+    for block_size in [1usize, 16, 256, 4096] {
+        let store = BlockStore::build(&records, block_size, Box::new(ZstdLike::new(1)));
+        group.bench_function(BenchmarkId::new("Zstd_block", block_size), |b| {
+            b.iter(|| {
+                lookups
+                    .iter()
+                    .map(|&i| store.lookup(i).unwrap().len())
+                    .sum::<usize>()
+            })
+        });
+    }
+
+    let fsst_store = PerRecordStore::build(&records, Box::new(FsstCodec::train(&sample)));
+    group.bench_function(BenchmarkId::from_parameter("FSST_per_record"), |b| {
+        b.iter(|| {
+            lookups
+                .iter()
+                .map(|&i| fsst_store.lookup(i).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+
+    let pbc_store = PerRecordStore::build(
+        &records,
+        Box::new(PbcCompressor::train_fsst(&sample, &PbcConfig::default())),
+    );
+    group.bench_function(BenchmarkId::from_parameter("PBC_F_per_record"), |b| {
+        b.iter(|| {
+            lookups
+                .iter()
+                .map(|&i| pbc_store.lookup(i).unwrap().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_access);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for Tables 5–6: the specialised baselines (LogReducer on
+//! logs, Ion-like / BinPack-like on JSON) against the PBC variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbc_bench::data::{corpus, corpus_bytes, training_refs};
+use pbc_core::{PbcBlockCompressor, PbcCompressor, PbcConfig};
+use pbc_datagen::Dataset;
+use pbc_json::{BinPackCodec, IonLikeCodec, JsonValue};
+use pbc_logs::LogReducer;
+
+fn bench_log_compression(c: &mut Criterion) {
+    let records = corpus(Dataset::Hdfs, 0.05);
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| String::from_utf8_lossy(r).into_owned())
+        .collect();
+    let raw = corpus_bytes(&records) as u64;
+    let sample = training_refs(&records, 192);
+
+    let mut group = c.benchmark_group("table5_hdfs");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw));
+    let logreducer = LogReducer::new(4);
+    group.bench_function(BenchmarkId::from_parameter("LogReducer"), |b| {
+        b.iter(|| logreducer.compress_lines(&lines).len())
+    });
+    let pbc_l = PbcBlockCompressor::lzma(&sample, &PbcConfig::default(), 4);
+    group.bench_function(BenchmarkId::from_parameter("PBC_L"), |b| {
+        b.iter(|| pbc_l.compress_block(&records).len())
+    });
+    group.finish();
+}
+
+fn bench_json_compression(c: &mut Criterion) {
+    let records = corpus(Dataset::Cities, 0.1);
+    let docs: Vec<JsonValue> = records
+        .iter()
+        .map(|r| pbc_json::parse(std::str::from_utf8(r).unwrap()).unwrap())
+        .collect();
+    let raw = corpus_bytes(&records) as u64;
+    let sample = training_refs(&records, 192);
+    let sample_docs: Vec<&JsonValue> = docs.iter().take(128).collect();
+
+    let ion = IonLikeCodec::new();
+    let binpack = BinPackCodec::train(&sample_docs);
+    let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
+
+    let mut group = c.benchmark_group("table6_cities_record");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw));
+    group.bench_function(BenchmarkId::from_parameter("Ion-B"), |b| {
+        b.iter(|| docs.iter().map(|d| ion.encode(d).len()).sum::<usize>())
+    });
+    group.bench_function(BenchmarkId::from_parameter("BP-D"), |b| {
+        b.iter(|| docs.iter().map(|d| binpack.encode(d).len()).sum::<usize>())
+    });
+    group.bench_function(BenchmarkId::from_parameter("PBC"), |b| {
+        b.iter(|| records.iter().map(|r| pbc.compress(r).len()).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_log_compression, bench_json_compression);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for Table 8: SET/GET throughput of the TierBase-like
+//! store under the three value codecs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbc_bench::data::{corpus, training_refs};
+use pbc_core::PbcConfig;
+use pbc_datagen::Dataset;
+use pbc_store::{TierStore, ValueCodec};
+
+fn bench_store_throughput(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv2, 0.1);
+    let sample = training_refs(&records, 256);
+    let keys: Vec<Vec<u8>> = (0..records.len())
+        .map(|i| format!("bench:{i:010}").into_bytes())
+        .collect();
+
+    let codecs = [
+        ("Uncompressed", ValueCodec::None),
+        ("Zstd(dict)", ValueCodec::train_zstd_dict(&sample, 1)),
+        ("PBC_F", ValueCodec::train_pbc_f(&sample, &PbcConfig::default())),
+    ];
+
+    let mut group = c.benchmark_group("table8_set");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for (name, codec) in &codecs {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let store = TierStore::new(codec.clone());
+                for (k, v) in keys.iter().zip(records.iter()) {
+                    store.set(k, v);
+                }
+                store.len()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table8_get");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for (name, codec) in &codecs {
+        let store = TierStore::new(codec.clone());
+        for (k, v) in keys.iter().zip(records.iter()) {
+            store.set(k, v);
+        }
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                keys.iter()
+                    .map(|k| store.get(k).unwrap().map(|v| v.len()).unwrap_or(0))
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_throughput);
+criterion_main!(benches);

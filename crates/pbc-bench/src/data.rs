@@ -1,0 +1,70 @@
+//! Dataset loading helpers shared by every experiment.
+
+use pbc_datagen::Dataset;
+
+/// Fixed seed so all experiments are reproducible run to run.
+pub const SEED: u64 = 0x5ba1_ce11;
+
+/// Scale a dataset's default record count by `scale` (clamped to at least 64
+/// records so training always has something to work with).
+pub fn scaled_count(dataset: Dataset, scale: f64) -> usize {
+    let count = (dataset.default_count() as f64 * scale).round() as usize;
+    count.max(64)
+}
+
+/// Generate the corpus for a dataset at the given scale.
+pub fn corpus(dataset: Dataset, scale: f64) -> Vec<Vec<u8>> {
+    dataset.generate(scaled_count(dataset, scale), SEED)
+}
+
+/// The subset of datasets the paper uses for the ablation figures
+/// (Figures 7 and 8): KV1, KV2, Android, AliLogs, Apache, urls.
+pub fn ablation_datasets() -> [Dataset; 6] {
+    [
+        Dataset::Kv1,
+        Dataset::Kv2,
+        Dataset::Android,
+        Dataset::AliLogs,
+        Dataset::Apache,
+        Dataset::Urls,
+    ]
+}
+
+/// Total size in bytes of a record corpus.
+pub fn corpus_bytes(records: &[Vec<u8>]) -> usize {
+    records.iter().map(|r| r.len()).sum()
+}
+
+/// Split a corpus into a training sample view and keep the full corpus for
+/// measurement (the paper trains offline on a sample and measures on all
+/// data).
+pub fn training_refs(records: &[Vec<u8>], max: usize) -> Vec<&[u8]> {
+    let step = (records.len() / max.max(1)).max(1);
+    records.iter().step_by(step).take(max).map(|r| r.as_slice()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_respects_floor() {
+        assert!(scaled_count(Dataset::Kv1, 0.001) >= 64);
+        assert_eq!(scaled_count(Dataset::Kv1, 1.0), Dataset::Kv1.default_count());
+    }
+
+    #[test]
+    fn training_refs_are_spread_over_the_corpus() {
+        let records: Vec<Vec<u8>> = (0..1000).map(|i| vec![i as u8; 4]).collect();
+        let refs = training_refs(&records, 100);
+        assert_eq!(refs.len(), 100);
+        assert_eq!(refs[0], records[0].as_slice());
+        assert!(refs[99][0] as usize >= 200 % 256, "sample must reach deep into the corpus");
+    }
+
+    #[test]
+    fn ablation_set_matches_figure7() {
+        let names: Vec<&str> = ablation_datasets().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["kv1", "kv2", "android", "alilogs", "apache", "urls"]);
+    }
+}

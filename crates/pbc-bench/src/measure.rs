@@ -1,0 +1,75 @@
+//! Timing helpers for throughput measurements.
+
+use std::time::Instant;
+
+/// A throughput measurement over a byte volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Bytes processed.
+    pub bytes: usize,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+impl Throughput {
+    /// Megabytes per second (the unit of Tables 3–6).
+    pub fn mb_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.bytes as f64 / 1_000_000.0 / self.seconds
+    }
+
+    /// Operations per second given an operation count (Figure 5's
+    /// "results/s" and Table 8's QPS).
+    pub fn ops_per_sec(&self, ops: usize) -> f64 {
+        if self.seconds <= 0.0 {
+            return f64::INFINITY;
+        }
+        ops as f64 / self.seconds
+    }
+}
+
+/// Time a closure that processes `bytes` bytes.
+pub fn time_per_byte<F: FnMut()>(bytes: usize, mut f: F) -> Throughput {
+    let start = Instant::now();
+    f();
+    Throughput {
+        bytes,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math_is_correct() {
+        let t = Throughput {
+            bytes: 10_000_000,
+            seconds: 2.0,
+        };
+        assert!((t.mb_per_sec() - 5.0).abs() < 1e-12);
+        assert!((t.ops_per_sec(1000) - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let t = Throughput { bytes: 1, seconds: 0.0 };
+        assert!(t.mb_per_sec().is_infinite());
+        assert!(t.ops_per_sec(10).is_infinite());
+    }
+
+    #[test]
+    fn time_per_byte_measures_something() {
+        let data = vec![1u8; 1 << 20];
+        let mut sum = 0u64;
+        let t = time_per_byte(data.len(), || {
+            sum = data.iter().map(|&b| b as u64).sum();
+        });
+        assert_eq!(sum, 1 << 20);
+        assert!(t.seconds >= 0.0);
+        assert_eq!(t.bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,99 @@
+//! Plain-text table formatting for the `repro` binary.
+
+/// A simple column-aligned table mirroring the layout of the paper's tables.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. "Table 3: line-by-line compression").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a ratio with three decimals (the paper's convention).
+pub fn ratio(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a throughput in MB/s with two decimals.
+pub fn speed(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_all_cells() {
+        let mut t = Table::new("Demo", &["dataset", "ratio"]);
+        t.push_row(vec!["kv1".into(), "0.236".into()]);
+        t.push_row(vec!["hadoop-long-name".into(), "0.157".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("kv1"));
+        assert!(text.contains("hadoop-long-name"));
+        assert!(text.contains("0.157"));
+        // Header row aligned at least as wide as the longest cell.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("dataset"));
+    }
+
+    #[test]
+    fn formatters_round_consistently() {
+        assert_eq!(ratio(0.23649), "0.236");
+        assert_eq!(speed(1234.567), "1234.57");
+    }
+}

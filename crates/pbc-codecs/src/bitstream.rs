@@ -1,0 +1,218 @@
+//! MSB-first bit-oriented readers and writers.
+//!
+//! Used by the canonical Huffman coder ([`crate::huffman`]) and available to
+//! any encoder that needs sub-byte packing (e.g. PBC's optional entropy
+//! encoding of residual subsequences, Section 5.2 of the paper).
+
+use crate::error::{CodecError, Result};
+
+/// Writes bits most-significant-bit first into a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf` (0..8). 0 means the last
+    /// byte is full (or the buffer is empty).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer with pre-allocated capacity (in bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            bit_pos: 0,
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Append the `count` low bits of `value`, MSB first. `count` ≤ 57 keeps
+    /// the shift arithmetic safely inside a `u64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        debug_assert!(count <= 57, "write_bits supports at most 57 bits per call");
+        if count == 0 {
+            return;
+        }
+        let mut remaining = count;
+        // Mask off anything above `count` bits so callers can pass raw words.
+        let value = if count == 64 {
+            value
+        } else {
+            value & ((1u64 << count) - 1)
+        };
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                // Previous byte is full (or buffer is empty): start a new byte.
+                self.buf.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("buffer has a current byte");
+            *last |= chunk << (free - take);
+            self.bit_pos = (self.bit_pos + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Append a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Pad the final byte with zero bits and return the underlying buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits most-significant-bit first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Read `count` bits (MSB first) as the low bits of the returned value.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64> {
+        if count == 0 {
+            return Ok(0);
+        }
+        if self.remaining_bits() < count as usize {
+            return Err(CodecError::UnexpectedEof { context: "bitstream" });
+        }
+        let mut value = 0u64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let byte_idx = self.pos / 8;
+            let bit_off = (self.pos % 8) as u8;
+            let available = 8 - bit_off;
+            let take = available.min(remaining);
+            let byte = self.buf[byte_idx];
+            let chunk = (byte >> (available - take)) & ((1u16 << take) - 1) as u8;
+            value = (value << take) | u64::from(chunk);
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(value)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let values: Vec<(u64, u8)> = vec![
+            (0b101, 3),
+            (0xff, 8),
+            (0, 1),
+            (0b1100110011, 10),
+            (12345, 17),
+            (1, 1),
+            ((1 << 33) - 7, 34),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "value with {n} bits");
+        }
+    }
+
+    #[test]
+    fn writer_masks_extra_high_bits() {
+        let mut w = BitWriter::new();
+        // Only the low 4 bits of 0xfff should be written.
+        w.write_bits(0xfff, 4);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0xf);
+    }
+
+    #[test]
+    fn reading_past_end_fails() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        // The final byte is zero-padded so 8 bits are readable, but not 9.
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0x7f, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(3, 2);
+        assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn byte_aligned_writes_match_plain_bytes() {
+        let mut w = BitWriter::new();
+        for b in [0xde, 0xad, 0xbe, 0xef] {
+            w.write_bits(b as u64, 8);
+        }
+        assert_eq!(w.finish(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types shared by all codecs in this crate.
+
+use std::fmt;
+
+/// Result alias used throughout `pbc-codecs`.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+/// Errors produced while decoding compressed payloads.
+///
+/// Compression itself is infallible for every codec in this crate (the
+/// output format can always represent arbitrary input), so only the decode
+/// path returns `Result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The compressed stream ended before the declared payload was complete.
+    UnexpectedEof {
+        /// What the decoder was reading when it ran out of bytes.
+        context: &'static str,
+    },
+    /// A structural invariant of the compressed format was violated.
+    Corrupt {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A back-reference pointed before the start of the output buffer.
+    InvalidOffset {
+        /// The offending offset.
+        offset: usize,
+        /// Number of bytes decoded so far.
+        position: usize,
+    },
+    /// The payload references a dictionary that was not supplied.
+    MissingDictionary,
+    /// The declared uncompressed size exceeds the configured safety limit.
+    SizeLimitExceeded {
+        /// Declared size in bytes.
+        declared: usize,
+        /// Maximum allowed size in bytes.
+        limit: usize,
+    },
+}
+
+impl CodecError {
+    /// Convenience constructor for [`CodecError::Corrupt`].
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        CodecError::Corrupt {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of compressed stream while reading {context}")
+            }
+            CodecError::Corrupt { reason } => write!(f, "corrupt compressed stream: {reason}"),
+            CodecError::InvalidOffset { offset, position } => write!(
+                f,
+                "invalid back-reference offset {offset} at output position {position}"
+            ),
+            CodecError::MissingDictionary => {
+                write!(f, "payload was compressed with a dictionary that was not supplied")
+            }
+            CodecError::SizeLimitExceeded { declared, limit } => write!(
+                f,
+                "declared uncompressed size {declared} exceeds limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let eof = CodecError::UnexpectedEof { context: "literal run" };
+        assert!(eof.to_string().contains("literal run"));
+
+        let corrupt = CodecError::corrupt("bad magic");
+        assert!(corrupt.to_string().contains("bad magic"));
+
+        let off = CodecError::InvalidOffset {
+            offset: 10,
+            position: 4,
+        };
+        assert!(off.to_string().contains("10"));
+        assert!(off.to_string().contains('4'));
+
+        let limit = CodecError::SizeLimitExceeded {
+            declared: 100,
+            limit: 10,
+        };
+        assert!(limit.to_string().contains("100"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CodecError::MissingDictionary, CodecError::MissingDictionary);
+        assert_ne!(
+            CodecError::corrupt("a"),
+            CodecError::corrupt("b"),
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! Adaptive binary range coder.
+//!
+//! This is the entropy back-end of the [`crate::lzmalike`] codec, mirroring
+//! the coder used by LZMA: probabilities are 11-bit adaptive counters, the
+//! encoder keeps a 32-bit `range` and a 64-bit `low` with carry propagation,
+//! and the decoder mirrors the renormalisation exactly.
+
+use crate::error::{CodecError, Result};
+
+/// Number of probability bits (LZMA uses 11).
+pub const PROB_BITS: u32 = 11;
+/// Initial probability = 0.5.
+pub const PROB_INIT: u16 = (1 << PROB_BITS) as u16 / 2;
+/// Adaptation shift: larger adapts slower.
+const MOVE_BITS: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive probability of the next bit being 0, stored as an 11-bit
+/// fixed-point value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitModel(pub u16);
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel(PROB_INIT)
+    }
+}
+
+impl BitModel {
+    /// Fresh model with probability 0.5.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn update(&mut self, bit: u8) {
+        if bit == 0 {
+            self.0 += ((1 << PROB_BITS) - u32::from(self.0)) as u16 >> MOVE_BITS;
+        } else {
+            self.0 -= self.0 >> MOVE_BITS;
+        }
+    }
+}
+
+/// Range encoder producing a byte stream.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+    first_byte: bool,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Create an encoder with an empty output buffer.
+    pub fn new() -> Self {
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+            first_byte: true,
+        }
+    }
+
+    /// Encode one bit under the given adaptive model.
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: u8) {
+        let bound = (self.range >> PROB_BITS) * u32::from(model.0);
+        if bit == 0 {
+            self.range = bound;
+        } else {
+            self.low += u64::from(bound);
+            self.range -= bound;
+        }
+        model.update(bit);
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Encode `bits` bits of `value` (MSB first) with fixed probability 0.5.
+    pub fn encode_direct(&mut self, value: u32, bits: u32) {
+        for i in (0..bits).rev() {
+            self.range >>= 1;
+            let bit = (value >> i) & 1;
+            if bit == 1 {
+                self.low += u64::from(self.range);
+            }
+            while self.range < TOP {
+                self.shift_low();
+                self.range <<= 8;
+            }
+        }
+    }
+
+    /// Encode an unsigned value with a fixed number of bits under a tree of
+    /// adaptive models (one model per tree node), as LZMA does for lengths.
+    pub fn encode_bittree(&mut self, models: &mut [BitModel], bits: u32, value: u32) {
+        debug_assert!(models.len() >= (1 << bits));
+        let mut node = 1usize;
+        for i in (0..bits).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.encode_bit(&mut models[node], bit);
+            node = (node << 1) | bit as usize;
+        }
+    }
+
+    fn shift_low(&mut self) {
+        let carry = (self.low >> 32) as u8;
+        if self.low < 0xFF00_0000u64 || carry == 1 {
+            if !self.first_byte {
+                self.out.push(self.cache.wrapping_add(carry));
+            }
+            for _ in 1..self.cache_size {
+                self.out.push(0xFFu8.wrapping_add(carry));
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+            self.cache_size = 0;
+            self.first_byte = false;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Flush the encoder and return the compressed bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder mirroring [`RangeEncoder`].
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Create a decoder over an encoder-produced byte stream.
+    pub fn new(input: &'a [u8]) -> Result<Self> {
+        let mut dec = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            input,
+            pos: 0,
+        };
+        for _ in 0..4 {
+            dec.code = (dec.code << 8) | u32::from(dec.next_byte());
+        }
+        Ok(dec)
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decode one bit under the given adaptive model.
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> u8 {
+        let bound = (self.range >> PROB_BITS) * u32::from(model.0);
+        let bit = if self.code < bound {
+            self.range = bound;
+            0
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            1
+        };
+        model.update(bit);
+        while self.range < TOP {
+            self.code = (self.code << 8) | u32::from(self.next_byte());
+            self.range <<= 8;
+        }
+        bit
+    }
+
+    /// Decode `bits` direct bits (fixed probability 0.5), MSB first.
+    pub fn decode_direct(&mut self, bits: u32) -> u32 {
+        let mut value = 0u32;
+        for _ in 0..bits {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            while self.range < TOP {
+                self.code = (self.code << 8) | u32::from(self.next_byte());
+                self.range <<= 8;
+            }
+        }
+        value
+    }
+
+    /// Decode a bit-tree coded value of `bits` bits.
+    pub fn decode_bittree(&mut self, models: &mut [BitModel], bits: u32) -> u32 {
+        debug_assert!(models.len() >= (1 << bits));
+        let mut node = 1usize;
+        for _ in 0..bits {
+            let bit = self.decode_bit(&mut models[node]);
+            node = (node << 1) | bit as usize;
+        }
+        (node as u32) - (1 << bits)
+    }
+
+    /// Whether the decoder has consumed more bytes than were provided
+    /// (indicates a corrupt or truncated stream when data was still expected).
+    pub fn overran(&self) -> bool {
+        self.pos > self.input.len().saturating_add(5)
+    }
+
+    /// Ensure the declared number of items was plausible for the input.
+    pub fn check_consumed(&self) -> Result<()> {
+        if self.overran() {
+            Err(CodecError::UnexpectedEof {
+                context: "range-coded payload",
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_model_roundtrip_biased_bits() {
+        // A heavily biased bit sequence should compress well and round-trip.
+        let bits: Vec<u8> = (0..4000).map(|i| u8::from(i % 17 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut model = BitModel::new();
+        for &b in &bits {
+            enc.encode_bit(&mut model, b);
+        }
+        let data = enc.finish();
+        assert!(data.len() < bits.len() / 4, "biased bits should compress");
+
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        let mut model = BitModel::new();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut model), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip() {
+        let values: Vec<u32> = (0..500).map(|i| (i * 2654435761u32) >> 12).collect();
+        let mut enc = RangeEncoder::new();
+        for &v in &values {
+            enc.encode_direct(v, 20);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        for &v in &values {
+            assert_eq!(dec.decode_direct(20), v & ((1 << 20) - 1));
+        }
+    }
+
+    #[test]
+    fn bittree_roundtrip() {
+        const BITS: u32 = 6;
+        let values: Vec<u32> = (0..1000).map(|i| (i * 37) % (1 << BITS)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut models = vec![BitModel::new(); 1 << BITS];
+        for &v in &values {
+            enc.encode_bittree(&mut models, BITS, v);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        let mut models = vec![BitModel::new(); 1 << BITS];
+        for &v in &values {
+            assert_eq!(dec.decode_bittree(&mut models, BITS), v);
+        }
+    }
+
+    #[test]
+    fn mixed_model_and_direct_roundtrip() {
+        let mut enc = RangeEncoder::new();
+        let mut m0 = BitModel::new();
+        let mut m1 = BitModel::new();
+        let spec: Vec<(u8, u8, u32)> = (0..2000)
+            .map(|i| ((i % 3 == 0) as u8, (i % 5 == 0) as u8, (i * 7919) as u32 % 4096))
+            .collect();
+        for &(a, b, v) in &spec {
+            enc.encode_bit(&mut m0, a);
+            enc.encode_bit(&mut m1, b);
+            enc.encode_direct(v, 12);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data).unwrap();
+        let mut m0 = BitModel::new();
+        let mut m1 = BitModel::new();
+        for &(a, b, v) in &spec {
+            assert_eq!(dec.decode_bit(&mut m0), a);
+            assert_eq!(dec.decode_bit(&mut m1), b);
+            assert_eq!(dec.decode_direct(12), v);
+        }
+        dec.check_consumed().unwrap();
+    }
+
+    #[test]
+    fn model_adaptation_moves_towards_observed_bit() {
+        let mut model = BitModel::new();
+        let initial = model.0;
+        for _ in 0..50 {
+            model.update(0);
+        }
+        assert!(model.0 > initial, "seeing zeros raises P(bit=0)");
+        let mut model = BitModel::new();
+        for _ in 0..50 {
+            model.update(1);
+        }
+        assert!(model.0 < initial, "seeing ones lowers P(bit=0)");
+    }
+
+    #[test]
+    fn empty_stream_decodes_nothing_gracefully() {
+        // Decoding from an empty buffer should not panic; bits are arbitrary
+        // but the decoder must stay in bounds.
+        let mut dec = RangeDecoder::new(&[]).unwrap();
+        let mut model = BitModel::new();
+        let _ = dec.decode_bit(&mut model);
+    }
+}

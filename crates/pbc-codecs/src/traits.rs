@@ -1,0 +1,113 @@
+//! Codec traits shared by the baseline compressors and PBC variants.
+
+use crate::error::Result;
+
+/// A stateless (or pre-trained) compressor/decompressor over byte buffers.
+///
+/// `compress` is infallible: every codec in this crate can represent
+/// arbitrary byte input (in the worst case as a literal run). `decompress`
+/// validates the stream and may fail on corrupt input.
+pub trait Codec {
+    /// Human-readable name used in benchmark tables ("Zstd-like", "PBC", ...).
+    fn name(&self) -> &str;
+
+    /// Compress `input` into a fresh buffer.
+    fn compress(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Decompress a buffer previously produced by [`Codec::compress`].
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>>;
+
+    /// Compression ratio (compressed size / raw size) for a given input.
+    ///
+    /// Matches the paper's definition: *smaller is better*, 1.0 means no
+    /// compression. Returns 1.0 for empty input.
+    fn ratio(&self, input: &[u8]) -> f64 {
+        if input.is_empty() {
+            return 1.0;
+        }
+        self.compress(input).len() as f64 / input.len() as f64
+    }
+}
+
+/// A codec whose effectiveness on short records can be improved by an
+/// offline training phase over sample data (Zstd dictionary training, FSST
+/// symbol table construction, PBC pattern extraction).
+pub trait TrainableCodec: Sized {
+    /// Train the codec on a sample of records.
+    fn train(samples: &[&[u8]]) -> Self;
+}
+
+/// A codec that can optionally use a shared dictionary for compression of
+/// short, individually-compressed records.
+pub trait DictCodec: Codec {
+    /// Compress with a shared dictionary (prepended to the match window).
+    fn compress_with_dict(&self, input: &[u8], dict: &[u8]) -> Vec<u8>;
+
+    /// Decompress a record compressed with [`DictCodec::compress_with_dict`].
+    fn decompress_with_dict(&self, input: &[u8], dict: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// Convenience helpers for measuring corpora made of many records.
+pub trait RecordCorpusExt: Codec {
+    /// Compress every record individually and return
+    /// `(total_compressed_bytes, total_raw_bytes)`.
+    fn compress_records(&self, records: &[Vec<u8>]) -> (usize, usize) {
+        let mut compressed = 0usize;
+        let mut raw = 0usize;
+        for rec in records {
+            compressed += self.compress(rec).len();
+            raw += rec.len();
+        }
+        (compressed, raw)
+    }
+
+    /// Per-record compression ratio over a corpus (compressed / raw).
+    fn corpus_ratio(&self, records: &[Vec<u8>]) -> f64 {
+        let (c, r) = self.compress_records(records);
+        if r == 0 {
+            1.0
+        } else {
+            c as f64 / r as f64
+        }
+    }
+}
+
+impl<T: Codec + ?Sized> RecordCorpusExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial codec used to exercise the default trait methods.
+    struct Identity;
+
+    impl Codec for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+        fn compress(&self, input: &[u8]) -> Vec<u8> {
+            input.to_vec()
+        }
+        fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+            Ok(input.to_vec())
+        }
+    }
+
+    #[test]
+    fn ratio_of_identity_is_one() {
+        let c = Identity;
+        assert_eq!(c.ratio(b"hello world"), 1.0);
+        assert_eq!(c.ratio(b""), 1.0);
+    }
+
+    #[test]
+    fn corpus_helpers_accumulate() {
+        let c = Identity;
+        let records = vec![b"aaaa".to_vec(), b"bb".to_vec()];
+        let (comp, raw) = c.compress_records(&records);
+        assert_eq!(comp, 6);
+        assert_eq!(raw, 6);
+        assert_eq!(c.corpus_ratio(&records), 1.0);
+        assert_eq!(c.corpus_ratio(&[]), 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Configuration of the PBC training (pattern extraction) and compression
+//! pipeline.
+
+use crate::clustering::Criterion;
+
+/// Tunable parameters of PBC.
+///
+/// The defaults follow the paper's recommendations: a few hundred KiB of
+/// samples is enough for the compression ratio to converge (Figure 9(a)),
+/// the pattern size should be set "according to the cache budget"
+/// (Figure 9(b)), and re-training is triggered when the share of outliers
+/// exceeds a fixed threshold (Sections 3.2 and 7.5).
+#[derive(Debug, Clone)]
+pub struct PbcConfig {
+    /// Maximum number of sample records used for pattern extraction.
+    pub max_sample_records: usize,
+    /// Maximum number of sample bytes used for pattern extraction (applied
+    /// together with `max_sample_records`, whichever is hit first).
+    pub max_sample_bytes: usize,
+    /// Number of clusters the agglomerative merging stops at (`k`).
+    pub target_clusters: usize,
+    /// Cap on the wildcard-sequence length used during clustering.
+    pub max_cs_len: usize,
+    /// Optional budget (in bytes) for the total size of the extracted
+    /// pattern dictionary; `None` keeps every pattern.
+    pub pattern_budget_bytes: Option<usize>,
+    /// Patterns whose literal content is shorter than this are discarded
+    /// (they save too little to be worth a dictionary slot).
+    pub min_pattern_literal: usize,
+    /// Clustering criterion (the ablation of Figure 7 swaps this).
+    pub criterion: Criterion,
+    /// Enable 1-gram pruning during clustering (Section 5.1).
+    pub use_onegram_pruning: bool,
+    /// Fraction of compressed records allowed to be outliers before
+    /// [`crate::compressor::PbcCompressor::should_retrain`] reports `true`.
+    pub outlier_retrain_threshold: f64,
+    /// Random seed used for sampling (fixed for reproducible experiments).
+    pub sample_seed: u64,
+}
+
+impl Default for PbcConfig {
+    fn default() -> Self {
+        PbcConfig {
+            max_sample_records: 256,
+            max_sample_bytes: 256 * 1024,
+            target_clusters: 64,
+            max_cs_len: 512,
+            pattern_budget_bytes: None,
+            min_pattern_literal: 4,
+            criterion: Criterion::EncodingLength,
+            use_onegram_pruning: true,
+            outlier_retrain_threshold: 0.05,
+            sample_seed: 0x5eed_1234_abcd,
+        }
+    }
+}
+
+impl PbcConfig {
+    /// A configuration tuned for very small training sets (used by unit
+    /// tests and doc examples to keep runtimes negligible).
+    pub fn small() -> Self {
+        PbcConfig {
+            max_sample_records: 64,
+            max_sample_bytes: 64 * 1024,
+            target_clusters: 8,
+            max_cs_len: 256,
+            ..PbcConfig::default()
+        }
+    }
+
+    /// Derive the clustering sub-configuration.
+    pub fn clustering(&self) -> crate::clustering::ClusteringConfig {
+        crate::clustering::ClusteringConfig {
+            target_clusters: self.target_clusters,
+            criterion: self.criterion,
+            use_onegram_pruning: self.use_onegram_pruning,
+            max_cs_len: self.max_cs_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = PbcConfig::default();
+        assert!(c.max_sample_records > 0);
+        assert!(c.target_clusters > 0);
+        assert!(c.outlier_retrain_threshold > 0.0 && c.outlier_retrain_threshold < 1.0);
+        assert_eq!(c.criterion, Criterion::EncodingLength);
+    }
+
+    #[test]
+    fn clustering_config_mirrors_pbc_config() {
+        let mut c = PbcConfig::default();
+        c.target_clusters = 17;
+        c.use_onegram_pruning = false;
+        let cc = c.clustering();
+        assert_eq!(cc.target_clusters, 17);
+        assert!(!cc.use_onegram_pruning);
+        assert_eq!(cc.max_cs_len, c.max_cs_len);
+    }
+
+    #[test]
+    fn small_profile_shrinks_the_sample() {
+        let small = PbcConfig::small();
+        let default = PbcConfig::default();
+        assert!(small.max_sample_records < default.max_sample_records);
+        assert!(small.target_clusters < default.target_clusters);
+    }
+}

@@ -1,0 +1,217 @@
+//! The pattern dictionary: the offline-trained artifact shared by the
+//! compressor and decompressor.
+//!
+//! Pattern extraction (Figure 1(a)) produces a dictionary mapping small
+//! integer pattern ids to [`Pattern`]s. Compressed records reference their
+//! pattern by id; decompression looks the pattern up and stitches literals
+//! and decoded field values back together (Figure 1(c)).
+//!
+//! Pattern id 0 is reserved for outliers: records that match no pattern are
+//! stored verbatim under this id (Section 3.2).
+
+use crate::error::{PbcError, Result};
+use crate::pattern::Pattern;
+
+/// Reserved pattern id marking an outlier record stored in raw form.
+pub const OUTLIER_ID: u32 = 0;
+
+/// An ordered collection of patterns with stable integer ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatternDictionary {
+    /// Patterns indexed by `id - 1` (id 0 is the outlier sentinel).
+    patterns: Vec<Pattern>,
+}
+
+impl PatternDictionary {
+    /// Create an empty dictionary (every record becomes an outlier).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a dictionary from extracted patterns. Patterns without literal
+    /// content are dropped: a pure-wildcard pattern cannot save any bytes.
+    pub fn from_patterns(patterns: Vec<Pattern>) -> Self {
+        PatternDictionary {
+            patterns: patterns.into_iter().filter(Pattern::has_literals).collect(),
+        }
+    }
+
+    /// Number of patterns (excluding the outlier sentinel).
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the dictionary holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterate `(id, pattern)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Pattern)> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((i + 1) as u32, p))
+    }
+
+    /// Look a pattern up by id. Returns `None` for the outlier id and for
+    /// ids beyond the dictionary.
+    pub fn get(&self, id: u32) -> Option<&Pattern> {
+        if id == OUTLIER_ID {
+            return None;
+        }
+        self.patterns.get((id - 1) as usize)
+    }
+
+    /// Look a pattern up by id, returning an error suitable for the
+    /// decompression path.
+    pub fn get_or_err(&self, id: u32) -> Result<&Pattern> {
+        self.get(id).ok_or(PbcError::UnknownPattern { id })
+    }
+
+    /// Total in-memory size of the patterns in bytes (the paper's "pattern
+    /// size", the knob of Figure 9(b)).
+    pub fn size_bytes(&self) -> usize {
+        self.patterns.iter().map(Pattern::size_bytes).sum()
+    }
+
+    /// Serialize the whole dictionary (for persistence or for shipping to
+    /// TierBase instances).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        pbc_codecs::varint::write_usize(&mut out, self.patterns.len());
+        for p in &self.patterns {
+            p.serialize(&mut out);
+        }
+        out
+    }
+
+    /// Inverse of [`PatternDictionary::serialize`].
+    pub fn deserialize(input: &[u8]) -> Result<Self> {
+        let (count, mut pos) = pbc_codecs::varint::read_usize(input, 0)?;
+        if count > input.len() {
+            return Err(PbcError::CorruptDictionary {
+                reason: format!("implausible pattern count {count}"),
+            });
+        }
+        let mut patterns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (p, new_pos) = Pattern::deserialize(input, pos)?;
+            pos = new_pos;
+            patterns.push(p);
+        }
+        Ok(PatternDictionary { patterns })
+    }
+
+    /// Keep only the largest-benefit patterns so that the total pattern size
+    /// stays within `budget_bytes` (Figure 9(b): the pattern size is set
+    /// "according to the cache budget"). Patterns are ranked by literal
+    /// length, the bytes they save per matching record.
+    pub fn truncate_to_budget(&mut self, budget_bytes: usize) {
+        if self.size_bytes() <= budget_bytes {
+            return;
+        }
+        let mut indexed: Vec<(usize, usize)> = self
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.literal_len()))
+            .collect();
+        indexed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut keep = vec![false; self.patterns.len()];
+        let mut used = 0usize;
+        for (i, _) in indexed {
+            let sz = self.patterns[i].size_bytes();
+            if used + sz <= budget_bytes {
+                used += sz;
+                keep[i] = true;
+            }
+        }
+        let mut idx = 0;
+        self.patterns.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dictionary() -> PatternDictionary {
+        PatternDictionary::from_patterns(vec![
+            Pattern::parse("GET /api/users/*<VARINT> HTTP/1.1"),
+            Pattern::parse("POST /api/orders/*<VARINT>/items HTTP/1.1"),
+            Pattern::parse("level=* msg=*"),
+        ])
+    }
+
+    #[test]
+    fn ids_start_at_one_and_zero_is_reserved() {
+        let dict = sample_dictionary();
+        assert_eq!(dict.len(), 3);
+        assert!(dict.get(OUTLIER_ID).is_none());
+        assert!(dict.get(1).is_some());
+        assert!(dict.get(3).is_some());
+        assert!(dict.get(4).is_none());
+        assert!(matches!(
+            dict.get_or_err(9),
+            Err(PbcError::UnknownPattern { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn pure_wildcard_patterns_are_dropped() {
+        let dict = PatternDictionary::from_patterns(vec![
+            Pattern::parse("*"),
+            Pattern::parse("a*b"),
+        ]);
+        assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let dict = sample_dictionary();
+        let bytes = dict.serialize();
+        let restored = PatternDictionary::deserialize(&bytes).unwrap();
+        assert_eq!(dict, restored);
+        assert!(PatternDictionary::deserialize(&[0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn empty_dictionary_roundtrips() {
+        let dict = PatternDictionary::new();
+        assert!(dict.is_empty());
+        let restored = PatternDictionary::deserialize(&dict.serialize()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn budget_truncation_keeps_highest_value_patterns() {
+        let mut dict = PatternDictionary::from_patterns(vec![
+            Pattern::parse("short*"),
+            Pattern::parse("a much longer literal pattern that saves many bytes *<VARINT> end"),
+            Pattern::parse("medium sized literal *"),
+        ]);
+        let full = dict.size_bytes();
+        // Leave room for the largest pattern but not for everything.
+        let budget = full - 20;
+        dict.truncate_to_budget(budget);
+        assert!(dict.size_bytes() <= budget);
+        assert!(dict.len() >= 1);
+        // The longest-literal pattern must survive.
+        assert!(dict
+            .iter()
+            .any(|(_, p)| p.display().contains("much longer literal")));
+    }
+
+    #[test]
+    fn budget_truncation_is_noop_when_within_budget() {
+        let mut dict = sample_dictionary();
+        let before = dict.clone();
+        dict.truncate_to_budget(usize::MAX);
+        assert_eq!(dict, before);
+    }
+}

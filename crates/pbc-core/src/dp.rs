@@ -1,0 +1,484 @@
+//! Minimal encoding-length merging (Algorithms 1 and 2 of the paper).
+//!
+//! Given two clusters' wildcard sequences `cs_x`, `cs_y` and their member
+//! counts, [`min_encoding_length_increment`] computes the encoding-length
+//! increment (Definition 3) of merging them under the monotonic `VARCHAR`
+//! encoding model, and [`merge`] additionally reconstructs the merged
+//! wildcard sequence by tracing the optimal alignment back.
+//!
+//! The dynamic program is the monotonic-encoder specialisation (Problem 3):
+//! each cell only consults its three neighbours, so the cost is `O(n·m)`
+//! instead of the `O(|F|·(N+M)·n²·m²)` of the general algorithm. A
+//! brute-force reference for the *general* formulation on tiny inputs lives
+//! in [`reference`], and tests check the two agree where both apply.
+//!
+//! ### Note on the paper's pseudo-code
+//!
+//! Algorithm 1 lines 16–19 set `type[i][j] = isRS` when the diagonal
+//! (keep-in-pattern) transition is the unique minimum and `isPattern`
+//! otherwise, which contradicts the semantics `UpdateState` relies on
+//! (`isPattern` must mean "the previous aligned element stayed in the
+//! pattern", so that the first later demotion pays the new-field descriptor
+//! cost of `size_x + size_y`). We implement the semantically consistent
+//! assignment: diagonal ⇒ `isPattern`, sideways ⇒ `isRS`.
+
+use crate::cluster::PatElem;
+
+/// Result of merging two wildcard sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// The encoding-length increment of Definition 3 (may be negative:
+    /// merging two clusters with identical structure removes duplicate
+    /// length descriptors).
+    pub increment: i64,
+    /// The merged wildcard sequence (adjacent gaps coalesced).
+    pub cs: Vec<PatElem>,
+}
+
+/// Element kind tracked per DP cell (the paper's `type` table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellType {
+    IsPattern,
+    IsRs,
+}
+
+/// Transition provenance for traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum From {
+    Start,
+    Diag,
+    ConsumeX,
+    ConsumeY,
+}
+
+/// Algorithm 2: the state transition.
+///
+/// `size_own` is the member count of the cluster whose element is being
+/// demoted to a residual; `size_other` is the other cluster's member count.
+#[inline]
+fn update_state(
+    cur_state: i64,
+    cell_type: CellType,
+    new_elem_is_gap: bool,
+    size_own: i64,
+    size_other: i64,
+) -> i64 {
+    let mut v = cur_state;
+    if cell_type == CellType::IsPattern {
+        // A new residual region starts: every record of the merged cluster
+        // stores one more length descriptor.
+        v += size_own + size_other;
+    }
+    if !new_elem_is_gap {
+        // The demoted literal is stored by each record of its own cluster.
+        v += size_own;
+    } else {
+        // A wildcard that is absorbed into the new region refunds the
+        // descriptors its own cluster had already paid for it.
+        v -= size_own;
+    }
+    v
+}
+
+/// Algorithm 1: compute the minimal encoding-length increment of merging two
+/// clusters, without building the merged sequence.
+pub fn min_encoding_length_increment(
+    cs_x: &[PatElem],
+    cs_y: &[PatElem],
+    size_x: usize,
+    size_y: usize,
+) -> i64 {
+    merge_impl(cs_x, cs_y, size_x, size_y, false, i64::MAX).0
+}
+
+/// Algorithm 1 with an early-termination bound: as soon as every cell of a
+/// DP anti-diagonal exceeds `bound`, the merge cannot beat the best known
+/// candidate and `i64::MAX` is returned (Section 5.1, pruning step 3).
+pub fn min_encoding_length_increment_bounded(
+    cs_x: &[PatElem],
+    cs_y: &[PatElem],
+    size_x: usize,
+    size_y: usize,
+    bound: i64,
+) -> i64 {
+    merge_impl(cs_x, cs_y, size_x, size_y, false, bound).0
+}
+
+/// Algorithm 1 plus traceback: compute the increment and the merged
+/// wildcard sequence.
+pub fn merge(cs_x: &[PatElem], cs_y: &[PatElem], size_x: usize, size_y: usize) -> MergeOutcome {
+    let (increment, cs) = merge_impl(cs_x, cs_y, size_x, size_y, true, i64::MAX);
+    MergeOutcome { increment, cs }
+}
+
+fn merge_impl(
+    cs_x: &[PatElem],
+    cs_y: &[PatElem],
+    size_x: usize,
+    size_y: usize,
+    traceback: bool,
+    bound: i64,
+) -> (i64, Vec<PatElem>) {
+    let n = cs_x.len();
+    let m = cs_y.len();
+    let sx = size_x as i64;
+    let sy = size_y as i64;
+    let width = m + 1;
+
+    // Row-major (n+1) x (m+1) tables. `kept` counts retained pattern
+    // literals along the optimal path; it breaks cost ties in favour of the
+    // alignment that keeps the most literals (equal-cost alignments exist
+    // because a VARCHAR field's descriptor cost can exactly offset a
+    // demoted literal, and the literal-rich pattern compresses better).
+    let mut state = vec![0i64; (n + 1) * width];
+    let mut kept = vec![0u32; (n + 1) * width];
+    let mut cell_type = vec![CellType::IsPattern; (n + 1) * width];
+    let mut from = if traceback {
+        vec![From::Start; (n + 1) * width]
+    } else {
+        Vec::new()
+    };
+
+    // Initialization: consuming only one side demotes its elements.
+    for i in 1..=n {
+        let idx = i * width;
+        let prev = (i - 1) * width;
+        state[idx] = update_state(
+            state[prev],
+            cell_type[prev],
+            matches!(cs_x[i - 1], PatElem::Gap),
+            sx,
+            sy,
+        );
+        cell_type[idx] = CellType::IsRs;
+        if traceback {
+            from[idx] = From::ConsumeX;
+        }
+    }
+    for j in 1..=m {
+        state[j] = update_state(
+            state[j - 1],
+            cell_type[j - 1],
+            matches!(cs_y[j - 1], PatElem::Gap),
+            sy,
+            sx,
+        );
+        cell_type[j] = CellType::IsRs;
+        if traceback {
+            from[j] = From::ConsumeY;
+        }
+    }
+
+    for i in 1..=n {
+        let row = i * width;
+        let prev_row = (i - 1) * width;
+        let mut row_min = i64::MAX;
+        let x_elem = cs_x[i - 1];
+        let x_is_gap = matches!(x_elem, PatElem::Gap);
+        for j in 1..=m {
+            let y_elem = cs_y[j - 1];
+            let y_is_gap = matches!(y_elem, PatElem::Gap);
+
+            let from_x = update_state(
+                state[prev_row + j],
+                cell_type[prev_row + j],
+                x_is_gap,
+                sx,
+                sy,
+            );
+            let from_y = update_state(
+                state[row + j - 1],
+                cell_type[row + j - 1],
+                y_is_gap,
+                sy,
+                sx,
+            );
+
+            let can_diag = !x_is_gap && !y_is_gap && x_elem == y_elem;
+            // Candidates as (cost, -kept) lexicographic minima.
+            let kept_x = kept[prev_row + j];
+            let kept_y = kept[row + j - 1];
+            let mut best = from_x;
+            let mut best_kept = kept_x;
+            let mut best_from = From::ConsumeX;
+            let mut best_type = CellType::IsRs;
+            if from_y < best || (from_y == best && kept_y > best_kept) {
+                best = from_y;
+                best_kept = kept_y;
+                best_from = From::ConsumeY;
+            }
+            if can_diag {
+                let diag = state[prev_row + j - 1];
+                let diag_kept = kept[prev_row + j - 1] + 1;
+                // Prefer the diagonal on ties: keeping shared literals in the
+                // pattern is what drives compression.
+                if diag < best || (diag == best && diag_kept >= best_kept) {
+                    best = diag;
+                    best_kept = diag_kept;
+                    best_from = From::Diag;
+                    best_type = CellType::IsPattern;
+                }
+            }
+            state[row + j] = best;
+            kept[row + j] = best_kept;
+            cell_type[row + j] = best_type;
+            if traceback {
+                from[row + j] = best_from;
+            }
+            if best < row_min {
+                row_min = best;
+            }
+        }
+        // Pruning: if the entire row already exceeds the bound, the final
+        // cell (which only grows along any path) cannot beat it.
+        if row_min > bound {
+            return (i64::MAX, Vec::new());
+        }
+    }
+
+    let final_state = state[n * width + m];
+    if !traceback {
+        return (final_state, Vec::new());
+    }
+
+    // Traceback from (n, m) to (0, 0).
+    let mut rev: Vec<PatElem> = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match from[i * width + j] {
+            From::Diag => {
+                rev.push(cs_x[i - 1]);
+                i -= 1;
+                j -= 1;
+            }
+            From::ConsumeX => {
+                rev.push(PatElem::Gap);
+                i -= 1;
+            }
+            From::ConsumeY => {
+                rev.push(PatElem::Gap);
+                j -= 1;
+            }
+            From::Start => break,
+        }
+    }
+    rev.reverse();
+    // Coalesce adjacent gaps.
+    let mut cs = Vec::with_capacity(rev.len());
+    for e in rev {
+        if matches!(e, PatElem::Gap) && matches!(cs.last(), Some(PatElem::Gap)) {
+            continue;
+        }
+        cs.push(e);
+    }
+    (final_state, cs)
+}
+
+/// Brute-force reference implementations used to validate the DP on tiny
+/// inputs.
+pub mod reference {
+    use super::*;
+
+    /// Exhaustively try every alignment of `cs_x` and `cs_y` (every way of
+    /// interleaving "keep shared literal" / "demote x" / "demote y" moves)
+    /// and return the minimal increment under the same cost model as
+    /// [`update_state`]. Exponential — only for sequences of length ≲ 12.
+    pub fn exhaustive_increment(
+        cs_x: &[PatElem],
+        cs_y: &[PatElem],
+        size_x: usize,
+        size_y: usize,
+    ) -> i64 {
+        fn recurse(
+            cs_x: &[PatElem],
+            cs_y: &[PatElem],
+            i: usize,
+            j: usize,
+            acc: i64,
+            cell_type: CellType,
+            sx: i64,
+            sy: i64,
+        ) -> i64 {
+            if i == cs_x.len() && j == cs_y.len() {
+                return acc;
+            }
+            let mut best = i64::MAX;
+            if i < cs_x.len() {
+                let gap = matches!(cs_x[i], PatElem::Gap);
+                let v = update_state(acc, cell_type, gap, sx, sy);
+                best = best.min(recurse(cs_x, cs_y, i + 1, j, v, CellType::IsRs, sx, sy));
+            }
+            if j < cs_y.len() {
+                let gap = matches!(cs_y[j], PatElem::Gap);
+                let v = update_state(acc, cell_type, gap, sy, sx);
+                best = best.min(recurse(cs_x, cs_y, i, j + 1, v, CellType::IsRs, sx, sy));
+            }
+            if i < cs_x.len() && j < cs_y.len() {
+                if let (PatElem::Lit(a), PatElem::Lit(b)) = (cs_x[i], cs_y[j]) {
+                    if a == b {
+                        best = best.min(recurse(
+                            cs_x,
+                            cs_y,
+                            i + 1,
+                            j + 1,
+                            acc,
+                            CellType::IsPattern,
+                            sx,
+                            sy,
+                        ));
+                    }
+                }
+            }
+            best
+        }
+        recurse(
+            cs_x,
+            cs_y,
+            0,
+            0,
+            0,
+            CellType::IsPattern,
+            size_x as i64,
+            size_y as i64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+
+    fn cs(text: &str) -> Vec<PatElem> {
+        Cluster::cs_from_str(text)
+    }
+
+    #[test]
+    fn identical_sequences_merge_with_shared_pattern() {
+        let out = merge(&cs("abcdef"), &cs("abcdef"), 1, 1);
+        assert_eq!(
+            out.cs,
+            cs("abcdef"),
+            "identical sequences keep every literal in the pattern"
+        );
+        assert_eq!(out.increment, 0);
+    }
+
+    #[test]
+    fn paper_example_ab3_star_2_and_ab_star_12() {
+        // Example 2 / Figure 4: merging "ab3*2" and "ab*12".
+        let out = merge(&cs("ab3*2"), &cs("ab*12"), 1, 1);
+        // The merged pattern must keep the common subsequence "ab", a gap,
+        // and the trailing "2" — i.e. "ab*2" (the '3' of x, the '1' of y and
+        // both wildcards collapse into one field).
+        assert_eq!(out.cs, cs("ab*2"));
+    }
+
+    #[test]
+    fn merged_literals_form_a_common_subsequence() {
+        let a = cs("V5company_charging-100-57accenter20");
+        let b = cs("V5company_charging-100-72accenter11");
+        let out = merge(&a, &b, 1, 1);
+        // Every literal of the merged sequence must be a subsequence of both.
+        let lits: Vec<u8> = out
+            .cs
+            .iter()
+            .filter_map(|e| match e {
+                PatElem::Lit(c) => Some(*c),
+                PatElem::Gap => None,
+            })
+            .collect();
+        for source in [&a, &b] {
+            let mut it = source.iter().filter_map(|e| match e {
+                PatElem::Lit(c) => Some(*c),
+                PatElem::Gap => None,
+            });
+            for l in &lits {
+                assert!(
+                    it.any(|c| c == *l),
+                    "merged literal {l} must appear in order in both inputs"
+                );
+            }
+        }
+        assert!(lits.len() >= b"V5company_charging-100-".len());
+    }
+
+    #[test]
+    fn similar_clusters_have_lower_increment_than_dissimilar_ones() {
+        let base = cs("user=alice action=login status=ok elapsed=12ms");
+        let similar = cs("user=bob action=login status=ok elapsed=7ms");
+        let dissimilar = cs("7f3a9c0e-22bb-4f6d-9a1e-55c2ab99d001");
+        let eli_similar = min_encoding_length_increment(&base, &similar, 4, 4);
+        let eli_dissimilar = min_encoding_length_increment(&base, &dissimilar, 4, 4);
+        assert!(
+            eli_similar < eli_dissimilar,
+            "similar: {eli_similar}, dissimilar: {eli_dissimilar}"
+        );
+    }
+
+    #[test]
+    fn increment_scales_with_cluster_sizes() {
+        let a = cs("abcXdef");
+        let b = cs("abcYdef");
+        let small = min_encoding_length_increment(&a, &b, 1, 1);
+        let large = min_encoding_length_increment(&a, &b, 100, 100);
+        assert!(large > small, "demoting a literal costs every member record");
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_reference_on_small_inputs() {
+        let cases = [
+            ("ab3*2", "ab*12"),
+            ("abc", "abc"),
+            ("abc", "xyz"),
+            ("a*b", "ab"),
+            ("*a*", "aa"),
+            ("log_12", "log_99"),
+            ("", "abc"),
+            ("", ""),
+            ("a*", "*a"),
+        ];
+        for (x, y) in cases {
+            for (sx, sy) in [(1usize, 1usize), (2, 3), (5, 1)] {
+                let dp = min_encoding_length_increment(&cs(x), &cs(y), sx, sy);
+                let brute = reference::exhaustive_increment(&cs(x), &cs(y), sx, sy);
+                assert_eq!(dp, brute, "x={x:?} y={y:?} sizes=({sx},{sy})");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_variant_prunes_expensive_merges() {
+        let a = cs("aaaaaaaaaaaaaaaaaaaaaa");
+        let b = cs("zzzzzzzzzzzzzzzzzzzzzz");
+        let exact = min_encoding_length_increment(&a, &b, 10, 10);
+        assert!(exact > 0);
+        let pruned = min_encoding_length_increment_bounded(&a, &b, 10, 10, exact / 4);
+        assert_eq!(pruned, i64::MAX, "bound below the true cost must prune");
+        let not_pruned = min_encoding_length_increment_bounded(&a, &b, 10, 10, exact + 1);
+        assert_eq!(not_pruned, exact);
+    }
+
+    #[test]
+    fn empty_sequences_merge_trivially() {
+        let out = merge(&cs(""), &cs(""), 3, 4);
+        assert_eq!(out.increment, 0);
+        assert!(out.cs.is_empty());
+        let out = merge(&cs("abc"), &cs(""), 2, 2);
+        assert_eq!(out.cs, cs("*"));
+    }
+
+    #[test]
+    fn merged_gaps_are_coalesced() {
+        let out = merge(&cs("a*b*c"), &cs("axbyc"), 1, 1);
+        // No two adjacent gaps in the output.
+        for w in out.cs.windows(2) {
+            assert!(
+                !(matches!(w[0], PatElem::Gap) && matches!(w[1], PatElem::Gap)),
+                "adjacent gaps must be coalesced: {:?}",
+                out.cs
+            );
+        }
+        assert_eq!(out.cs, cs("a*b*c"));
+    }
+}

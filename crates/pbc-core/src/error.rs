@@ -1,0 +1,95 @@
+//! Error types for the PBC core crate.
+
+use std::fmt;
+
+/// Result alias used throughout `pbc-core`.
+pub type Result<T> = std::result::Result<T, PbcError>;
+
+/// Errors produced by PBC compression, decompression, and pattern handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbcError {
+    /// A compressed record references a pattern id that is not in the
+    /// dictionary used for decompression.
+    UnknownPattern {
+        /// The offending pattern id.
+        id: u32,
+    },
+    /// The compressed record ended before all declared fields were decoded.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A field value cannot be decoded with the encoder the pattern declares.
+    FieldDecode {
+        /// Index of the field within the pattern.
+        field: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// A structural invariant of the serialized dictionary was violated.
+    CorruptDictionary {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// An error bubbled up from the residual / block codec layer.
+    Codec(pbc_codecs::CodecError),
+}
+
+impl fmt::Display for PbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbcError::UnknownPattern { id } => write!(f, "unknown pattern id {id}"),
+            PbcError::Truncated { context } => {
+                write!(f, "compressed record truncated while reading {context}")
+            }
+            PbcError::FieldDecode { field, reason } => {
+                write!(f, "failed to decode field {field}: {reason}")
+            }
+            PbcError::CorruptDictionary { reason } => {
+                write!(f, "corrupt pattern dictionary: {reason}")
+            }
+            PbcError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PbcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PbcError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pbc_codecs::CodecError> for PbcError {
+    fn from(e: pbc_codecs::CodecError) -> Self {
+        PbcError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_key_information() {
+        assert!(PbcError::UnknownPattern { id: 42 }.to_string().contains("42"));
+        assert!(PbcError::Truncated { context: "field count" }
+            .to_string()
+            .contains("field count"));
+        assert!(PbcError::FieldDecode {
+            field: 3,
+            reason: "not a digit".into()
+        }
+        .to_string()
+        .contains("field 3"));
+    }
+
+    #[test]
+    fn codec_errors_convert() {
+        let codec_err = pbc_codecs::CodecError::MissingDictionary;
+        let err: PbcError = codec_err.clone().into();
+        assert_eq!(err, PbcError::Codec(codec_err));
+    }
+}

@@ -1,0 +1,207 @@
+//! Pattern extraction: the offline phase turning sample records into a
+//! [`PatternDictionary`] (Figure 1(a)).
+//!
+//! Pipeline: sample → agglomerative clustering (minimal encoding length) →
+//! per-cluster field-encoder inference → pattern dictionary, optionally
+//! truncated to a byte budget.
+
+use crate::clustering::{cluster_records, ClusteringResult};
+use crate::config::PbcConfig;
+use crate::dictionary::PatternDictionary;
+use crate::encoding_length::pattern_with_inferred_encoders;
+use crate::pattern::Pattern;
+use crate::sampling::sample_records;
+
+/// Summary of an extraction run (the observability the production case
+/// study in Section 7.5 relies on).
+#[derive(Debug, Clone)]
+pub struct ExtractionReport {
+    /// Number of records used after sampling.
+    pub sample_records: usize,
+    /// Total sampled bytes.
+    pub sample_bytes: usize,
+    /// Number of clusters produced.
+    pub clusters: usize,
+    /// Number of patterns kept in the dictionary.
+    pub patterns: usize,
+    /// Total pattern dictionary size in bytes.
+    pub dictionary_bytes: usize,
+    /// Exact distance evaluations performed by the clustering.
+    pub exact_evaluations: usize,
+}
+
+/// Extract a pattern dictionary from already-sampled records.
+pub fn extract_from_samples(samples: &[Vec<u8>], config: &PbcConfig) -> (PatternDictionary, ExtractionReport) {
+    // Long-record datasets (e.g. multi-KB JSON documents): the wildcard
+    // sequences must cover more of the record or the trailing bytes all land
+    // in one huge residual field. Raise the sequence cap and shrink the
+    // clustering sample so the O(n·m) merges stay affordable.
+    let mut clustering_config = config.clustering();
+    let mut samples = samples;
+    let truncated_sample;
+    if !samples.is_empty() {
+        let avg_len = samples.iter().map(|r| r.len()).sum::<usize>() / samples.len();
+        if avg_len > clustering_config.max_cs_len {
+            clustering_config.max_cs_len = avg_len.next_power_of_two().min(4096);
+            let max_records = (96 * 512 / clustering_config.max_cs_len).max(16);
+            if samples.len() > max_records {
+                truncated_sample = samples[..max_records].to_vec();
+                samples = &truncated_sample;
+            }
+        }
+    }
+    let clustering: ClusteringResult = cluster_records(samples, &clustering_config);
+
+    let mut patterns: Vec<Pattern> = Vec::with_capacity(clustering.clusters.len());
+    for cluster in &clustering.clusters {
+        if cluster.literal_len() < config.min_pattern_literal {
+            continue;
+        }
+        let members: Vec<&[u8]> = cluster
+            .members
+            .iter()
+            .map(|&i| samples[i].as_slice())
+            .collect();
+        let pattern = pattern_with_inferred_encoders(&cluster.cs, &members);
+        if pattern.literal_len() >= config.min_pattern_literal {
+            patterns.push(pattern);
+        }
+    }
+    // Deduplicate identical patterns (clusters can converge to the same one).
+    patterns.sort_by(|a, b| a.display().cmp(&b.display()));
+    patterns.dedup();
+
+    let mut dictionary = PatternDictionary::from_patterns(patterns);
+    if let Some(budget) = config.pattern_budget_bytes {
+        dictionary.truncate_to_budget(budget);
+    }
+
+    let report = ExtractionReport {
+        sample_records: samples.len(),
+        sample_bytes: samples.iter().map(|r| r.len()).sum(),
+        clusters: clustering.clusters.len(),
+        patterns: dictionary.len(),
+        dictionary_bytes: dictionary.size_bytes(),
+        exact_evaluations: clustering.exact_evaluations,
+    };
+    (dictionary, report)
+}
+
+/// Sample `records` according to the config and extract a pattern
+/// dictionary from the sample.
+pub fn extract_patterns(records: &[Vec<u8>], config: &PbcConfig) -> (PatternDictionary, ExtractionReport) {
+    let samples = sample_records(
+        records,
+        config.max_sample_records,
+        config.max_sample_bytes,
+        config.sample_seed,
+    );
+    extract_from_samples(&samples, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::match_record;
+
+    fn trade_records(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "{{\"symbol\": \"{}\", \"side\": \"{}\", \"quantity\": {}, \"price\": {}.{:02}, \"timestamp\": 16395{:05}}}",
+                    ["IBM", "AAPL", "MSFT", "GOOG"][i % 4],
+                    if i % 2 == 0 { "B" } else { "S" },
+                    100 + (i % 50),
+                    50 + (i % 20),
+                    i % 100,
+                    i % 100_000,
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extraction_produces_patterns_that_match_unseen_records() {
+        let records = trade_records(400);
+        let config = PbcConfig::small();
+        let (dict, report) = extract_patterns(&records, &config);
+        assert!(!dict.is_empty(), "trade records must produce patterns");
+        assert!(report.patterns == dict.len());
+        assert!(report.dictionary_bytes > 0);
+
+        // Most unseen records should match some pattern.
+        let matcher = crate::multimatch::MultiMatcher::new(&dict);
+        let unseen = trade_records(500);
+        let matched = unseen
+            .iter()
+            .skip(400)
+            .filter(|r| matcher.best_match(r).is_some())
+            .count();
+        assert!(
+            matched >= 80,
+            "at least 80% of unseen records should match, got {matched}/100"
+        );
+    }
+
+    #[test]
+    fn extracted_patterns_capture_the_shared_template() {
+        let records = trade_records(200);
+        let (dict, _) = extract_patterns(&records, &PbcConfig::small());
+        let found = dict
+            .iter()
+            .any(|(_, p)| p.display().contains("\"symbol\": \"") && p.display().contains("\"timestamp\": "));
+        assert!(found, "patterns: {:?}", dict.iter().map(|(_, p)| p.display()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_pattern_matches_at_least_one_training_record() {
+        let records = trade_records(150);
+        let config = PbcConfig::small();
+        let samples = crate::sampling::sample_records(
+            &records,
+            config.max_sample_records,
+            config.max_sample_bytes,
+            config.sample_seed,
+        );
+        let (dict, _) = extract_from_samples(&samples, &config);
+        for (_, pattern) in dict.iter() {
+            let hits = samples.iter().filter(|r| match_record(pattern, r).is_some()).count();
+            assert!(
+                hits > 0,
+                "pattern {} matches no training record",
+                pattern.display()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_budget_limits_dictionary_size() {
+        let records = trade_records(300);
+        let mut config = PbcConfig::small();
+        config.target_clusters = 16;
+        config.pattern_budget_bytes = Some(200);
+        let (dict, report) = extract_patterns(&records, &config);
+        assert!(dict.size_bytes() <= 200);
+        assert_eq!(report.dictionary_bytes, dict.size_bytes());
+    }
+
+    #[test]
+    fn empty_input_produces_empty_dictionary() {
+        let (dict, report) = extract_patterns(&[], &PbcConfig::default());
+        assert!(dict.is_empty());
+        assert_eq!(report.sample_records, 0);
+    }
+
+    #[test]
+    fn heterogeneous_data_produces_multiple_patterns() {
+        let mut records = trade_records(100);
+        for i in 0..100 {
+            records.push(format!("GET /static/asset_{i}.css HTTP/1.1 200 {}", 1000 + i).into_bytes());
+        }
+        let mut config = PbcConfig::small();
+        config.target_clusters = 6;
+        let (dict, _) = extract_patterns(&records, &config);
+        assert!(dict.len() >= 2, "expected patterns for both families, got {}", dict.len());
+    }
+}

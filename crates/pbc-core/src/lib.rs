@@ -1,0 +1,72 @@
+//! # pbc-core — Pattern-Based Compression
+//!
+//! From-scratch Rust implementation of the PBC algorithm from
+//! *"High-Ratio Compression for Machine-Generated Data"* (SIGMOD 2023):
+//! per-record compression of machine-generated data driven by patterns
+//! (common subsequences with typed wildcard fields) that are discovered
+//! offline by minimal-encoding-length clustering.
+//!
+//! ## Pipeline
+//!
+//! 1. **Sampling** ([`sampling`]) — a few hundred KiB of records.
+//! 2. **Clustering** ([`clustering`], [`dp`], [`onegram`]) — greedy
+//!    agglomerative merging under the minimal encoding-length increment
+//!    criterion (Algorithms 1–2), with 1-gram pruning.
+//! 3. **Pattern extraction** ([`extraction`], [`encoders`]) — one pattern
+//!    per cluster, each wildcard assigned the cheapest valid field encoder
+//!    of Table 1 (`CHAR`, `VARCHAR`, `INT`, `VARINT`).
+//! 4. **Compression** ([`compressor`], [`multimatch`], [`matching`]) — each
+//!    record is matched against the dictionary (longest pattern wins), its
+//!    residual field values are encoded, and the output is
+//!    `pattern id + encoded fields`; unmatched records are stored verbatim
+//!    as outliers. Decompression is a dictionary lookup plus field decoding.
+//!
+//! Variants: plain `PBC`, `PBC_F` (FSST-coded residuals,
+//! [`compressor::PbcCompressor::train_fsst`]), and the block-compressed
+//! `PBC_Z` / `PBC_L` ([`variants::PbcBlockCompressor`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use pbc_core::{PbcCompressor, PbcConfig};
+//!
+//! let records: Vec<Vec<u8>> = (0..300)
+//!     .map(|i| format!("GET /api/v1/users/{}/profile?lang=en HTTP/1.1", 10_000 + (i * 7919) % 80_000).into_bytes())
+//!     .collect();
+//! let sample: Vec<&[u8]> = records.iter().take(100).map(|r| r.as_slice()).collect();
+//!
+//! let pbc = PbcCompressor::train(&sample, &PbcConfig::small());
+//! let compressed = pbc.compress(&records[250]);
+//! assert!(compressed.len() < records[250].len() / 2);
+//! assert_eq!(pbc.decompress(&compressed).unwrap(), records[250]);
+//! ```
+
+pub mod cluster;
+pub mod clustering;
+pub mod compressor;
+pub mod config;
+pub mod dictionary;
+pub mod dp;
+pub mod encoders;
+pub mod encoding_length;
+pub mod entropy;
+pub mod error;
+pub mod extraction;
+pub mod matching;
+pub mod multimatch;
+pub mod onegram;
+pub mod pattern;
+pub mod sampling;
+pub mod stats;
+pub mod variants;
+
+pub use clustering::{cluster_records, ClusteringConfig, Criterion};
+pub use compressor::{PbcCompressor, ResidualMode};
+pub use config::PbcConfig;
+pub use dictionary::{PatternDictionary, OUTLIER_ID};
+pub use encoders::FieldEncoder;
+pub use error::{PbcError, Result};
+pub use extraction::{extract_from_samples, extract_patterns, ExtractionReport};
+pub use pattern::{Pattern, Segment};
+pub use stats::StatsSnapshot;
+pub use variants::PbcBlockCompressor;

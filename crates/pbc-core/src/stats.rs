@@ -1,0 +1,145 @@
+//! Runtime statistics of a compressor instance.
+//!
+//! The production integration (Section 7.5) monitors the share of records
+//! that fail to match any pattern; when it exceeds a threshold, re-sampling
+//! and re-training is triggered. The counters here are atomic so a shared
+//! compressor can be used concurrently from a store's worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters describing the work a [`crate::compressor::PbcCompressor`]
+/// has performed since creation (or the last [`CompressionStats::reset`]).
+#[derive(Debug, Default)]
+pub struct CompressionStats {
+    records: AtomicU64,
+    outliers: AtomicU64,
+    raw_bytes: AtomicU64,
+    compressed_bytes: AtomicU64,
+}
+
+/// A plain snapshot of [`CompressionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Records compressed.
+    pub records: u64,
+    /// Records stored as outliers (no matching pattern).
+    pub outliers: u64,
+    /// Total raw input bytes.
+    pub raw_bytes: u64,
+    /// Total compressed output bytes.
+    pub compressed_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Compression ratio (compressed / raw), 1.0 when nothing was compressed.
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.compressed_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+
+    /// Fraction of records stored as outliers.
+    pub fn outlier_rate(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.outliers as f64 / self.records as f64
+        }
+    }
+}
+
+impl CompressionStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one compressed record.
+    pub fn record(&self, raw_len: usize, compressed_len: usize, outlier: bool) {
+        self.records.fetch_add(1, Ordering::Relaxed);
+        if outlier {
+            self.outliers.fetch_add(1, Ordering::Relaxed);
+        }
+        self.raw_bytes.fetch_add(raw_len as u64, Ordering::Relaxed);
+        self.compressed_bytes
+            .fetch_add(compressed_len as u64, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            records: self.records.load(Ordering::Relaxed),
+            outliers: self.outliers.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+            compressed_bytes: self.compressed_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters (used after re-training).
+    pub fn reset(&self) {
+        self.records.store(0, Ordering::Relaxed);
+        self.outliers.store(0, Ordering::Relaxed);
+        self.raw_bytes.store(0, Ordering::Relaxed);
+        self.compressed_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = CompressionStats::new();
+        stats.record(100, 30, false);
+        stats.record(50, 50, true);
+        let snap = stats.snapshot();
+        assert_eq!(snap.records, 2);
+        assert_eq!(snap.outliers, 1);
+        assert_eq!(snap.raw_bytes, 150);
+        assert_eq!(snap.compressed_bytes, 80);
+        assert!((snap.ratio() - 80.0 / 150.0).abs() < 1e-12);
+        assert!((snap.outlier_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_neutral_ratios() {
+        let snap = CompressionStats::new().snapshot();
+        assert_eq!(snap.ratio(), 1.0);
+        assert_eq!(snap.outlier_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = CompressionStats::new();
+        stats.record(10, 5, true);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.records, 0);
+        assert_eq!(snap.raw_bytes, 0);
+    }
+
+    #[test]
+    fn counters_are_safe_under_concurrent_updates() {
+        use std::sync::Arc;
+        let stats = Arc::new(CompressionStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let stats = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    stats.record(10, 3, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.records, 4000);
+        assert_eq!(snap.raw_bytes, 40_000);
+        assert_eq!(snap.compressed_bytes, 12_000);
+    }
+}

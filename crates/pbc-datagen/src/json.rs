@@ -1,0 +1,197 @@
+//! Generators for the JSON datasets (`github`, `cities`, `unece`).
+//!
+//! * `github` — GitHub event documents (nested actor/repo/payload), long
+//!   records (~860 bytes) with heavy key-level redundancy.
+//! * `cities` — city information records (~230 bytes).
+//! * `unece` — large country/trade-facilitation records (~4.5 KB) with many
+//!   repeated keys and sub-arrays; the dataset where schema-driven codecs
+//!   shine in the paper.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kv::{digits, hex, pick, word};
+
+/// `github` (paper avg. 863.8 bytes): GitHub push/watch events.
+pub fn github(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a73_0001);
+    let types = ["PushEvent", "WatchEvent", "IssueCommentEvent", "PullRequestEvent"];
+    (0..count)
+        .map(|i| {
+            let user = format!("{}-{}", word(&mut rng, 6), rng.gen_range(1..999u32));
+            let repo = format!("{}/{}", word(&mut rng, 7), word(&mut rng, 9));
+            let sha_before = hex(&mut rng, 40);
+            let sha_head = hex(&mut rng, 40);
+            format!(
+                "{{\"id\":\"{}\",\"type\":\"{}\",\"actor\":{{\"id\":{},\"login\":\"{}\",\"gravatar_id\":\"\",\"url\":\"https://api.github.com/users/{}\",\"avatar_url\":\"https://avatars.githubusercontent.com/u/{}?\"}},\"repo\":{{\"id\":{},\"name\":\"{}\",\"url\":\"https://api.github.com/repos/{}\"}},\"payload\":{{\"push_id\":{},\"size\":{},\"distinct_size\":{},\"ref\":\"refs/heads/{}\",\"head\":\"{}\",\"before\":\"{}\",\"commits\":[{{\"sha\":\"{}\",\"author\":{{\"email\":\"{}@{}.com\",\"name\":\"{}\"}},\"message\":\"{} {} {} in {}\",\"distinct\":true,\"url\":\"https://api.github.com/repos/{}/commits/{}\"}}]}},\"public\":true,\"created_at\":\"2023-06-13T10:{:02}:{:02}Z\"}}",
+                2_489_000_000u64 + i as u64,
+                pick(&mut rng, &types),
+                rng.gen_range(100_000..9_999_999u64),
+                user,
+                user,
+                rng.gen_range(100_000..9_999_999u64),
+                rng.gen_range(1_000_000..99_999_999u64),
+                repo,
+                repo,
+                rng.gen_range(100_000_000..999_999_999u64),
+                rng.gen_range(1..5u8),
+                rng.gen_range(1..5u8),
+                pick(&mut rng, &["main", "master", "develop"]),
+                sha_head,
+                sha_before,
+                sha_head,
+                word(&mut rng, 6),
+                word(&mut rng, 5),
+                word(&mut rng, 7),
+                pick(&mut rng, &["fix", "add", "update", "remove"]),
+                word(&mut rng, 8),
+                word(&mut rng, 6),
+                repo,
+                repo,
+                sha_head,
+                rng.gen_range(0..60u8),
+                rng.gen_range(0..60u8),
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+/// `cities` (paper avg. 232.2 bytes): world-city records.
+pub fn cities(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a73_0002);
+    let countries = [
+        ("Germany", "DE", "Europe/Berlin"),
+        ("Japan", "JP", "Asia/Tokyo"),
+        ("Brazil", "BR", "America/Sao_Paulo"),
+        ("Australia", "AU", "Australia/Sydney"),
+        ("Canada", "CA", "America/Toronto"),
+    ];
+    (0..count)
+        .map(|_| {
+            let (country, code, tz) = countries[rng.gen_range(0..countries.len())];
+            let name = {
+                let mut n = word(&mut rng, 7);
+                n.get_mut(0..1).map(|_| ()).unwrap_or(());
+                let mut c = n.remove(0).to_ascii_uppercase().to_string();
+                c.push_str(&n);
+                c
+            };
+            format!(
+                "{{\"name\":\"{}\",\"country\":\"{}\",\"country_code\":\"{}\",\"admin1\":\"{}\",\"lat\":{}.{:05},\"lng\":-{}.{:05},\"population\":{},\"elevation_m\":{},\"timezone\":\"{}\",\"feature_code\":\"PPL\",\"ids\":{{\"geoname\":{},\"wikidata\":\"Q{}\"}}}}",
+                name,
+                country,
+                code,
+                word(&mut rng, 8),
+                rng.gen_range(0..80u8),
+                rng.gen_range(0..99_999u32),
+                rng.gen_range(0..170u8),
+                rng.gen_range(0..99_999u32),
+                rng.gen_range(1000..20_000_000u64),
+                rng.gen_range(0..3000u32),
+                tz,
+                rng.gen_range(100_000..9_999_999u64),
+                rng.gen_range(1000..999_999u64),
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+/// `unece` (paper avg. 4494.8 bytes): large country trade-facilitation
+/// records with repeated sub-structures.
+pub fn unece(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a73_0003);
+    let regions = ["Europe", "Asia-Pacific", "Africa", "Americas"];
+    (0..count)
+        .map(|_| {
+            let country = {
+                let mut n = word(&mut rng, 8);
+                let c = n.remove(0).to_ascii_uppercase();
+                format!("{c}{n}")
+            };
+            let code = word(&mut rng, 3).to_uppercase();
+            // ~18 indicator sub-objects of ~220 bytes each plus a header.
+            let indicators: Vec<String> = (0..18)
+                .map(|k| {
+                    format!(
+                        "{{\"indicator_id\":\"TF{:03}\",\"section\":\"{}\",\"title\":\"{} {} {} for {}\",\"implemented\":{},\"score\":{}.{},\"year\":{},\"source\":\"https://unece.org/trade/{}/{}\",\"notes\":\"{} {} {} {} {}\"}}",
+                        k + 1,
+                        pick(&mut rng, &["transparency", "formalities", "institutional", "paperless", "transit"]),
+                        word(&mut rng, 9),
+                        word(&mut rng, 6),
+                        word(&mut rng, 8),
+                        word(&mut rng, 7),
+                        if rng.gen_bool(0.7) { "true" } else { "false" },
+                        rng.gen_range(0..100u8),
+                        rng.gen_range(0..10u8),
+                        2015 + rng.gen_range(0..9u16),
+                        word(&mut rng, 6),
+                        digits(&mut rng, 4),
+                        word(&mut rng, 8),
+                        word(&mut rng, 5),
+                        word(&mut rng, 9),
+                        word(&mut rng, 7),
+                        word(&mut rng, 6),
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"country\":\"{}\",\"iso3\":\"{}\",\"region\":\"{}\",\"income_group\":\"{}\",\"population\":{},\"gdp_usd_m\":{},\"last_updated\":\"2023-{:02}-{:02}\",\"contact\":{{\"agency\":\"Ministry of {} and {}\",\"email\":\"tfa@{}.gov\",\"phone\":\"+{}\"}},\"indicators\":[{}]}}",
+                country,
+                code,
+                pick(&mut rng, &regions),
+                pick(&mut rng, &["High income", "Upper middle income", "Lower middle income"]),
+                rng.gen_range(100_000..1_400_000_000u64),
+                rng.gen_range(1_000..25_000_000u64),
+                rng.gen_range(1..13u8),
+                rng.gen_range(1..29u8),
+                word(&mut rng, 8),
+                word(&mut rng, 7),
+                country.to_lowercase(),
+                digits(&mut rng, 11),
+                indicators.join(","),
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_len(records: &[Vec<u8>]) -> f64 {
+        records.iter().map(|r| r.len()).sum::<usize>() as f64 / records.len() as f64
+    }
+
+    #[test]
+    fn json_records_parse_with_the_json_substrate_grammar() {
+        // Cheap structural sanity without depending on pbc-json: balanced
+        // braces/brackets and quotes.
+        for gen in [github, cities, unece] {
+            for rec in gen(20, 3) {
+                let s = String::from_utf8(rec).unwrap();
+                assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");
+                assert_eq!(s.matches('[').count(), s.matches(']').count());
+                assert_eq!(s.matches('"').count() % 2, 0);
+                assert!(s.starts_with('{') && s.ends_with('}'));
+            }
+        }
+    }
+
+    #[test]
+    fn average_lengths_track_table2() {
+        assert!((avg_len(&github(100, 1)) - 863.8).abs() < 220.0, "github {}", avg_len(&github(100, 1)));
+        assert!((avg_len(&cities(200, 1)) - 232.2).abs() < 60.0, "cities {}", avg_len(&cities(200, 1)));
+        assert!((avg_len(&unece(40, 1)) - 4494.8).abs() < 1200.0, "unece {}", avg_len(&unece(40, 1)));
+    }
+
+    #[test]
+    fn records_share_keys_but_not_values() {
+        let a = String::from_utf8(github(2, 5)[0].clone()).unwrap();
+        let b = String::from_utf8(github(2, 5)[1].clone()).unwrap();
+        assert!(a.contains("\"payload\"") && b.contains("\"payload\""));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! The dataset registry: every Table 2 dataset behind one enum.
+
+use crate::{json, kv, logs, web};
+
+/// Dataset family, used by the harness to decide which specialised
+/// baselines apply (LogReducer only on logs, Ion/BinPack only on JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Production key-value records (KV1–KV5).
+    KeyValue,
+    /// System / application logs.
+    Log,
+    /// JSON documents.
+    Json,
+    /// Capacity-boundary datasets (urls, uuid).
+    Boundary,
+}
+
+/// One of the paper's 16 evaluation datasets (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Dataset {
+    Kv1,
+    Kv2,
+    Kv3,
+    Kv4,
+    Kv5,
+    Android,
+    Apache,
+    Bgl,
+    Hdfs,
+    Hadoop,
+    AliLogs,
+    Github,
+    Cities,
+    Unece,
+    Urls,
+    Uuid,
+}
+
+impl Dataset {
+    /// All datasets in the order of Table 2.
+    pub fn all() -> [Dataset; 16] {
+        use Dataset::*;
+        [
+            Kv1, Kv2, Kv3, Kv4, Kv5, Android, Apache, Bgl, Hdfs, Hadoop, AliLogs, Github, Cities,
+            Unece, Urls, Uuid,
+        ]
+    }
+
+    /// Lowercase name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Kv1 => "kv1",
+            Dataset::Kv2 => "kv2",
+            Dataset::Kv3 => "kv3",
+            Dataset::Kv4 => "kv4",
+            Dataset::Kv5 => "kv5",
+            Dataset::Android => "android",
+            Dataset::Apache => "apache",
+            Dataset::Bgl => "bgl",
+            Dataset::Hdfs => "hdfs",
+            Dataset::Hadoop => "hadoop",
+            Dataset::AliLogs => "alilogs",
+            Dataset::Github => "github",
+            Dataset::Cities => "cities",
+            Dataset::Unece => "unece",
+            Dataset::Urls => "urls",
+            Dataset::Uuid => "uuid",
+        }
+    }
+
+    /// Look a dataset up by its [`Dataset::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        let lower = name.to_ascii_lowercase();
+        Dataset::all().into_iter().find(|d| d.name() == lower)
+    }
+
+    /// Dataset family.
+    pub fn kind(&self) -> DatasetKind {
+        match self {
+            Dataset::Kv1 | Dataset::Kv2 | Dataset::Kv3 | Dataset::Kv4 | Dataset::Kv5 => {
+                DatasetKind::KeyValue
+            }
+            Dataset::Android
+            | Dataset::Apache
+            | Dataset::Bgl
+            | Dataset::Hdfs
+            | Dataset::Hadoop
+            | Dataset::AliLogs => DatasetKind::Log,
+            Dataset::Github | Dataset::Cities | Dataset::Unece => DatasetKind::Json,
+            Dataset::Urls | Dataset::Uuid => DatasetKind::Boundary,
+        }
+    }
+
+    /// Average record length reported in the paper's Table 2 (bytes).
+    pub fn paper_avg_len(&self) -> f64 {
+        match self {
+            Dataset::Kv1 => 71.5,
+            Dataset::Kv2 => 158.6,
+            Dataset::Kv3 => 90.6,
+            Dataset::Kv4 => 44.1,
+            Dataset::Kv5 => 53.1,
+            Dataset::Android => 129.7,
+            Dataset::Apache => 63.9,
+            Dataset::Bgl => 164.1,
+            Dataset::Hdfs => 141.2,
+            Dataset::Hadoop => 266.9,
+            Dataset::AliLogs => 299.2,
+            Dataset::Github => 863.8,
+            Dataset::Cities => 232.2,
+            Dataset::Unece => 4494.8,
+            Dataset::Urls => 63.1,
+            Dataset::Uuid => 35.6,
+        }
+    }
+
+    /// Record count reported in the paper's Table 2 (for documentation; the
+    /// harness uses [`Dataset::default_count`]).
+    pub fn paper_record_count(&self) -> &'static str {
+        match self {
+            Dataset::Kv1 => "33.1B",
+            Dataset::Kv2 => "20.9B",
+            Dataset::Kv3 => "2.86M",
+            Dataset::Kv4 => "418K",
+            Dataset::Kv5 => "2.68M",
+            Dataset::Android => "1.55M",
+            Dataset::Apache => "56.5K",
+            Dataset::Bgl => "4.75M",
+            Dataset::Hdfs => "11.2M",
+            Dataset::Hadoop => "2.61M",
+            Dataset::AliLogs => "350K",
+            Dataset::Github => "8.6K",
+            Dataset::Cities => "148K",
+            Dataset::Unece => "0.81K",
+            Dataset::Urls => "100K",
+            Dataset::Uuid => "100K",
+        }
+    }
+
+    /// Laptop-scale record count used by the benchmark harness by default,
+    /// sized so every dataset yields a few MB of raw data at most.
+    pub fn default_count(&self) -> usize {
+        match self.kind() {
+            DatasetKind::KeyValue => 8_000,
+            DatasetKind::Log => 6_000,
+            DatasetKind::Json => match self {
+                Dataset::Unece => 400,
+                Dataset::Github => 1_500,
+                _ => 5_000,
+            },
+            DatasetKind::Boundary => 8_000,
+        }
+    }
+
+    /// Generate `count` records with the given seed.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<Vec<u8>> {
+        match self {
+            Dataset::Kv1 => kv::kv1(count, seed),
+            Dataset::Kv2 => kv::kv2(count, seed),
+            Dataset::Kv3 => kv::kv3(count, seed),
+            Dataset::Kv4 => kv::kv4(count, seed),
+            Dataset::Kv5 => kv::kv5(count, seed),
+            Dataset::Android => logs::android(count, seed),
+            Dataset::Apache => logs::apache(count, seed),
+            Dataset::Bgl => logs::bgl(count, seed),
+            Dataset::Hdfs => logs::hdfs(count, seed),
+            Dataset::Hadoop => logs::hadoop(count, seed),
+            Dataset::AliLogs => logs::alilogs(count, seed),
+            Dataset::Github => json::github(count, seed),
+            Dataset::Cities => json::cities(count, seed),
+            Dataset::Unece => json::unece(count, seed),
+            Dataset::Urls => web::urls(count, seed),
+            Dataset::Uuid => web::uuid(count, seed),
+        }
+    }
+
+    /// Generate the default laptop-scale corpus.
+    pub fn generate_default(&self, seed: u64) -> Vec<Vec<u8>> {
+        self.generate(self.default_count(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_sixteen_datasets() {
+        assert_eq!(Dataset::all().len(), 16);
+        let names: std::collections::HashSet<&str> =
+            Dataset::all().iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn from_name_roundtrips_and_is_case_insensitive() {
+        for d in Dataset::all() {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+            assert_eq!(Dataset::from_name(&d.name().to_uppercase()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn kinds_partition_the_datasets() {
+        let kv = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::KeyValue).count();
+        let logs = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::Log).count();
+        let json = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::Json).count();
+        let boundary = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::Boundary).count();
+        assert_eq!((kv, logs, json, boundary), (5, 6, 3, 2));
+    }
+
+    #[test]
+    fn default_counts_are_laptop_scale() {
+        for d in Dataset::all() {
+            let bytes = d.default_count() as f64 * d.paper_avg_len();
+            assert!(bytes < 8.0 * 1024.0 * 1024.0, "{} would be {} bytes", d.name(), bytes);
+            assert!(d.default_count() >= 400);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Generators for the capacity-boundary datasets: `urls` and `uuid`.
+//!
+//! The paper includes these two FSST datasets to probe the limits of
+//! pattern-based compression: URLs still carry shared structure
+//! (scheme/host/path skeletons), while UUIDs are essentially random hex and
+//! share almost nothing — PBC's worst case (Table 4's smallest win).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kv::{hex, pick, word};
+
+/// `urls` (paper avg. 63.1 bytes): web URLs with a handful of host skeletons.
+pub fn urls(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7765_0001);
+    let hosts = [
+        "https://www.wikipedia.org/wiki",
+        "https://news.example.com/articles",
+        "https://shop.example.net/p",
+        "http://cdn.static-host.com/assets",
+    ];
+    (0..count)
+        .map(|_| {
+            let host = pick(&mut rng, &hosts);
+            match rng.gen_range(0..3u8) {
+                0 => format!("{}/{}_{}", host, word(&mut rng, 8), word(&mut rng, 6)),
+                1 => format!(
+                    "{}/{}/{}?id={}&ref={}",
+                    host,
+                    word(&mut rng, 6),
+                    word(&mut rng, 9),
+                    rng.gen_range(1000..999_999u32),
+                    word(&mut rng, 4)
+                ),
+                _ => format!("{}/{}/{}.html", host, rng.gen_range(2010..2024u32), word(&mut rng, 10)),
+            }
+            .into_bytes()
+        })
+        .collect()
+}
+
+/// `uuid` (paper avg. 35.6 bytes): random version-4 UUID strings.
+pub fn uuid(count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7765_0002);
+    (0..count)
+        .map(|_| {
+            format!(
+                "{}-{}-4{}-{}{}-{}",
+                hex(&mut rng, 8),
+                hex(&mut rng, 4),
+                hex(&mut rng, 3),
+                pick(&mut rng, &["8", "9", "a", "b"]),
+                hex(&mut rng, 3),
+                hex(&mut rng, 12)
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uuids_have_canonical_shape() {
+        for rec in uuid(100, 1) {
+            let s = String::from_utf8(rec).unwrap();
+            assert_eq!(s.len(), 36);
+            let parts: Vec<&str> = s.split('-').collect();
+            assert_eq!(parts.len(), 5);
+            assert_eq!(parts[2].chars().next(), Some('4'), "version nibble");
+            assert!(s.chars().all(|c| c.is_ascii_hexdigit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn urls_have_expected_shape_and_length() {
+        let records = urls(300, 2);
+        let avg: f64 = records.iter().map(|r| r.len()).sum::<usize>() as f64 / records.len() as f64;
+        assert!((avg - 63.1).abs() < 20.0, "avg {avg}");
+        for rec in &records {
+            let s = String::from_utf8(rec.clone()).unwrap();
+            assert!(s.starts_with("http"), "{s}");
+        }
+    }
+
+    #[test]
+    fn uuids_are_nearly_incompressible_across_records() {
+        // Distinct UUIDs share only the dashes and version nibble.
+        let records = uuid(50, 3);
+        let unique: std::collections::HashSet<&Vec<u8>> = records.iter().collect();
+        assert_eq!(unique.len(), records.len());
+    }
+}

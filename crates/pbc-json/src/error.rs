@@ -1,0 +1,91 @@
+//! Error types for JSON parsing and binary (de)serialisation.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+/// Errors produced by the JSON parser and the binary codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Text could not be parsed as JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Description of what was expected.
+        message: String,
+    },
+    /// A binary payload was truncated or structurally invalid.
+    Corrupt {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A document does not conform to the schema it is being encoded or
+    /// decoded against.
+    SchemaMismatch {
+        /// Description of the mismatch.
+        message: String,
+    },
+}
+
+impl JsonError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        JsonError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for corrupt-payload errors.
+    pub fn corrupt(message: impl Into<String>) -> Self {
+        JsonError::Corrupt {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for schema mismatches.
+    pub fn schema(message: impl Into<String>) -> Self {
+        JsonError::SchemaMismatch {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            JsonError::Corrupt { message } => write!(f, "corrupt binary JSON payload: {message}"),
+            JsonError::SchemaMismatch { message } => write!(f, "schema mismatch: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<pbc_codecs::CodecError> for JsonError {
+    fn from(e: pbc_codecs::CodecError) -> Self {
+        JsonError::corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(JsonError::parse(12, "expected ':'").to_string().contains("12"));
+        assert!(JsonError::corrupt("bad tag").to_string().contains("bad tag"));
+        assert!(JsonError::schema("missing field").to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn codec_errors_convert() {
+        let e: JsonError = pbc_codecs::CodecError::MissingDictionary.into();
+        assert!(matches!(e, JsonError::Corrupt { .. }));
+    }
+}

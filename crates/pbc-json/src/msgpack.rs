@@ -1,0 +1,232 @@
+//! MessagePack-style binary JSON encoding.
+//!
+//! Included as an additional space-efficiency reference point (MessagePack
+//! is the serialisation the paper notes Redis deployments commonly use).
+//! The format follows MessagePack's core ideas — fixint/fixstr/fixmap
+//! headers for small values, explicit typed headers otherwise — without
+//! aiming for wire compatibility.
+
+use pbc_codecs::varint;
+
+use crate::error::{JsonError, Result};
+use crate::value::{JsonValue, Number};
+
+/// Encoder/decoder for the MessagePack-like format.
+#[derive(Debug, Clone, Default)]
+pub struct MsgPackCodec;
+
+mod tag {
+    /// 0x00..=0x7f : positive fixint (value itself)
+    pub const NIL: u8 = 0xc0;
+    pub const FALSE: u8 = 0xc2;
+    pub const TRUE: u8 = 0xc3;
+    pub const INT64: u8 = 0xd3;
+    pub const FLOAT64: u8 = 0xcb;
+    pub const STR: u8 = 0xdb;
+    pub const ARRAY: u8 = 0xdd;
+    pub const MAP: u8 = 0xdf;
+    /// 0xa0..=0xbf : fixstr (length in low 5 bits)
+    pub const FIXSTR_BASE: u8 = 0xa0;
+    pub const FIXSTR_MAX: usize = 31;
+}
+
+impl MsgPackCodec {
+    /// Create the codec.
+    pub fn new() -> Self {
+        MsgPackCodec
+    }
+
+    /// Encode one JSON document.
+    pub fn encode(&self, value: &JsonValue) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_value(value, &mut out);
+        out
+    }
+
+    /// Decode a document produced by [`MsgPackCodec::encode`].
+    pub fn decode(&self, input: &[u8]) -> Result<JsonValue> {
+        let (v, pos) = decode_value(input, 0, 0)?;
+        if pos != input.len() {
+            return Err(JsonError::corrupt("trailing bytes after document"));
+        }
+        Ok(v)
+    }
+}
+
+fn encode_value(value: &JsonValue, out: &mut Vec<u8>) {
+    match value {
+        JsonValue::Null => out.push(tag::NIL),
+        JsonValue::Bool(false) => out.push(tag::FALSE),
+        JsonValue::Bool(true) => out.push(tag::TRUE),
+        JsonValue::Number(Number::Int(i)) => {
+            if (0..=0x7f).contains(i) {
+                out.push(*i as u8);
+            } else {
+                out.push(tag::INT64);
+                varint::write_i64(out, *i);
+            }
+        }
+        JsonValue::Number(Number::Float(f)) => {
+            out.push(tag::FLOAT64);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        JsonValue::String(s) => encode_str(s, out),
+        JsonValue::Array(items) => {
+            out.push(tag::ARRAY);
+            varint::write_usize(out, items.len());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        JsonValue::Object(members) => {
+            out.push(tag::MAP);
+            varint::write_usize(out, members.len());
+            for (k, v) in members {
+                encode_str(k, out);
+                encode_value(v, out);
+            }
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    if s.len() <= tag::FIXSTR_MAX {
+        out.push(tag::FIXSTR_BASE | s.len() as u8);
+    } else {
+        out.push(tag::STR);
+        varint::write_usize(out, s.len());
+    }
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(input: &[u8], pos: usize) -> Result<(String, usize)> {
+    let t = *input
+        .get(pos)
+        .ok_or_else(|| JsonError::corrupt("missing string header"))?;
+    let (len, pos) = if (tag::FIXSTR_BASE..=tag::FIXSTR_BASE + 31).contains(&t) {
+        ((t & 0x1f) as usize, pos + 1)
+    } else if t == tag::STR {
+        varint::read_usize(input, pos + 1)?
+    } else {
+        return Err(JsonError::corrupt("expected string header"));
+    };
+    if pos + len > input.len() {
+        return Err(JsonError::corrupt("truncated string"));
+    }
+    let s = std::str::from_utf8(&input[pos..pos + len])
+        .map_err(|_| JsonError::corrupt("invalid UTF-8"))?
+        .to_string();
+    Ok((s, pos + len))
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn decode_value(input: &[u8], pos: usize, depth: usize) -> Result<(JsonValue, usize)> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::corrupt("nesting too deep"));
+    }
+    let t = *input
+        .get(pos)
+        .ok_or_else(|| JsonError::corrupt("missing value header"))?;
+    match t {
+        0x00..=0x7f => Ok((JsonValue::Number(Number::Int(i64::from(t))), pos + 1)),
+        tag::NIL => Ok((JsonValue::Null, pos + 1)),
+        tag::FALSE => Ok((JsonValue::Bool(false), pos + 1)),
+        tag::TRUE => Ok((JsonValue::Bool(true), pos + 1)),
+        tag::INT64 => {
+            let (v, pos) = varint::read_i64(input, pos + 1)?;
+            Ok((JsonValue::Number(Number::Int(v)), pos))
+        }
+        tag::FLOAT64 => {
+            let pos = pos + 1;
+            if pos + 8 > input.len() {
+                return Err(JsonError::corrupt("truncated float"));
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&input[pos..pos + 8]);
+            Ok((JsonValue::Number(Number::Float(f64::from_le_bytes(b))), pos + 8))
+        }
+        tag::ARRAY => {
+            let (count, mut pos) = varint::read_usize(input, pos + 1)?;
+            if count > input.len() {
+                return Err(JsonError::corrupt("implausible array length"));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (v, p) = decode_value(input, pos, depth + 1)?;
+                items.push(v);
+                pos = p;
+            }
+            Ok((JsonValue::Array(items), pos))
+        }
+        tag::MAP => {
+            let (count, mut pos) = varint::read_usize(input, pos + 1)?;
+            if count > input.len() {
+                return Err(JsonError::corrupt("implausible map length"));
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (k, p) = decode_str(input, pos)?;
+                let (v, p) = decode_value(input, p, depth + 1)?;
+                members.push((k, v));
+                pos = p;
+            }
+            Ok((JsonValue::Object(members), pos))
+        }
+        _ if (tag::FIXSTR_BASE..=tag::FIXSTR_BASE + 31).contains(&t) || t == tag::STR => {
+            let (s, pos) = decode_str(input, pos)?;
+            Ok((JsonValue::String(s), pos))
+        }
+        other => Err(JsonError::corrupt(format!("unknown header byte {other:#x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(text: &str) -> usize {
+        let codec = MsgPackCodec::new();
+        let doc = parse(text).unwrap();
+        let enc = codec.encode(&doc);
+        assert_eq!(codec.decode(&enc).unwrap(), doc, "roundtrip of {text}");
+        enc.len()
+    }
+
+    #[test]
+    fn roundtrips_documents() {
+        roundtrip("null");
+        roundtrip("127");
+        roundtrip("-1");
+        roundtrip("123456789012");
+        roundtrip("0.125");
+        roundtrip(r#""short""#);
+        roundtrip(&format!("\"{}\"", "x".repeat(100)));
+        roundtrip(r#"{"a": [1, {"b": null}], "c": true}"#);
+    }
+
+    #[test]
+    fn small_ints_and_short_strings_are_one_header_byte() {
+        let codec = MsgPackCodec::new();
+        assert_eq!(codec.encode(&JsonValue::from(5i64)).len(), 1);
+        assert_eq!(codec.encode(&JsonValue::from("abc")).len(), 4);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let text = r#"{"event":"page_view","user_id":88421,"duration_ms":132,"ok":true}"#;
+        assert!(roundtrip(text) < text.len());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        let codec = MsgPackCodec::new();
+        assert!(codec.decode(&[]).is_err());
+        assert!(codec.decode(&[0xc1]).is_err());
+        assert!(codec.decode(&[tag::STR, 5, b'a']).is_err());
+        let mut enc = codec.encode(&parse(r#"[1,2,3]"#).unwrap());
+        enc.push(1);
+        assert!(codec.decode(&enc).is_err());
+    }
+}

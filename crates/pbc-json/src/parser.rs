@@ -1,0 +1,357 @@
+//! A small recursive-descent JSON parser.
+//!
+//! Supports the full JSON grammar (objects, arrays, strings with escapes and
+//! `\uXXXX` sequences, numbers, booleans, null). Member order of objects is
+//! preserved. Numbers without fraction/exponent that fit an `i64` are kept
+//! exact; everything else becomes `f64`.
+
+use crate::error::{JsonError, Result};
+use crate::value::{JsonValue, Number};
+
+/// Parse a complete JSON document, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<JsonValue> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::parse(p.pos, "trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::parse(
+                self.pos,
+                format!("expected '{}'", byte as char),
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(JsonError::parse(
+                self.pos,
+                format!("unexpected character '{}'", c as char),
+            )),
+            None => Err(JsonError::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(JsonError::parse(self.pos, format!("expected '{keyword}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(members)),
+                _ => return Err(JsonError::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                _ => return Err(JsonError::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        // Handle surrogate pairs.
+                        let ch = if (0xD800..0xDC00).contains(&code) {
+                            if self.peek() == Some(b'\\') {
+                                self.pos += 1;
+                                if self.bump() != Some(b'u') {
+                                    return Err(JsonError::parse(self.pos, "expected low surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(ch.unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(JsonError::parse(self.pos, "invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::parse(self.pos, "control character in string"))
+                }
+                Some(b) => {
+                    // Re-assemble UTF-8 multi-byte sequences verbatim.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = (start + width).min(self.bytes.len());
+                        match std::str::from_utf8(&self.bytes[start..end]) {
+                            Ok(s) => {
+                                out.push_str(s);
+                                self.pos = end;
+                            }
+                            Err(_) => out.push('\u{FFFD}'),
+                        }
+                    }
+                }
+                None => return Err(JsonError::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| JsonError::parse(self.pos, "truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| JsonError::parse(self.pos, "invalid hex digit"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::parse(start, "invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(JsonError::parse(start, "invalid number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Number(Number::Int(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| JsonValue::Number(Number::Float(f)))
+            .map_err(|_| JsonError::parse(start, "invalid number"))
+    }
+}
+
+/// Width in bytes of a UTF-8 sequence starting with `lead`.
+fn utf8_width(lead: u8) -> usize {
+    if lead >= 0xF0 {
+        4
+    } else if lead >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::to_string;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Number(Number::Int(42)));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Number(Number::Int(-7)));
+        assert_eq!(parse("1.5").unwrap(), JsonValue::Number(Number::Float(1.5)));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Number(Number::Float(1000.0)));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::from("hi"));
+    }
+
+    #[test]
+    fn parses_nested_documents_preserving_order() {
+        let doc = parse(
+            r#"{"symbol": "IBM", "side": "B", "quantity": 100, "price": 50.25, "nested": {"a": [1, 2, 3], "b": null}}"#,
+        )
+        .unwrap();
+        if let JsonValue::Object(members) = &doc {
+            let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, vec!["symbol", "side", "quantity", "price", "nested"]);
+        } else {
+            panic!("expected object");
+        }
+        assert_eq!(doc.get("quantity").and_then(JsonValue::as_i64), Some(100));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let doc = parse(r#""line\nbreak \t tab \"quoted\" \\ slash é 😀""#).unwrap();
+        let s = doc.as_str().unwrap();
+        assert!(s.contains('\n'));
+        assert!(s.contains('\t'));
+        assert!(s.contains("\"quoted\""));
+        assert!(s.contains('é'));
+        assert!(s.contains('😀'));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let doc = parse(r#"{"city": "São Paulo", "国": "日本"}"#).unwrap();
+        assert_eq!(doc.get("city").and_then(JsonValue::as_str), Some("São Paulo"));
+        assert_eq!(doc.get("国").and_then(JsonValue::as_str), Some("日本"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "{\"a\": 1} extra",
+            "-",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_write_roundtrip_is_stable() {
+        let sources = [
+            r#"{"a":1,"b":[true,null,"x"],"c":{"d":2.5}}"#,
+            r#"[{"id":1},{"id":2}]"#,
+            r#"{"empty_obj":{},"empty_arr":[]}"#,
+        ];
+        for src in sources {
+            let v1 = parse(src).unwrap();
+            let text = to_string(&v1);
+            let v2 = parse(&text).unwrap();
+            assert_eq!(v1, v2, "roundtrip of {src}");
+        }
+    }
+
+    #[test]
+    fn large_integers_and_floats() {
+        assert_eq!(
+            parse("9223372036854775807").unwrap(),
+            JsonValue::Number(Number::Int(i64::MAX))
+        );
+        // Too big for i64 → parsed as float.
+        assert!(matches!(
+            parse("92233720368547758080").unwrap(),
+            JsonValue::Number(Number::Float(_))
+        ));
+    }
+}

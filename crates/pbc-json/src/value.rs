@@ -1,0 +1,158 @@
+//! The JSON document model.
+
+use std::fmt;
+
+/// A JSON number: either an exact 64-bit integer or a double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integer without a fractional part or exponent.
+    Int(i64),
+    /// Any other numeric literal.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON value. Object member order is preserved (machine-generated JSON
+/// is emitted with a fixed key order, and preserving it matters both for
+/// byte-exact round-trips and for the structural redundancy PBC exploits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Numeric literal.
+    Number(Number),
+    /// String literal.
+    String(String),
+    /// Array of values.
+    Array(Vec<JsonValue>),
+    /// Object with ordered members.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup for objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is a container (array or object).
+    pub fn is_container(&self) -> bool {
+        matches!(self, JsonValue::Array(_) | JsonValue::Object(_))
+    }
+
+    /// Short name of the value's type, used in error messages and schema
+    /// inference.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(Number::Int(_)) => "int",
+            JsonValue::Number(Number::Float(_)) => "float",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::writer::to_string(self))
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Number(Number::Int(v))
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(Number::Float(v))
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_string())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let doc = JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::from("unece")),
+            ("code".to_string(), JsonValue::from(42i64)),
+            ("ratio".to_string(), JsonValue::from(0.5)),
+        ]);
+        assert_eq!(doc.get("name").and_then(JsonValue::as_str), Some("unece"));
+        assert_eq!(doc.get("code").and_then(JsonValue::as_i64), Some(42));
+        assert_eq!(doc.get("missing"), None);
+        assert!(doc.is_container());
+        assert_eq!(doc.type_name(), "object");
+    }
+
+    #[test]
+    fn number_conversions() {
+        assert_eq!(Number::Int(7).as_f64(), 7.0);
+        assert_eq!(Number::Int(7).as_i64(), Some(7));
+        assert_eq!(Number::Float(1.5).as_i64(), None);
+    }
+
+    #[test]
+    fn from_impls_produce_expected_variants() {
+        assert_eq!(JsonValue::from(true), JsonValue::Bool(true));
+        assert_eq!(JsonValue::from(3i64).type_name(), "int");
+        assert_eq!(JsonValue::from(3.5).type_name(), "float");
+        assert_eq!(JsonValue::from("x").type_name(), "string");
+    }
+}

@@ -1,0 +1,129 @@
+//! JSON serialisation (the inverse of [`crate::parser`]).
+
+use crate::value::{JsonValue, Number};
+
+/// Serialize a value to compact JSON text.
+pub fn to_string(value: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Number(Number::Int(i)) => out.push_str(&i.to_string()),
+        JsonValue::Number(Number::Float(f)) => {
+            if f.is_finite() {
+                out.push_str(&format_float(*f));
+            } else {
+                // JSON has no representation for NaN/inf; emit null like most
+                // serializers do.
+                out.push_str("null");
+            }
+        }
+        JsonValue::String(s) => write_string(s, out),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(members) => {
+            out.push('{');
+            for (i, (key, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Format a float so that it round-trips through the parser.
+fn format_float(f: f64) -> String {
+    let s = format!("{f}");
+    // Ensure the text re-parses as a float, not an integer, so the value's
+    // type survives a round trip.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn writes_compact_json() {
+        let doc = JsonValue::Object(vec![
+            ("a".to_string(), JsonValue::from(1i64)),
+            ("b".to_string(), JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null])),
+        ]);
+        assert_eq!(to_string(&doc), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn escapes_are_emitted() {
+        let doc = JsonValue::from("line\nquote\" tab\t\u{0001}");
+        let text = to_string(&doc);
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\t"));
+        assert!(text.contains("\\u0001"));
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn floats_round_trip_with_type_preserved() {
+        for f in [0.5, -3.25, 1e20, 2.0] {
+            let doc = JsonValue::from(f);
+            let text = to_string(&doc);
+            let back = parse(&text).unwrap();
+            assert_eq!(back, doc, "text was {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&JsonValue::from(f64::NAN)), "null");
+        assert_eq!(to_string(&JsonValue::from(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn display_impl_matches_to_string() {
+        let doc = parse(r#"{"x":[1,2,3]}"#).unwrap();
+        assert_eq!(format!("{doc}"), to_string(&doc));
+    }
+}

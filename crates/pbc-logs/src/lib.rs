@@ -1,0 +1,28 @@
+//! # pbc-logs — log substrate and the LogReducer-like baseline
+//!
+//! The PBC paper compares against LogReducer (Wei et al., FAST 2021), a
+//! parser-based log compressor (Table 5). This crate provides the substrate
+//! needed to reproduce that comparison without external dependencies:
+//!
+//! * [`template`] — tokenisation and log templates (constant tokens plus
+//!   `<*>` variable slots);
+//! * [`drain`] — a Drain-style online template miner (fixed-depth parse
+//!   tree, token-similarity threshold), the "log parser" LogReducer depends
+//!   on;
+//! * [`logreducer`] — a LogReducer-style corpus compressor: lines are parsed
+//!   into template ids + variables, timestamps are delta-encoded, numeric
+//!   variables are varint-encoded, the separated streams are compressed with
+//!   the heavy LZMA-like backend from `pbc-codecs`.
+//!
+//! Like the original, the compressor here is corpus-(block-)oriented and
+//! parser-dependent, which is exactly the contrast with PBC the paper draws:
+//! comparable ratio on logs, but no random access and no applicability to
+//! non-log data.
+
+pub mod drain;
+pub mod logreducer;
+pub mod template;
+
+pub use drain::{DrainConfig, DrainMiner};
+pub use logreducer::LogReducer;
+pub use template::{tokenize, Template, Token};

@@ -1,0 +1,202 @@
+//! Log tokenisation and templates.
+//!
+//! A log line is split into whitespace-delimited tokens; a template is the
+//! same token sequence with the varying positions replaced by `<*>`
+//! wildcards. This is the representation both the Drain-style miner and the
+//! LogReducer-style compressor operate on.
+
+/// One token of a template: either a constant string or a variable slot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Token {
+    /// A token identical across the lines of the template.
+    Constant(String),
+    /// A varying token (`<*>`).
+    Variable,
+}
+
+/// Split a log line into whitespace-delimited tokens, preserving the exact
+/// separator layout by splitting on single spaces (runs of spaces produce
+/// empty tokens, so the original line can be reconstructed).
+pub fn tokenize(line: &str) -> Vec<&str> {
+    line.split(' ').collect()
+}
+
+/// A mined log template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// The token sequence.
+    pub tokens: Vec<Token>,
+}
+
+impl Template {
+    /// Build an all-constant template from a line's tokens.
+    pub fn from_tokens(tokens: &[&str]) -> Self {
+        Template {
+            tokens: tokens
+                .iter()
+                .map(|t| Token::Constant((*t).to_string()))
+                .collect(),
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the template has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of constant tokens.
+    pub fn constant_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Constant(_)))
+            .count()
+    }
+
+    /// Similarity to a tokenised line: the fraction of positions whose
+    /// constant token matches (Drain's `simSeq`). Returns 0 for length
+    /// mismatches.
+    pub fn similarity(&self, tokens: &[&str]) -> f64 {
+        if tokens.len() != self.tokens.len() || self.tokens.is_empty() {
+            return 0.0;
+        }
+        let matching = self
+            .tokens
+            .iter()
+            .zip(tokens.iter())
+            .filter(|(t, s)| matches!(t, Token::Constant(c) if c == *s))
+            .count();
+        matching as f64 / self.tokens.len() as f64
+    }
+
+    /// Merge a new line into the template: positions whose constant differs
+    /// become variables. Panics if the token counts differ (callers group by
+    /// token count first).
+    pub fn absorb(&mut self, tokens: &[&str]) {
+        assert_eq!(tokens.len(), self.tokens.len(), "token count mismatch");
+        for (slot, tok) in self.tokens.iter_mut().zip(tokens.iter()) {
+            if let Token::Constant(c) = slot {
+                if c != tok {
+                    *slot = Token::Variable;
+                }
+            }
+        }
+    }
+
+    /// Extract the variable values of a line under this template. Returns
+    /// `None` if the line does not fit (length or constant mismatch).
+    pub fn extract<'a>(&self, tokens: &[&'a str]) -> Option<Vec<&'a str>> {
+        if tokens.len() != self.tokens.len() {
+            return None;
+        }
+        let mut vars = Vec::new();
+        for (slot, tok) in self.tokens.iter().zip(tokens.iter()) {
+            match slot {
+                Token::Constant(c) => {
+                    if c != tok {
+                        return None;
+                    }
+                }
+                Token::Variable => vars.push(*tok),
+            }
+        }
+        Some(vars)
+    }
+
+    /// Reconstruct a line from variable values (inverse of
+    /// [`Template::extract`]).
+    pub fn reconstruct(&self, vars: &[&str]) -> String {
+        let mut out = String::new();
+        let mut vi = 0;
+        for (i, slot) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match slot {
+                Token::Constant(c) => out.push_str(c),
+                Token::Variable => {
+                    out.push_str(vars[vi]);
+                    vi += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of variable slots.
+    pub fn variable_count(&self) -> usize {
+        self.len() - self.constant_count()
+    }
+
+    /// Display form, e.g. `Received block <*> of size <*>`.
+    pub fn display(&self) -> String {
+        self.tokens
+            .iter()
+            .map(|t| match t {
+                Token::Constant(c) => c.as_str(),
+                Token::Variable => "<*>",
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_preserves_layout() {
+        let line = "INFO  double space and trailing ";
+        let tokens = tokenize(line);
+        assert_eq!(tokens.join(" "), line);
+    }
+
+    #[test]
+    fn absorb_turns_differences_into_variables() {
+        let a = tokenize("Received block blk_1 of size 67108864");
+        let b = tokenize("Received block blk_2 of size 1048576");
+        let mut t = Template::from_tokens(&a);
+        t.absorb(&b);
+        assert_eq!(t.display(), "Received block <*> of size <*>");
+        assert_eq!(t.constant_count(), 4);
+        assert_eq!(t.variable_count(), 2);
+    }
+
+    #[test]
+    fn extract_and_reconstruct_are_inverse() {
+        let mut t = Template::from_tokens(&tokenize("user alice logged in from 10.0.0.1"));
+        t.absorb(&tokenize("user bob logged in from 10.0.0.7"));
+        let line = "user carol logged in from 192.168.1.9";
+        let vars = t.extract(&tokenize(line)).expect("line fits template");
+        assert_eq!(vars, vec!["carol", "192.168.1.9"]);
+        assert_eq!(t.reconstruct(&vars), line);
+    }
+
+    #[test]
+    fn extract_rejects_mismatched_lines() {
+        let t = Template::from_tokens(&tokenize("a b c"));
+        assert!(t.extract(&tokenize("a b")).is_none());
+        assert!(t.extract(&tokenize("a x c")).is_none());
+        assert!(t.extract(&tokenize("a b c")).is_some());
+    }
+
+    #[test]
+    fn similarity_counts_matching_constants() {
+        let t = Template::from_tokens(&tokenize("GET /index.html 200"));
+        assert!((t.similarity(&tokenize("GET /index.html 200")) - 1.0).abs() < 1e-12);
+        assert!((t.similarity(&tokenize("GET /other.html 200")) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.similarity(&tokenize("GET /index.html")), 0.0);
+    }
+
+    #[test]
+    fn empty_template_is_harmless() {
+        let t = Template::from_tokens(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.similarity(&[]), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The sharded in-memory key-value store.
+//!
+//! A deliberately small model of TierBase's storage engine: keys are hashed
+//! onto a fixed number of shards, each protected by a `parking_lot` RwLock,
+//! and values pass through the configured [`ValueCodec`] on SET/GET. Memory
+//! accounting counts stored key and value bytes, which is what Table 8's
+//! "Memory Usage (%)" compares across codecs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::engine::{StoreError, ValueCodec};
+
+/// Number of shards (power of two).
+const SHARDS: usize = 16;
+
+/// A TierBase-like sharded key-value store with value compression.
+pub struct TierStore {
+    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<u8>>>>,
+    codec: ValueCodec,
+    stored_value_bytes: AtomicU64,
+    stored_key_bytes: AtomicU64,
+    raw_value_bytes: AtomicU64,
+}
+
+impl TierStore {
+    /// Create a store with the given value codec.
+    pub fn new(codec: ValueCodec) -> Self {
+        TierStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            codec,
+            stored_value_bytes: AtomicU64::new(0),
+            stored_key_bytes: AtomicU64::new(0),
+            raw_value_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The codec this store was configured with.
+    pub fn codec(&self) -> &ValueCodec {
+        &self.codec
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    }
+
+    /// Store a value under a key (Redis `SET`). Returns the stored
+    /// (compressed) size in bytes.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> usize {
+        let encoded = self.codec.encode(value);
+        let encoded_len = encoded.len();
+        let mut shard = self.shards[self.shard_of(key)].write();
+        let previous = shard.insert(key.to_vec(), encoded);
+        drop(shard);
+        match previous {
+            Some(old) => {
+                // Replace: adjust value accounting only.
+                self.stored_value_bytes
+                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.stored_key_bytes
+                    .fetch_add(key.len() as u64, Ordering::Relaxed);
+            }
+        }
+        self.stored_value_bytes
+            .fetch_add(encoded_len as u64, Ordering::Relaxed);
+        self.raw_value_bytes
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        encoded_len
+    }
+
+    /// Fetch and decompress a value (Redis `GET`).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let shard = self.shards[self.shard_of(key)].read();
+        match shard.get(key) {
+            Some(stored) => {
+                let stored = stored.clone();
+                drop(shard);
+                self.codec.decode(&stored).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Remove a key. Returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let mut shard = self.shards[self.shard_of(key)].write();
+        match shard.remove(key) {
+            Some(old) => {
+                self.stored_value_bytes
+                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
+                self.stored_key_bytes
+                    .fetch_sub(key.len() as u64, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of stored (compressed) values plus keys — the store's data
+    /// memory footprint.
+    pub fn memory_usage_bytes(&self) -> u64 {
+        self.stored_value_bytes.load(Ordering::Relaxed)
+            + self.stored_key_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Memory usage relative to storing the same data uncompressed
+    /// (Table 8's "Memory Usage (%)", uncompressed = 100%).
+    pub fn memory_usage_ratio(&self) -> f64 {
+        let raw = self.raw_value_bytes.load(Ordering::Relaxed)
+            + self.stored_key_bytes.load(Ordering::Relaxed);
+        if raw == 0 {
+            return 1.0;
+        }
+        self.memory_usage_bytes() as f64 / raw as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbc_core::PbcConfig;
+
+    fn values(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                // Spread ids/timestamps over their digit range so a training
+                // prefix of the corpus is representative of the rest.
+                format!(
+                    "sess|{:016x}|uid={}|dev=android-13|ip=10.0.{}.{}|exp={}",
+                    (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    10_000_000 + (i * 9_700_417) % 89_999_999,
+                    i % 256,
+                    (i * 7) % 256,
+                    1_686_000_000 + (i * 86_413) % 9_999_999
+                )
+                .into_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn set_get_delete_roundtrip_uncompressed() {
+        let store = TierStore::new(ValueCodec::None);
+        let vals = values(100);
+        for (i, v) in vals.iter().enumerate() {
+            store.set(format!("key:{i}").as_bytes(), v);
+        }
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.get(b"key:42").unwrap().as_deref(), Some(vals[42].as_slice()));
+        assert_eq!(store.get(b"key:999").unwrap(), None);
+        assert!(store.delete(b"key:42"));
+        assert!(!store.delete(b"key:42"));
+        assert_eq!(store.get(b"key:42").unwrap(), None);
+        assert_eq!(store.len(), 99);
+    }
+
+    #[test]
+    fn pbc_codec_reduces_memory_usage() {
+        let vals = values(500);
+        let refs: Vec<&[u8]> = vals[..128].iter().map(|v| v.as_slice()).collect();
+        let compressed = TierStore::new(ValueCodec::train_pbc_f(&refs, &PbcConfig::small()));
+        let uncompressed = TierStore::new(ValueCodec::None);
+        for (i, v) in vals.iter().enumerate() {
+            let key = format!("user_session:{i:08}");
+            compressed.set(key.as_bytes(), v);
+            uncompressed.set(key.as_bytes(), v);
+        }
+        assert!(compressed.memory_usage_bytes() < uncompressed.memory_usage_bytes());
+        assert!(compressed.memory_usage_ratio() < 0.75);
+        assert!((uncompressed.memory_usage_ratio() - 1.0).abs() < 1e-9);
+        // Values read back identical.
+        for (i, v) in vals.iter().enumerate().step_by(37) {
+            let key = format!("user_session:{i:08}");
+            assert_eq!(compressed.get(key.as_bytes()).unwrap().as_deref(), Some(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn overwriting_a_key_updates_accounting() {
+        let store = TierStore::new(ValueCodec::None);
+        store.set(b"k", b"0123456789");
+        let after_first = store.memory_usage_bytes();
+        store.set(b"k", b"01234");
+        let after_second = store.memory_usage_bytes();
+        assert!(after_second < after_first);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(b"01234".as_slice()));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_are_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(TierStore::new(ValueCodec::None));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let key = format!("t{t}:k{i}");
+                    store.set(key.as_bytes(), format!("value-{t}-{i}").as_bytes());
+                    let got = store.get(key.as_bytes()).unwrap().unwrap();
+                    assert_eq!(got, format!("value-{t}-{i}").into_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 2000);
+    }
+
+    #[test]
+    fn empty_store_reports_neutral_ratio() {
+        let store = TierStore::new(ValueCodec::None);
+        assert!(store.is_empty());
+        assert_eq!(store.memory_usage_ratio(), 1.0);
+        assert_eq!(store.memory_usage_bytes(), 0);
+    }
+}

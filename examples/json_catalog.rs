@@ -1,0 +1,53 @@
+//! JSON-storage scenario (the paper's Tables 6–7): compare JSON-specialised
+//! binary serialisations (Ion-like, schema-driven BinPack-like) against PBC
+//! on a catalog of city documents.
+//!
+//! Run with: `cargo run --release --example json_catalog`
+
+use pbc::core::{PbcCompressor, PbcConfig};
+use pbc::datagen::Dataset;
+use pbc::json::{BinPackCodec, IonLikeCodec, JsonValue};
+
+fn main() {
+    let records = Dataset::Cities.generate(4_000, 5);
+    let docs: Vec<JsonValue> = records
+        .iter()
+        .map(|r| pbc::json::parse(std::str::from_utf8(r).unwrap()).expect("valid JSON"))
+        .collect();
+    let raw: usize = records.iter().map(|r| r.len()).sum();
+    println!("Corpus: {} JSON documents, {} bytes of text\n", docs.len(), raw);
+
+    // Ion-like: schema-less binary encoding.
+    let ion = IonLikeCodec::new();
+    let ion_total: usize = docs.iter().map(|d| ion.encode(d).len()).sum();
+
+    // BinPack-like: schema inferred from a sample, keys never serialized.
+    let sample_docs: Vec<&JsonValue> = docs.iter().take(200).collect();
+    let binpack = BinPackCodec::train(&sample_docs);
+    let bp_total: usize = docs.iter().map(|d| binpack.encode(d).len()).sum();
+
+    // PBC: no JSON knowledge at all, patterns mined from raw text.
+    let sample: Vec<&[u8]> = records.iter().step_by(16).take(250).map(|r| r.as_slice()).collect();
+    let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
+    let pbc_total: usize = records.iter().map(|r| pbc.compress(r).len()).sum();
+
+    println!("{:<22} {:>12} {:>8}", "method", "bytes", "ratio");
+    for (name, total) in [
+        ("JSON text", raw),
+        ("Ion-like (binary)", ion_total),
+        ("BinPack-like (schema)", bp_total),
+        ("PBC (pattern-based)", pbc_total),
+    ] {
+        println!("{:<22} {:>12} {:>8.3}", name, total, total as f64 / raw as f64);
+    }
+
+    // All three binary paths are lossless.
+    let doc_roundtrip = ion.decode(&ion.encode(&docs[7])).unwrap();
+    assert_eq!(doc_roundtrip, docs[7]);
+    assert_eq!(binpack.decode(&binpack.encode(&docs[7])).unwrap(), docs[7]);
+    assert_eq!(pbc.decompress(&pbc.compress(&records[7])).unwrap(), records[7]);
+    println!(
+        "\nPBC captures value-level co-occurrence the schema-driven codec cannot,\n\
+         which is why it stays competitive without any JSON knowledge (Section 7.4.2)."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train PBC on a sample of machine-generated records, compress
+//! records individually, and read one back — the minimal end-to-end flow of
+//! the paper's Figure 1.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pbc::core::{PbcCompressor, PbcConfig};
+
+fn main() {
+    // Machine-generated records: the paper's introductory example of trade
+    // records serialized to JSON by an application template.
+    let records: Vec<Vec<u8>> = (0..5_000)
+        .map(|i| {
+            format!(
+                "{{\"symbol\": \"{}\", \"side\": \"{}\", \"quantity\": {}, \"price\": {}.{:02}, \"timestamp\": {}}}",
+                ["IBM", "AAPL", "MSFT", "GOOG", "AMZN"][i % 5],
+                if i % 2 == 0 { "B" } else { "S" },
+                100 + (i * 37) % 900,
+                50 + (i * 13) % 150,
+                (i * 7) % 100,
+                1_639_574_096 + i * 3,
+            )
+            .into_bytes()
+        })
+        .collect();
+
+    // Offline phase: extract patterns from a small sample (Figure 1(a)).
+    let sample: Vec<&[u8]> = records.iter().step_by(20).take(250).map(|r| r.as_slice()).collect();
+    let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
+
+    println!("Extracted {} patterns:", pbc.dictionary().len());
+    for (id, pattern) in pbc.dictionary().iter().take(5) {
+        println!("  #{id}: {}", pattern.display());
+    }
+
+    // Online phase: compress every record individually (Figure 1(b)).
+    let compressed: Vec<Vec<u8>> = records.iter().map(|r| pbc.compress(r)).collect();
+    let raw: usize = records.iter().map(|r| r.len()).sum();
+    let total: usize = compressed.iter().map(|c| c.len()).sum();
+    println!(
+        "\nCompressed {} records: {} -> {} bytes (ratio {:.3})",
+        records.len(),
+        raw,
+        total,
+        total as f64 / raw as f64
+    );
+    println!("Outlier rate: {:.2}%", pbc.stats().outlier_rate() * 100.0);
+
+    // Random access: decompress a single record without touching the others
+    // (Figure 1(c)).
+    let i = 4_242;
+    let restored = pbc.decompress(&compressed[i]).expect("decompression succeeds");
+    assert_eq!(restored, records[i]);
+    println!(
+        "\nRandom access to record {i}: {} compressed bytes -> {:?}",
+        compressed[i].len(),
+        String::from_utf8_lossy(&restored)
+    );
+}

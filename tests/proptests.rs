@@ -1,0 +1,205 @@
+//! Property-based tests over the core data structures and codecs.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pbc::codecs::traits::{Codec, TrainableCodec};
+use pbc::codecs::{huffman, varint, FsstCodec, Lz4Like, LzmaLike, SnappyLike, ZstdLike};
+use pbc::core::matching::{match_record, reassemble};
+use pbc::core::{FieldEncoder, Pattern, PbcCompressor, PbcConfig};
+use pbc::json::{parse, to_string, JsonValue, Number};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- varint / primitives ----------------
+
+    #[test]
+    fn varint_roundtrips_any_u64(value: u64) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, value);
+        prop_assert_eq!(buf.len(), varint::encoded_len(value));
+        let (decoded, pos) = varint::read_u64(&buf, 0).unwrap();
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrips_any_i64(value: i64) {
+        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(value)), value);
+    }
+
+    // ---------------- general-purpose codecs ----------------
+
+    #[test]
+    fn lz_family_roundtrips_arbitrary_bytes(data in vec(any::<u8>(), 0..4096)) {
+        let lz4 = Lz4Like::new();
+        prop_assert_eq!(lz4.decompress(&lz4.compress(&data)).unwrap(), data.clone());
+        let snappy = SnappyLike::new();
+        prop_assert_eq!(snappy.decompress(&snappy.compress(&data)).unwrap(), data.clone());
+        let zstd = ZstdLike::new(3);
+        prop_assert_eq!(zstd.decompress(&zstd.compress(&data)).unwrap(), data.clone());
+    }
+
+    #[test]
+    fn lzma_and_huffman_roundtrip_arbitrary_bytes(data in vec(any::<u8>(), 0..2048)) {
+        let lzma = LzmaLike::new(3);
+        prop_assert_eq!(lzma.decompress(&lzma.compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(huffman::decompress(&huffman::compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_structured_input_always_shrinks(
+        template_id in 0usize..3,
+        values in vec(0u32..1_000_000, 32..128),
+    ) {
+        // Structured, repetitive input in the style of machine-generated
+        // records must never expand under the Zstd-like codec.
+        let templates = ["user={} action=login ok", "GET /api/item/{} 200", "sensor {} reading nominal"];
+        let data: Vec<u8> = values
+            .iter()
+            .map(|v| templates[template_id].replace("{}", &v.to_string()))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .into_bytes();
+        let zstd = ZstdLike::new(3);
+        let compressed = zstd.compress(&data);
+        prop_assert!(compressed.len() < data.len());
+        prop_assert_eq!(zstd.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn fsst_roundtrips_any_strings_with_any_training(
+        training in vec(vec(any::<u8>(), 0..64), 1..24),
+        record in vec(any::<u8>(), 0..256),
+    ) {
+        let refs: Vec<&[u8]> = training.iter().map(|t| t.as_slice()).collect();
+        let codec = FsstCodec::train(&refs);
+        prop_assert_eq!(codec.decode(&codec.encode(&record)).unwrap(), record);
+    }
+
+    // ---------------- field encoders ----------------
+
+    #[test]
+    fn varchar_encoder_roundtrips_any_short_value(value in vec(any::<u8>(), 0..512)) {
+        let enc = FieldEncoder::Varchar;
+        prop_assert!(enc.accepts(&value));
+        let mut buf = Vec::new();
+        enc.encode(&value, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), enc.encoded_len(&value));
+        let mut out = Vec::new();
+        let pos = enc.decode(&buf, 0, &mut out).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(out, value);
+    }
+
+    #[test]
+    fn int_encoder_roundtrips_fixed_width_digits(digits in 1usize..15, raw: u64) {
+        // Bound the value so it fits the requested digit width.
+        let value = raw % 10u64.pow(digits as u32);
+        let formatted = format!("{:0width$}", value, width = digits);
+        let enc = FieldEncoder::int_for_digits(digits as u8);
+        prop_assert!(enc.accepts(formatted.as_bytes()));
+        let mut buf = Vec::new();
+        enc.encode(formatted.as_bytes(), &mut buf).unwrap();
+        let mut out = Vec::new();
+        enc.decode(&buf, 0, &mut out).unwrap();
+        prop_assert_eq!(out, formatted.into_bytes());
+    }
+
+    // ---------------- patterns and matching ----------------
+
+    #[test]
+    fn matching_and_reassembly_are_inverse(
+        prefix in "[a-z]{1,8}",
+        middle in "[a-z]{1,8}",
+        v1 in "[0-9]{1,6}",
+        v2 in "[A-Za-z0-9_./-]{0,12}",
+    ) {
+        let pattern = Pattern::parse(&format!("{prefix}=*<VARINT> {middle}=*"));
+        let record = format!("{prefix}={} {middle}={}", v1.trim_start_matches('0').to_string().max("0".to_string()), v2);
+        let record_bytes = record.as_bytes();
+        if let Some(m) = match_record(&pattern, record_bytes) {
+            let values: Vec<Vec<u8>> = m.field_values(record_bytes).iter().map(|v| v.to_vec()).collect();
+            prop_assert_eq!(reassemble(&pattern, &values), record_bytes.to_vec());
+        }
+    }
+
+    // ---------------- the PBC compressor ----------------
+
+    #[test]
+    fn pbc_roundtrips_arbitrary_records_even_as_outliers(
+        records in vec(vec(any::<u8>(), 0..200), 1..40),
+    ) {
+        // Train on whatever shows up; every record must round-trip, matched
+        // or not.
+        let sample: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
+        let pbc = PbcCompressor::train(&sample, &PbcConfig::small());
+        for record in &records {
+            let compressed = pbc.compress(record);
+            prop_assert_eq!(&pbc.decompress(&compressed).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn pbc_never_loses_templated_records(
+        ids in vec(0u64..100_000_000, 20..80),
+        flag in any::<bool>(),
+    ) {
+        let records: Vec<Vec<u8>> = ids
+            .iter()
+            .map(|id| format!("evt|id={id}|flag={flag}|status=done").into_bytes())
+            .collect();
+        let sample: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
+        let pbc = PbcCompressor::train(&sample, &PbcConfig::small());
+        for record in &records {
+            prop_assert_eq!(&pbc.decompress(&pbc.compress(record)).unwrap(), record);
+        }
+    }
+
+    // ---------------- JSON substrate ----------------
+
+    #[test]
+    fn json_writer_output_always_reparses(doc in arb_json(3)) {
+        let text = to_string(&doc);
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn ion_and_msgpack_roundtrip_generated_documents(doc in arb_json(3)) {
+        let ion = pbc::json::IonLikeCodec::new();
+        prop_assert_eq!(ion.decode(&ion.encode(&doc)).unwrap(), doc.clone());
+        let mp = pbc::json::MsgPackCodec::new();
+        prop_assert_eq!(mp.decode(&mp.encode(&doc)).unwrap(), doc);
+    }
+}
+
+/// Strategy producing arbitrary JSON documents of bounded depth, restricted
+/// to finite floats (NaN/inf have no JSON representation) and string content
+/// without raw control characters.
+fn arb_json(depth: u32) -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        any::<i64>().prop_map(|i| JsonValue::Number(Number::Int(i))),
+        (-1.0e12f64..1.0e12).prop_map(|f| JsonValue::Number(Number::Float(f))),
+        "[ -~]{0,24}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(depth, 24, 6, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..6).prop_map(JsonValue::Array),
+            vec(("[a-z_]{1,8}", inner), 0..6).prop_map(|members| {
+                // Deduplicate keys: JSON objects with duplicate keys do not
+                // round-trip structurally.
+                let mut seen = std::collections::HashSet::new();
+                JsonValue::Object(
+                    members
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
