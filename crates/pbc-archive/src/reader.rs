@@ -1,0 +1,320 @@
+//! Reading segments back: open, verify, random access, scans.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::codec::{BlockCodec, Entry};
+use crate::error::{ArchiveError, Result};
+use crate::format::{
+    crc32, decode_index, decode_trailer, BlockMeta, Header, FLAG_SORTED_KEYS, TRAILER_LEN,
+};
+
+/// A reopened segment. All methods take `&self`; the underlying file handle
+/// is guarded by a mutex, so a reader can be shared across threads.
+///
+/// The `Debug` form reports geometry only (no block payloads).
+pub struct SegmentReader {
+    path: PathBuf,
+    file: Mutex<File>,
+    header: Header,
+    codec: BlockCodec,
+    /// Shared instance backing the per-block raw-fallback path.
+    raw_codec: BlockCodec,
+    blocks: Vec<BlockMeta>,
+    /// `starts[b]` = global ordinal of block `b`'s first record.
+    starts: Vec<u64>,
+    record_count: u64,
+}
+
+impl std::fmt::Debug for SegmentReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentReader")
+            .field("path", &self.path)
+            .field("codec", &self.codec.name())
+            .field("blocks", &self.blocks.len())
+            .field("records", &self.record_count)
+            .finish()
+    }
+}
+
+impl SegmentReader {
+    /// Open and verify a segment: header magic/version/CRC, trailer magic,
+    /// index CRC. Block payloads are verified lazily as they are read.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+
+        // Header: magic(8) + version(2) + codec(1) + flags(1) + varint
+        // artifact length (≤10) tells us how much more to read.
+        let prefix_len = file_len.min(22) as usize;
+        let mut prefix = vec![0u8; prefix_len];
+        file.read_exact(&mut prefix)?;
+        if prefix_len < 13 {
+            return Err(ArchiveError::Truncated { context: "header" });
+        }
+        let (artifact_len, artifacts_start) = pbc_codecs::varint::read_usize(&prefix, 12)
+            .map_err(|_| ArchiveError::Truncated { context: "header" })?;
+        let header_len = artifacts_start
+            .checked_add(artifact_len)
+            .and_then(|n| n.checked_add(4))
+            .filter(|&n| (n as u64) <= file_len)
+            .ok_or(ArchiveError::Truncated { context: "header" })?;
+        let mut header_bytes = vec![0u8; header_len];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header_bytes)?;
+        let (header, _) = Header::decode(&header_bytes)?;
+        let codec = BlockCodec::from_parts(header.codec_id, &header.artifacts)?;
+
+        // Trailer and index.
+        if file_len < (header_len + TRAILER_LEN) as u64 {
+            return Err(ArchiveError::Truncated { context: "trailer" });
+        }
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+        file.read_exact(&mut trailer)?;
+        let (index_offset, index_len, index_crc) = decode_trailer(&trailer)?;
+        index_offset
+            .checked_add(index_len as u64)
+            .and_then(|end| end.checked_add(TRAILER_LEN as u64))
+            .filter(|&total| total <= file_len)
+            .ok_or(ArchiveError::Truncated {
+                context: "block index",
+            })?;
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.seek(SeekFrom::Start(index_offset))?;
+        file.read_exact(&mut index_bytes)?;
+        let computed = crc32(&index_bytes);
+        if computed != index_crc {
+            return Err(ArchiveError::CrcMismatch {
+                what: "block index",
+                index: 0,
+                stored: index_crc,
+                computed,
+            });
+        }
+        let blocks = decode_index(&index_bytes)?;
+
+        // Validate block geometry against the file before trusting offsets.
+        let mut starts = Vec::with_capacity(blocks.len());
+        let mut record_count = 0u64;
+        for (i, meta) in blocks.iter().enumerate() {
+            let end = meta.file_offset.checked_add(meta.comp_len);
+            if end.is_none_or(|e| e > index_offset) {
+                return Err(ArchiveError::Corrupt {
+                    context: format!("block {i} extends past the index region"),
+                });
+            }
+            starts.push(record_count);
+            record_count = record_count.checked_add(meta.record_count).ok_or_else(|| {
+                ArchiveError::Corrupt {
+                    context: "record count overflow".into(),
+                }
+            })?;
+        }
+
+        Ok(SegmentReader {
+            path,
+            file: Mutex::new(file),
+            header,
+            codec,
+            raw_codec: BlockCodec::Raw,
+            blocks,
+            starts,
+            record_count,
+        })
+    }
+
+    /// Where this segment lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total records across all blocks.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Name of the codec the segment was written with.
+    pub fn codec_name(&self) -> &'static str {
+        self.codec.name()
+    }
+
+    /// Whether the writer observed non-decreasing keys (enables [`Self::get`]).
+    pub fn is_sorted(&self) -> bool {
+        self.header.flags & FLAG_SORTED_KEYS != 0
+    }
+
+    /// Whether point lookups avoid whole-block decompression.
+    pub fn is_per_record(&self) -> bool {
+        self.codec.is_per_record()
+    }
+
+    /// Read and CRC-check one compressed block.
+    fn read_block_bytes(&self, block: usize) -> Result<Vec<u8>> {
+        let meta = &self.blocks[block];
+        let mut bytes = vec![0u8; meta.comp_len as usize];
+        {
+            let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            file.seek(SeekFrom::Start(meta.file_offset))?;
+            file.read_exact(&mut bytes)?;
+        }
+        let computed = crc32(&bytes);
+        if computed != meta.crc {
+            return Err(ArchiveError::CrcMismatch {
+                what: "block",
+                index: block,
+                stored: meta.crc,
+                computed,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// The codec block `block` actually used: the segment codec, or the
+    /// raw fallback stamped in its index entry.
+    fn block_codec(&self, block: usize) -> Result<&BlockCodec> {
+        let id = self.blocks[block].codec_id;
+        if id == self.codec.id() {
+            Ok(&self.codec)
+        } else if id == crate::codec::codec_id::RAW {
+            Ok(&self.raw_codec)
+        } else {
+            Err(ArchiveError::Corrupt {
+                context: format!(
+                    "block {block} claims codec id {id}, segment codec is {}",
+                    self.codec.id()
+                ),
+            })
+        }
+    }
+
+    /// Decompress a whole block into its entries.
+    pub fn read_block(&self, block: usize) -> Result<Vec<Entry>> {
+        let meta = self
+            .blocks
+            .get(block)
+            .ok_or_else(|| ArchiveError::Corrupt {
+                context: format!("block {block} out of range ({} blocks)", self.blocks.len()),
+            })?;
+        let bytes = self.read_block_bytes(block)?;
+        self.block_codec(block)?
+            .decompress_block(&bytes, meta.record_count as usize)
+    }
+
+    /// Which block holds global record `ordinal` (binary search).
+    fn block_of(&self, ordinal: u64) -> Result<usize> {
+        if ordinal >= self.record_count {
+            return Err(ArchiveError::RecordOutOfRange {
+                index: ordinal,
+                count: self.record_count,
+            });
+        }
+        Ok(self.starts.partition_point(|&start| start <= ordinal) - 1)
+    }
+
+    /// Fetch the `(key, value)` entry with global ordinal `i`. O(log blocks)
+    /// to locate, then a single-block decode (single-record for per-record
+    /// codecs).
+    pub fn get_entry(&self, i: u64) -> Result<Entry> {
+        let block = self.block_of(i)?;
+        let within = (i - self.starts[block]) as usize;
+        let bytes = self.read_block_bytes(block)?;
+        self.block_codec(block)?
+            .entry_at(&bytes, within, self.blocks[block].record_count as usize)
+    }
+
+    /// Fetch just the value bytes of record `i`.
+    pub fn get_record(&self, i: u64) -> Result<Vec<u8>> {
+        self.get_entry(i).map(|(_, value)| value)
+    }
+
+    /// Key lookup over a sorted segment: binary-search the block index by
+    /// min/max key, then search inside the single candidate block. Returns
+    /// the value of the **last** entry with the key (later appends win).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if !self.is_sorted() {
+            return Err(ArchiveError::UnsortedKeys);
+        }
+        // Candidate blocks form the contiguous range whose [min, max] key
+        // interval contains the key; duplicates may straddle block borders,
+        // so for last-wins semantics scan the range back to front.
+        let lo = self
+            .blocks
+            .partition_point(|meta| meta.max_key.as_slice() < key);
+        let hi = self
+            .blocks
+            .partition_point(|meta| meta.min_key.as_slice() <= key);
+        for block in (lo..hi).rev() {
+            let bytes = self.read_block_bytes(block)?;
+            let hit = self.block_codec(block)?.find_by_key(
+                &bytes,
+                key,
+                self.blocks[block].record_count as usize,
+                true,
+            )?;
+            if hit.is_some() {
+                return Ok(hit);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Iterate every entry in storage order, decoding blocks lazily.
+    pub fn scan(&self) -> Scan<'_> {
+        Scan {
+            reader: self,
+            block: 0,
+            entries: Vec::new(),
+            next: 0,
+            failed: false,
+        }
+    }
+}
+
+/// Streaming iterator over a segment's entries; see [`SegmentReader::scan`].
+pub struct Scan<'a> {
+    reader: &'a SegmentReader,
+    block: usize,
+    entries: Vec<Entry>,
+    next: usize,
+    failed: bool,
+}
+
+impl Iterator for Scan<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if self.next < self.entries.len() {
+                let entry = std::mem::take(&mut self.entries[self.next]);
+                self.next += 1;
+                return Some(Ok(entry));
+            }
+            if self.block >= self.reader.block_count() {
+                return None;
+            }
+            match self.reader.read_block(self.block) {
+                Ok(entries) => {
+                    self.block += 1;
+                    self.entries = entries;
+                    self.next = 0;
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Streaming segment writer with a worker pool for block compression.
+//!
+//! Records accumulate into blocks of roughly `target_block_bytes`; each
+//! full block is handed to a `std::thread` worker pool as `(sequence,
+//! entries)`, compressed independently, and reassembled in sequence order
+//! before hitting the file — so a segment written with N workers is
+//! byte-identical to one written single-threaded.
+//!
+//! The block codec is fixed when the first block closes (trained on its
+//! entries, or trial-selected for [`CodecSpec::Auto`]); the header with the
+//! trained artifacts is written at that point, before any block bytes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::codec::{build_codec, serialized_len, BlockCodec, CodecSpec, Entry};
+use crate::error::{ArchiveError, Result};
+use crate::format::{
+    crc32, encode_index, encode_trailer, BlockMeta, Header, FLAG_SORTED_KEYS, VERSION,
+};
+
+/// Tuning for [`SegmentWriter`].
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Close a block once its serialized payload reaches this many bytes.
+    pub target_block_bytes: usize,
+    /// Hard cap on records per block regardless of size.
+    pub max_block_records: usize,
+    /// Which codec to use (or how to pick one).
+    pub codec: CodecSpec,
+    /// Compression worker threads. `0` and `1` both mean inline (no pool).
+    pub workers: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            target_block_bytes: 64 * 1024,
+            max_block_records: 4096,
+            codec: CodecSpec::Auto,
+            workers: 1,
+        }
+    }
+}
+
+impl SegmentConfig {
+    /// Convenience: default config with the given codec.
+    pub fn with_codec(codec: CodecSpec) -> Self {
+        SegmentConfig {
+            codec,
+            ..SegmentConfig::default()
+        }
+    }
+
+    /// Convenience: set the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// What [`SegmentWriter::finish`] reports.
+#[derive(Debug, Clone)]
+pub struct SegmentSummary {
+    /// Where the segment was written.
+    pub path: PathBuf,
+    /// Records stored.
+    pub record_count: u64,
+    /// Blocks written.
+    pub block_count: usize,
+    /// Total serialized (uncompressed) payload bytes.
+    pub raw_bytes: u64,
+    /// Total compressed block bytes (excluding header/index).
+    pub compressed_bytes: u64,
+    /// Name of the codec the segment committed to.
+    pub codec: &'static str,
+}
+
+impl SegmentSummary {
+    /// Compressed/raw ratio over block payloads (1.0 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.compressed_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+/// A compressed block travelling from a worker back to the writer.
+struct CompressedBlock {
+    entries_meta: BlockEntryMeta,
+    /// Codec the block actually used (the segment codec, or the raw
+    /// fallback when compression expanded the payload).
+    codec_id: u8,
+    bytes: Vec<u8>,
+}
+
+/// Everything the index needs to know about a block besides its file
+/// position, computed from the raw entries before compression.
+struct BlockEntryMeta {
+    record_count: u64,
+    raw_len: u64,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+}
+
+fn block_entry_meta(entries: &[Entry]) -> BlockEntryMeta {
+    let mut min_key: Option<&[u8]> = None;
+    let mut max_key: Option<&[u8]> = None;
+    for (key, _) in entries {
+        if min_key.is_none_or(|m| key.as_slice() < m) {
+            min_key = Some(key);
+        }
+        if max_key.is_none_or(|m| key.as_slice() > m) {
+            max_key = Some(key);
+        }
+    }
+    BlockEntryMeta {
+        record_count: entries.len() as u64,
+        raw_len: serialized_len(entries) as u64,
+        min_key: min_key.unwrap_or_default().to_vec(),
+        max_key: max_key.unwrap_or_default().to_vec(),
+    }
+}
+
+fn compress_one(codec: &BlockCodec, entries: Vec<Entry>) -> CompressedBlock {
+    let entries_meta = block_entry_meta(&entries);
+    let bytes = codec.compress_block(&entries);
+    // Per-block raw fallback: when the segment codec expands this block
+    // (data drifted away from what the first block trained on), store the
+    // serialized payload verbatim instead, bounding worst-case ratio.
+    if entries_meta.raw_len < bytes.len() as u64 {
+        return CompressedBlock {
+            bytes: crate::codec::serialize_entries(&entries),
+            entries_meta,
+            codec_id: crate::codec::codec_id::RAW,
+        };
+    }
+    CompressedBlock {
+        entries_meta,
+        codec_id: codec.id(),
+        bytes,
+    }
+}
+
+struct Pool {
+    work_tx: Option<SyncSender<(u64, Vec<Entry>)>>,
+    result_rx: Receiver<(u64, CompressedBlock)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(codec: Arc<BlockCodec>, workers: usize) -> Pool {
+        let (work_tx, work_rx) = mpsc::sync_channel::<(u64, Vec<Entry>)>(workers * 2);
+        let (result_tx, result_rx) = mpsc::channel();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let handles = (0..workers)
+            .map(|worker| {
+                let work_rx = Arc::clone(&work_rx);
+                let result_tx = result_tx.clone();
+                let codec = Arc::clone(&codec);
+                std::thread::Builder::new()
+                    .name(format!("pbc-archive-compress-{worker}"))
+                    .spawn(move || loop {
+                        let job = work_rx.lock().expect("worker queue poisoned").recv();
+                        match job {
+                            Ok((seq, entries)) => {
+                                // A send error means the writer is gone; just
+                                // stop, it can no longer use the result.
+                                if result_tx
+                                    .send((seq, compress_one(&codec, entries)))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawning compression worker")
+            })
+            .collect();
+        Pool {
+            work_tx: Some(work_tx),
+            result_rx,
+            handles,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        // Closing the work channel makes every worker's recv fail and exit.
+        self.work_tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Writes one segment file; see the [module docs](self) for the pipeline.
+pub struct SegmentWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    config: SegmentConfig,
+    codec: Option<Arc<BlockCodec>>,
+    /// `(artifacts, sorted-bit-as-written)` — kept so `finish` can re-write
+    /// the header if a later append broke sorted order after the header
+    /// already hit the file.
+    header_state: Option<(Vec<u8>, bool)>,
+    pool: Option<Pool>,
+    current: Vec<Entry>,
+    current_bytes: usize,
+    sorted: bool,
+    last_key: Vec<u8>,
+    offset: u64,
+    index: Vec<BlockMeta>,
+    /// Sequence number the next closed block gets.
+    next_seq: u64,
+    /// Sequence number the next block written to the file must have.
+    next_write: u64,
+    /// Out-of-order results waiting for their turn.
+    reorder: BinaryHeap<Reverse<SeqBlock>>,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    record_count: u64,
+}
+
+struct SeqBlock {
+    seq: u64,
+    block: CompressedBlock,
+}
+
+impl PartialEq for SeqBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for SeqBlock {}
+
+impl PartialOrd for SeqBlock {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SeqBlock {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
+impl SegmentWriter {
+    /// Create a segment at `path` (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>, config: SegmentConfig) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = BufWriter::new(File::create(&path)?);
+        Ok(SegmentWriter {
+            path,
+            file,
+            config,
+            codec: None,
+            header_state: None,
+            pool: None,
+            current: Vec::new(),
+            current_bytes: 0,
+            sorted: true,
+            last_key: Vec::new(),
+            offset: 0,
+            index: Vec::new(),
+            next_seq: 0,
+            next_write: 0,
+            reorder: BinaryHeap::new(),
+            raw_bytes: 0,
+            compressed_bytes: 0,
+            record_count: 0,
+        })
+    }
+
+    /// Append a keyed record. Keys appended in non-decreasing order keep the
+    /// segment key-searchable via [`crate::SegmentReader::get`].
+    pub fn append(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.sorted && self.record_count > 0 && key < self.last_key.as_slice() {
+            self.sorted = false;
+        }
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.current_bytes += key.len() + value.len() + 10;
+        self.current.push((key.to_vec(), value.to_vec()));
+        self.record_count += 1;
+        if self.current_bytes >= self.config.target_block_bytes
+            || self.current.len() >= self.config.max_block_records
+        {
+            self.close_block()?;
+        }
+        Ok(())
+    }
+
+    /// Append a keyless record (empty key); retrieval is by ordinal via
+    /// [`crate::SegmentReader::get_record`].
+    pub fn append_record(&mut self, value: &[u8]) -> Result<()> {
+        self.append(&[], value)
+    }
+
+    /// Records appended so far.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// The codec the segment committed to, if the first block has closed.
+    pub fn codec_name(&self) -> Option<&'static str> {
+        self.codec.as_ref().map(|c| c.name())
+    }
+
+    /// Close the current block: pick the codec if this is the first, then
+    /// compress inline or enqueue to the pool.
+    fn close_block(&mut self) -> Result<()> {
+        if self.current.is_empty() {
+            return Ok(());
+        }
+        let entries = std::mem::take(&mut self.current);
+        self.current_bytes = 0;
+        if self.codec.is_none() {
+            self.commit_codec(&entries)?;
+        }
+        let codec = Arc::clone(self.codec.as_ref().expect("codec committed above"));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.config.workers > 1 {
+            if self.pool.is_none() {
+                self.pool = Some(Pool::spawn(Arc::clone(&codec), self.config.workers));
+            }
+            self.pool
+                .as_ref()
+                .expect("pool spawned above")
+                .work_tx
+                .as_ref()
+                .expect("work channel open while writing")
+                .send((seq, entries))
+                .expect("compression workers alive while writer holds the pool");
+            self.drain_results(false)?;
+        } else {
+            let block = compress_one(&codec, entries);
+            self.write_block(seq, block)?;
+        }
+        Ok(())
+    }
+
+    /// Train/select the codec on the first block and write the header.
+    fn commit_codec(&mut self, first_block: &[Entry]) -> Result<()> {
+        let codec = build_codec(&self.config.codec, first_block);
+        let header = Header {
+            version: VERSION,
+            codec_id: codec.id(),
+            flags: if self.sorted { FLAG_SORTED_KEYS } else { 0 },
+            artifacts: codec.artifacts(),
+        };
+        let bytes = header.encode();
+        self.file.write_all(&bytes)?;
+        self.offset = bytes.len() as u64;
+        self.header_state = Some((header.artifacts, self.sorted));
+        self.codec = Some(Arc::new(codec));
+        Ok(())
+    }
+
+    /// If appends after the header was written broke sorted order, re-write
+    /// the header in place with the flag cleared (same length, new CRC).
+    fn patch_header_if_stale(&mut self) -> Result<()> {
+        use std::io::{Seek, SeekFrom};
+        let Some((artifacts, written_sorted)) = self.header_state.take() else {
+            return Ok(());
+        };
+        if written_sorted == self.sorted {
+            return Ok(());
+        }
+        let header = Header {
+            version: VERSION,
+            codec_id: self.codec.as_ref().expect("codec set with header").id(),
+            flags: if self.sorted { FLAG_SORTED_KEYS } else { 0 },
+            artifacts,
+        };
+        self.file.flush()?;
+        let file = self.file.get_mut();
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header.encode())?;
+        file.seek(SeekFrom::Start(self.offset))?;
+        Ok(())
+    }
+
+    /// Pull finished blocks off the result channel and write every in-order
+    /// prefix. `blocking` waits until all submitted blocks are written.
+    fn drain_results(&mut self, blocking: bool) -> Result<()> {
+        if self.pool.is_none() {
+            return Ok(());
+        }
+        loop {
+            // First flush whatever the reorder heap already has in order.
+            while self
+                .reorder
+                .peek()
+                .is_some_and(|Reverse(b)| b.seq == self.next_write)
+            {
+                let Reverse(SeqBlock { seq, block }) = self.reorder.pop().expect("peeked above");
+                self.write_block(seq, block)?;
+            }
+            if self.next_write == self.next_seq {
+                return Ok(()); // everything submitted has been written
+            }
+            let received = {
+                let pool = self.pool.as_ref().expect("pool presence checked above");
+                if blocking {
+                    match pool.result_rx.recv() {
+                        Ok(result) => Some(result),
+                        Err(_) => {
+                            return Err(ArchiveError::Corrupt {
+                                context: "compression workers exited early".into(),
+                            })
+                        }
+                    }
+                } else {
+                    pool.result_rx.try_recv().ok()
+                }
+            };
+            match received {
+                Some((seq, block)) => self.reorder.push(Reverse(SeqBlock { seq, block })),
+                None => return Ok(()), // non-blocking and nothing ready yet
+            }
+        }
+    }
+
+    fn write_block(&mut self, seq: u64, block: CompressedBlock) -> Result<()> {
+        debug_assert_eq!(seq, self.next_write, "blocks must be written in order");
+        let CompressedBlock {
+            entries_meta,
+            codec_id,
+            bytes,
+        } = block;
+        self.file.write_all(&bytes)?;
+        self.index.push(BlockMeta {
+            codec_id,
+            record_count: entries_meta.record_count,
+            raw_len: entries_meta.raw_len,
+            file_offset: self.offset,
+            comp_len: bytes.len() as u64,
+            crc: crc32(&bytes),
+            min_key: entries_meta.min_key,
+            max_key: entries_meta.max_key,
+        });
+        self.offset += bytes.len() as u64;
+        self.raw_bytes += entries_meta.raw_len;
+        self.compressed_bytes += bytes.len() as u64;
+        self.next_write = seq + 1;
+        Ok(())
+    }
+
+    /// Flush the tail block, drain the pool, and write the index + trailer.
+    pub fn finish(mut self) -> Result<SegmentSummary> {
+        self.close_block()?;
+        if self.codec.is_none() {
+            // Zero-record segment: commit to Raw so the file is still
+            // self-describing.
+            self.commit_codec(&[])?;
+        }
+        self.drain_results(true)?;
+        if let Some(mut pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        self.patch_header_if_stale()?;
+        let index = encode_index(&self.index);
+        let index_offset = self.offset;
+        self.file.write_all(&index)?;
+        let trailer = encode_trailer(index_offset, index.len() as u32, crc32(&index));
+        self.file.write_all(&trailer)?;
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        Ok(SegmentSummary {
+            path: self.path.clone(),
+            record_count: self.record_count,
+            block_count: self.index.len(),
+            raw_bytes: self.raw_bytes,
+            compressed_bytes: self.compressed_bytes,
+            codec: self.codec.as_ref().expect("codec committed above").name(),
+        })
+    }
+}

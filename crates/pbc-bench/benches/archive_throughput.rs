@@ -1,0 +1,97 @@
+//! Criterion bench for the archive subsystem: single- vs multi-threaded
+//! segment ingest, and block-wise vs per-record random-access lookups
+//! against a cold on-disk segment (the durable analogue of Figure 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbc_archive::{CodecSpec, SegmentConfig, SegmentReader, SegmentWriter};
+use pbc_bench::data::{corpus, corpus_bytes};
+use pbc_core::PbcConfig;
+use pbc_datagen::Dataset;
+
+fn temp_segment(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pbc-bench-crit-{}-{tag}.seg", std::process::id()))
+}
+
+fn write_segment(
+    records: &[Vec<u8>],
+    codec: CodecSpec,
+    workers: usize,
+    tag: &str,
+) -> std::path::PathBuf {
+    let path = temp_segment(tag);
+    let mut writer = SegmentWriter::create(
+        &path,
+        SegmentConfig::with_codec(codec).with_workers(workers),
+    )
+    .expect("create segment");
+    for record in records {
+        writer.append_record(record).expect("append record");
+    }
+    writer.finish().expect("finish segment");
+    path
+}
+
+fn bench_archive_ingest(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv2, 0.1);
+    let raw_bytes = corpus_bytes(&records);
+    // Train once; ingest timings then measure compression + I/O, not
+    // repeated training.
+    let sample: Vec<(Vec<u8>, Vec<u8>)> = records
+        .iter()
+        .take(512)
+        .map(|r| (Vec::new(), r.clone()))
+        .collect();
+    let codec = CodecSpec::Pretrained(pbc_archive::build_codec(
+        &CodecSpec::Pbc(PbcConfig::default()),
+        &sample,
+    ));
+
+    let mut group = c.benchmark_group("archive_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(raw_bytes as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("PBC_workers", workers), |b| {
+            b.iter(|| {
+                let path = write_segment(&records, codec.clone(), workers, "ingest");
+                let _ = std::fs::remove_file(path);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_archive_lookup(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv2, 0.1);
+    let lookups = 1_000u64;
+
+    let mut group = c.benchmark_group("archive_lookup");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(lookups));
+    for (name, spec) in [
+        ("PBC_per_record", CodecSpec::Pbc(PbcConfig::default())),
+        ("Zstd_whole_block", CodecSpec::Zstd { level: 3 }),
+    ] {
+        let path = write_segment(&records, spec, 1, name);
+        let reader = SegmentReader::open(&path).expect("reopen segment");
+        let count = reader.record_count();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut state = 0x2545_f491_4f6c_dd1du64;
+                let mut total = 0usize;
+                for _ in 0..lookups {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
+                    total += reader.get_record(state % count).expect("lookup").len();
+                }
+                total
+            })
+        });
+        drop(reader);
+        let _ = std::fs::remove_file(path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_archive_ingest, bench_archive_lookup);
+criterion_main!(benches);

@@ -39,7 +39,12 @@ fn bench_line_by_line(c: &mut Criterion) {
         b.iter(|| records.iter().map(|r| pbc.compress(r).len()).sum::<usize>())
     });
     group.bench_function(BenchmarkId::from_parameter("PBC_F"), |b| {
-        b.iter(|| records.iter().map(|r| pbc_f.compress(r).len()).sum::<usize>())
+        b.iter(|| {
+            records
+                .iter()
+                .map(|r| pbc_f.compress(r).len())
+                .sum::<usize>()
+        })
     });
     group.finish();
 

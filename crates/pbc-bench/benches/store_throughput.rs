@@ -17,7 +17,10 @@ fn bench_store_throughput(c: &mut Criterion) {
     let codecs = [
         ("Uncompressed", ValueCodec::None),
         ("Zstd(dict)", ValueCodec::train_zstd_dict(&sample, 1)),
-        ("PBC_F", ValueCodec::train_pbc_f(&sample, &PbcConfig::default())),
+        (
+            "PBC_F",
+            ValueCodec::train_pbc_f(&sample, &PbcConfig::default()),
+        ),
     ];
 
     let mut group = c.benchmark_group("table8_set");

@@ -1,0 +1,221 @@
+//! Archive experiments: segment ingest scaling and lookup latency.
+//!
+//! Two questions the paper's storage story raises but the in-memory
+//! experiments cannot answer:
+//!
+//! 1. **Ingest** — does fanning block compression out over a worker pool
+//!    scale segment writes with cores? ([`archive_ingest`])
+//! 2. **Lookup** — what does per-record random access cost against a cold
+//!    on-disk segment, per-record codecs vs whole-block codecs?
+//!    ([`archive_lookup`], the durable analogue of Figure 5)
+
+use std::path::PathBuf;
+
+use pbc_archive::{CodecSpec, SegmentConfig, SegmentReader, SegmentWriter};
+use pbc_core::PbcConfig;
+use pbc_datagen::Dataset;
+
+use crate::data::{corpus, corpus_bytes};
+use crate::measure::time_per_byte;
+use crate::report::{speed, Table};
+
+/// A throwaway segment path, removed on drop so panicking experiments
+/// don't leak temp files.
+struct TempSegment(PathBuf);
+
+impl TempSegment {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempSegment(std::env::temp_dir().join(format!(
+            "pbc-bench-archive-{}-{tag}-{}.seg",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempSegment {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Write `records` to a throwaway segment and return the written file size.
+fn write_segment(
+    records: &[Vec<u8>],
+    codec: CodecSpec,
+    workers: usize,
+    tag: &str,
+) -> (TempSegment, u64) {
+    let segment = TempSegment::new(tag);
+    let config = SegmentConfig::with_codec(codec).with_workers(workers);
+    let mut writer = SegmentWriter::create(segment.path(), config).expect("create bench segment");
+    for record in records {
+        writer.append_record(record).expect("append bench record");
+    }
+    let summary = writer.finish().expect("finish bench segment");
+    (segment, summary.compressed_bytes)
+}
+
+/// One ingest measurement row.
+#[derive(Debug, Clone)]
+pub struct IngestRow {
+    /// Dataset the records came from.
+    pub dataset: String,
+    /// Codec the segment committed to.
+    pub codec: &'static str,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Ingest throughput over raw record bytes.
+    pub ingest_mb_s: f64,
+    /// Compressed/raw ratio of the block payloads.
+    pub ratio: f64,
+}
+
+/// Train a PBC block codec once on a prefix of the corpus, so ingest
+/// timings measure compression + I/O rather than repeated training (the
+/// paper's "train offline, ship the dictionary" flow).
+fn pretrained_pbc(records: &[Vec<u8>]) -> CodecSpec {
+    let sample: Vec<(Vec<u8>, Vec<u8>)> = records
+        .iter()
+        .take(512)
+        .map(|r| (Vec::new(), r.clone()))
+        .collect();
+    CodecSpec::Pretrained(pbc_archive::build_codec(
+        &CodecSpec::Pbc(PbcConfig::default()),
+        &sample,
+    ))
+}
+
+/// Measure segment ingest throughput across worker counts.
+pub fn archive_ingest(scale: f64, worker_counts: &[usize]) -> Vec<IngestRow> {
+    let datasets = [Dataset::Kv2, Dataset::Hdfs];
+    let mut rows = Vec::new();
+    for dataset in datasets {
+        let records = corpus(dataset, scale);
+        let raw = corpus_bytes(&records);
+        let codec = pretrained_pbc(&records);
+        for &workers in worker_counts {
+            let mut compressed = 0u64;
+            let throughput = time_per_byte(raw, || {
+                let (segment, bytes) = write_segment(&records, codec.clone(), workers, "ingest");
+                compressed = bytes;
+                drop(segment);
+            });
+            rows.push(IngestRow {
+                dataset: dataset.name().to_string(),
+                codec: "PBC",
+                workers,
+                ingest_mb_s: throughput.mb_per_sec(),
+                ratio: compressed as f64 / raw as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// One lookup measurement row.
+#[derive(Debug, Clone)]
+pub struct LookupRow {
+    /// Codec the segment was written with.
+    pub codec: &'static str,
+    /// Whether lookups decode single records or whole blocks.
+    pub per_record: bool,
+    /// Random `get_record` operations per second against a cold reader.
+    pub lookups_per_sec: f64,
+}
+
+/// Measure random-access lookup throughput for per-record vs whole-block
+/// codecs (the durable Figure 5).
+pub fn archive_lookup(scale: f64, lookups: usize) -> Vec<LookupRow> {
+    let records = corpus(Dataset::Kv2, scale);
+    let specs = [
+        CodecSpec::Pbc(PbcConfig::default()),
+        CodecSpec::Fsst,
+        CodecSpec::Zstd { level: 3 },
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let (segment, _) = write_segment(&records, spec, 1, "lookup");
+        let reader = SegmentReader::open(segment.path()).expect("reopen bench segment");
+        let count = reader.record_count();
+        // Deterministic pseudo-random probe sequence.
+        let mut state = 0x9e37_79b9u64;
+        let mut checksum = 0usize;
+        let throughput = time_per_byte(lookups, || {
+            for _ in 0..lookups {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                let i = state % count;
+                checksum += reader.get_record(i).expect("bench lookup").len();
+            }
+        });
+        assert!(checksum > 0);
+        rows.push(LookupRow {
+            codec: reader.codec_name(),
+            per_record: reader.is_per_record(),
+            lookups_per_sec: throughput.ops_per_sec(lookups),
+        });
+        drop(reader);
+    }
+    rows
+}
+
+/// Render both archive experiments as one report table.
+pub fn archive_throughput(scale: f64) -> Table {
+    let mut table = Table::new(
+        "Archive: segment ingest scaling and random-access lookups",
+        &["experiment", "config", "result"],
+    );
+    for row in archive_ingest(scale, &[1, 2, 4]) {
+        table.push_row(vec![
+            format!("ingest {}", row.dataset),
+            format!("{} workers={}", row.codec, row.workers),
+            format!("{} (ratio {:.3})", speed(row.ingest_mb_s), row.ratio),
+        ]);
+    }
+    for row in archive_lookup(scale, 2_000) {
+        table.push_row(vec![
+            "random get_record".to_string(),
+            format!(
+                "{} ({})",
+                row.codec,
+                if row.per_record {
+                    "per-record"
+                } else {
+                    "whole-block"
+                }
+            ),
+            format!("{:.0} lookups/s", row.lookups_per_sec),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_rows_cover_every_worker_count() {
+        let rows = archive_ingest(0.02, &[1, 2]);
+        assert_eq!(rows.len(), 4); // 2 datasets x 2 worker counts
+        assert!(rows.iter().all(|r| r.ingest_mb_s > 0.0));
+        assert!(rows.iter().all(|r| r.ratio > 0.0 && r.ratio < 1.5));
+    }
+
+    #[test]
+    fn lookup_rows_distinguish_per_record_codecs() {
+        let rows = archive_lookup(0.02, 200);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|r| r.per_record));
+        assert!(rows.iter().any(|r| !r.per_record));
+        assert!(rows.iter().all(|r| r.lookups_per_sec > 0.0));
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -55,7 +55,7 @@ fn main() {
         .flat_map(|e| match e.as_str() {
             "all" => vec![
                 "table2", "table3", "fig5", "table4", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-                "table5", "table6", "table7", "table8",
+                "table5", "table6", "table7", "table8", "archive",
             ]
             .into_iter()
             .map(String::from)
@@ -77,7 +77,7 @@ fn print_usage() {
     println!(
         "Usage: repro [--scale <f64>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive all quick"
     );
 }
 
@@ -109,16 +109,22 @@ fn run_experiment(name: &str, scale: f64) {
             let rows = table5(scale);
             println!(
                 "{}",
-                render_method_table("Table 5: log compression (average over log datasets)", &rows)
-                    .render()
+                render_method_table(
+                    "Table 5: log compression (average over log datasets)",
+                    &rows
+                )
+                .render()
             );
         }
         "table6" => {
             let rows = table6(scale);
             println!(
                 "{}",
-                render_method_table("Table 6: JSON compression (average over JSON datasets)", &rows)
-                    .render()
+                render_method_table(
+                    "Table 6: JSON compression (average over JSON datasets)",
+                    &rows
+                )
+                .render()
             );
         }
         "table7" => {
@@ -167,7 +173,13 @@ fn run_experiment(name: &str, scale: f64) {
             let frontier = pareto_frontier(&comp_points);
             let mut table = Table::new(
                 "Figure 6: Pareto view (averaged over representative datasets)",
-                &["method", "comp ratio", "comp MB/s", "decomp MB/s", "on comp-speed frontier"],
+                &[
+                    "method",
+                    "comp ratio",
+                    "comp MB/s",
+                    "decomp MB/s",
+                    "on comp-speed frontier",
+                ],
             );
             for (p, on_frontier) in points.iter().zip(frontier) {
                 table.push_row(vec![
@@ -175,7 +187,11 @@ fn run_experiment(name: &str, scale: f64) {
                     format!("{:.3}", p.ratio),
                     format!("{:.2}", p.comp_mb_s),
                     format!("{:.2}", p.decomp_mb_s),
-                    if on_frontier { "yes".into() } else { "no".into() },
+                    if on_frontier {
+                        "yes".into()
+                    } else {
+                        "no".into()
+                    },
                 ]);
             }
             println!("{}", table.render());
@@ -199,16 +215,29 @@ fn run_experiment(name: &str, scale: f64) {
         }
         "fig9a" | "fig9b" => {
             let (points, title, param) = if name == "fig9a" {
-                (fig9a(scale), "Figure 9(a): ratio vs training size", "training bytes")
+                (
+                    fig9a(scale),
+                    "Figure 9(a): ratio vs training size",
+                    "training bytes",
+                )
             } else {
-                (fig9b(scale), "Figure 9(b): ratio vs pattern-dictionary budget", "budget bytes")
+                (
+                    fig9b(scale),
+                    "Figure 9(b): ratio vs pattern-dictionary budget",
+                    "budget bytes",
+                )
             };
             let mut table = Table::new(title, &["dataset", param, "comp ratio"]);
             for p in points {
-                table.push_row(vec![p.dataset, p.parameter.to_string(), format!("{:.3}", p.ratio)]);
+                table.push_row(vec![
+                    p.dataset,
+                    p.parameter.to_string(),
+                    format!("{:.3}", p.ratio),
+                ]);
             }
             println!("{}", table.render());
         }
+        "archive" => println!("{}", pbc_bench::archive::archive_throughput(scale).render()),
         other => die(&format!("unknown experiment '{other}'")),
     }
     eprintln!(

@@ -51,7 +51,10 @@ type RecordMethod<'a> = (
 );
 
 /// Measure a set of per-record methods over a corpus.
-fn measure_record_methods(records: &[Vec<u8>], methods: Vec<RecordMethod<'_>>) -> Vec<MethodMeasurement> {
+fn measure_record_methods(
+    records: &[Vec<u8>],
+    methods: Vec<RecordMethod<'_>>,
+) -> Vec<MethodMeasurement> {
     let raw_bytes = corpus_bytes(records);
     methods
         .into_iter()
@@ -84,7 +87,14 @@ fn measure_record_methods(records: &[Vec<u8>], methods: Vec<RecordMethod<'_>>) -
 pub fn table2(scale: f64) -> Table {
     let mut table = Table::new(
         "Table 2: dataset statistics (synthetic stand-ins)",
-        &["dataset", "kind", "records", "avg len", "paper avg len", "paper count"],
+        &[
+            "dataset",
+            "kind",
+            "records",
+            "avg len",
+            "paper avg len",
+            "paper count",
+        ],
     );
     for dataset in Dataset::all() {
         let records = corpus(dataset, scale);
@@ -129,14 +139,16 @@ pub fn table3(scale: f64, datasets: &[Dataset]) -> Vec<DatasetRow> {
                     "LZ4(dict)".to_string(),
                     Box::new(|r: &[u8]| lz4.compress_with_dict(r, dict.as_bytes())),
                     Box::new(|c: &[u8]| {
-                        lz4.decompress_with_dict(c, dict.as_bytes()).expect("lz4 roundtrip")
+                        lz4.decompress_with_dict(c, dict.as_bytes())
+                            .expect("lz4 roundtrip")
                     }),
                 ),
                 (
                     "Zstd(dict)".to_string(),
                     Box::new(|r: &[u8]| zstd.compress_with_dict(r, dict.as_bytes())),
                     Box::new(|c: &[u8]| {
-                        zstd.decompress_with_dict(c, dict.as_bytes()).expect("zstd roundtrip")
+                        zstd.decompress_with_dict(c, dict.as_bytes())
+                            .expect("zstd roundtrip")
                     }),
                 ),
                 (
@@ -205,7 +217,9 @@ pub fn table4(scale: f64, datasets: &[Dataset]) -> Vec<DatasetRow> {
                 let compressed = block.compress_block(&records);
                 let comp_secs = start.elapsed().as_secs_f64();
                 let start = Instant::now();
-                let restored = block.decompress_block(&compressed).expect("pbc block roundtrip");
+                let restored = block
+                    .decompress_block(&compressed)
+                    .expect("pbc block roundtrip");
                 let decomp_secs = start.elapsed().as_secs_f64();
                 assert_eq!(restored.len(), records.len());
                 methods.push(MethodMeasurement {
@@ -263,7 +277,9 @@ pub fn table5(scale: f64) -> Vec<MethodMeasurement> {
         let compressed = block.compress_block(&records);
         let comp_secs = start.elapsed().as_secs_f64();
         let start = Instant::now();
-        let restored = block.decompress_block(&compressed).expect("pbc_l roundtrip");
+        let restored = block
+            .decompress_block(&compressed)
+            .expect("pbc_l roundtrip");
         let decomp_secs = start.elapsed().as_secs_f64();
         assert_eq!(restored.len(), records.len());
         totals[1].1 += compressed.len() as f64 / raw_bytes as f64;
@@ -287,7 +303,10 @@ fn json_corpus(dataset: Dataset, scale: f64) -> (Vec<JsonValue>, Vec<Vec<u8>>) {
     let records = corpus(dataset, scale);
     let docs: Vec<JsonValue> = records
         .iter()
-        .map(|r| pbc_json::parse(std::str::from_utf8(r).expect("generator emits UTF-8 JSON")).expect("generator emits valid JSON"))
+        .map(|r| {
+            pbc_json::parse(std::str::from_utf8(r).expect("generator emits UTF-8 JSON"))
+                .expect("generator emits valid JSON")
+        })
         .collect();
     (docs, records)
 }
@@ -301,7 +320,13 @@ pub fn table6(scale: f64) -> Vec<MethodMeasurement> {
         .filter(|d| d.kind() == DatasetKind::Json)
         .collect();
     let method_names = [
-        "Ion-B", "BP-D", "PBC", "PBC_F", "Ion-B+LZMA", "BP-D+LZMA", "PBC_L",
+        "Ion-B",
+        "BP-D",
+        "PBC",
+        "PBC_F",
+        "Ion-B+LZMA",
+        "BP-D+LZMA",
+        "PBC_L",
     ];
     let mut sums: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); method_names.len()];
 
@@ -320,13 +345,25 @@ pub fn table6(scale: f64) -> Vec<MethodMeasurement> {
         // --- Record compression (per document). ---
         let record_results = [
             run_json_record(&docs, |d| ion.encode(d), |b| ion.decode(b).expect("ion")),
-            run_json_record(&docs, |d| binpack.encode(d), |b| binpack.decode(b).expect("bp")),
-            run_bytes_record(&records, |r| pbc.compress(r), |b| pbc.decompress(b).expect("pbc")),
-            run_bytes_record(&records, |r| pbc_f.compress(r), |b| {
-                pbc_f.decompress(b).expect("pbc_f")
-            }),
+            run_json_record(
+                &docs,
+                |d| binpack.encode(d),
+                |b| binpack.decode(b).expect("bp"),
+            ),
+            run_bytes_record(
+                &records,
+                |r| pbc.compress(r),
+                |b| pbc.decompress(b).expect("pbc"),
+            ),
+            run_bytes_record(
+                &records,
+                |r| pbc_f.compress(r),
+                |b| pbc_f.decompress(b).expect("pbc_f"),
+            ),
         ];
-        for (idx, (compressed_bytes, comp_secs, decomp_secs)) in record_results.into_iter().enumerate() {
+        for (idx, (compressed_bytes, comp_secs, decomp_secs)) in
+            record_results.into_iter().enumerate()
+        {
             sums[idx].0 += compressed_bytes as f64 / raw_bytes as f64;
             sums[idx].1 += raw_bytes as f64 / 1e6 / comp_secs.max(1e-9);
             sums[idx].2 += raw_bytes as f64 / 1e6 / decomp_secs.max(1e-9);
@@ -335,8 +372,16 @@ pub fn table6(scale: f64) -> Vec<MethodMeasurement> {
         // --- File compression (serialized corpus + LZMA / PBC_L). ---
         let lzma = LzmaLike::new(6);
         for (idx, encoded_corpus) in [
-            (4usize, docs.iter().flat_map(|d| ion.encode(d)).collect::<Vec<u8>>()),
-            (5, docs.iter().flat_map(|d| binpack.encode(d)).collect::<Vec<u8>>()),
+            (
+                4usize,
+                docs.iter().flat_map(|d| ion.encode(d)).collect::<Vec<u8>>(),
+            ),
+            (
+                5,
+                docs.iter()
+                    .flat_map(|d| binpack.encode(d))
+                    .collect::<Vec<u8>>(),
+            ),
         ] {
             let start = Instant::now();
             let compressed = lzma.compress(&encoded_corpus);
@@ -354,7 +399,9 @@ pub fn table6(scale: f64) -> Vec<MethodMeasurement> {
         let compressed = block.compress_block(&records);
         let comp_secs = start.elapsed().as_secs_f64();
         let start = Instant::now();
-        let restored = block.decompress_block(&compressed).expect("pbc_l roundtrip");
+        let restored = block
+            .decompress_block(&compressed)
+            .expect("pbc_l roundtrip");
         let decomp_secs = start.elapsed().as_secs_f64();
         assert_eq!(restored.len(), records.len());
         sums[6].0 += compressed.len() as f64 / raw_bytes as f64;
@@ -456,10 +503,7 @@ pub struct Table8Row {
 /// workload B uses KV3-shaped values; each runs under Uncompressed,
 /// dictionary-Zstd and PBC_F.
 pub fn table8(scale: f64) -> Vec<Table8Row> {
-    let workloads = [
-        ("Workload A", Dataset::Kv2),
-        ("Workload B", Dataset::Kv3),
-    ];
+    let workloads = [("Workload A", Dataset::Kv2), ("Workload B", Dataset::Kv3)];
     let mut rows = Vec::new();
     for (name, dataset) in workloads {
         let records = corpus(dataset, scale);

@@ -44,10 +44,8 @@ pub fn fig5(scale: f64) -> Vec<Fig5Point> {
         // block size.
         let fsst = FsstCodec::train(&sample);
         let pbc_f = PbcCompressor::train_fsst(&sample, &PbcConfig::default());
-        let per_record: Vec<(&'static str, Box<dyn Codec + Send + Sync>)> = vec![
-            ("FSST", Box::new(fsst)),
-            ("PBC_F", Box::new(pbc_f)),
-        ];
+        let per_record: Vec<(&'static str, Box<dyn Codec + Send + Sync>)> =
+            vec![("FSST", Box::new(fsst)), ("PBC_F", Box::new(pbc_f))];
         for (name, codec) in per_record {
             let store = PerRecordStore::build(&records, codec);
             let start = Instant::now();
@@ -353,7 +351,9 @@ mod tests {
     #[test]
     fn fig5_points_cover_both_paths() {
         let points = fig5(0.02);
-        assert!(points.iter().any(|p| p.method == "Zstd" && p.block_size == 64));
+        assert!(points
+            .iter()
+            .any(|p| p.method == "Zstd" && p.block_size == 64));
         assert!(points.iter().any(|p| p.method == "PBC_F"));
         // Block compression at large block sizes must beat block size 1.
         let kv2_small = points
@@ -375,6 +375,9 @@ mod tests {
         assert!(kv1.len() >= 4);
         let first = kv1.first().unwrap().ratio;
         let last = kv1.last().unwrap().ratio;
-        assert!(last <= first + 0.05, "ratio with max sample ({last}) should not be worse than with min sample ({first})");
+        assert!(
+            last <= first + 0.05,
+            "ratio with max sample ({last}) should not be worse than with min sample ({first})"
+        );
     }
 }

@@ -19,10 +19,12 @@
 //! | Table 5 (log compression) | [`experiments::table5`] |
 //! | Tables 6–7 (JSON compression) | [`experiments::table6`], [`experiments::table7`] |
 //! | Table 8 (production case study) | [`experiments::table8`] |
+//! | Archive ingest/lookups (beyond the paper) | [`archive::archive_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
 
+pub mod archive;
 pub mod data;
 pub mod experiments;
 pub mod figures;

@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn zero_elapsed_does_not_divide_by_zero() {
-        let t = Throughput { bytes: 1, seconds: 0.0 };
+        let t = Throughput {
+            bytes: 1,
+            seconds: 0.0,
+        };
         assert!(t.mb_per_sec().is_infinite());
         assert!(t.ops_per_sec(10).is_infinite());
     }

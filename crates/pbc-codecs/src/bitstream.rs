@@ -109,7 +109,9 @@ impl<'a> BitReader<'a> {
             return Ok(0);
         }
         if self.remaining_bits() < count as usize {
-            return Err(CodecError::UnexpectedEof { context: "bitstream" });
+            return Err(CodecError::UnexpectedEof {
+                context: "bitstream",
+            });
         }
         let mut value = 0u64;
         let mut remaining = count;

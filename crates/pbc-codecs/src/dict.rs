@@ -161,7 +161,10 @@ mod tests {
         );
         assert_eq!(
             codec
-                .decompress_with_dict(&codec.compress_with_dict(rec, dict.as_bytes()), dict.as_bytes())
+                .decompress_with_dict(
+                    &codec.compress_with_dict(rec, dict.as_bytes()),
+                    dict.as_bytes()
+                )
                 .unwrap(),
             *rec
         );
@@ -171,7 +174,7 @@ mod tests {
     fn empty_and_degenerate_samples() {
         assert!(Dictionary::train(&[], 1024).is_empty());
         let unique: Vec<Vec<u8>> = (0..50u64)
-            .map(|i| i.to_be_bytes().repeat(1).to_vec())
+            .map(|i| i.to_be_bytes().to_vec().to_vec())
             .collect();
         let refs: Vec<&[u8]> = unique.iter().map(|r| r.as_slice()).collect();
         // Records shorter than the smallest fragment length produce an empty dict.

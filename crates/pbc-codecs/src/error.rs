@@ -53,7 +53,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { context } => {
-                write!(f, "unexpected end of compressed stream while reading {context}")
+                write!(
+                    f,
+                    "unexpected end of compressed stream while reading {context}"
+                )
             }
             CodecError::Corrupt { reason } => write!(f, "corrupt compressed stream: {reason}"),
             CodecError::InvalidOffset { offset, position } => write!(
@@ -61,7 +64,10 @@ impl fmt::Display for CodecError {
                 "invalid back-reference offset {offset} at output position {position}"
             ),
             CodecError::MissingDictionary => {
-                write!(f, "payload was compressed with a dictionary that was not supplied")
+                write!(
+                    f,
+                    "payload was compressed with a dictionary that was not supplied"
+                )
             }
             CodecError::SizeLimitExceeded { declared, limit } => write!(
                 f,
@@ -79,7 +85,9 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let eof = CodecError::UnexpectedEof { context: "literal run" };
+        let eof = CodecError::UnexpectedEof {
+            context: "literal run",
+        };
         assert!(eof.to_string().contains("literal run"));
 
         let corrupt = CodecError::corrupt("bad magic");
@@ -102,9 +110,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(CodecError::MissingDictionary, CodecError::MissingDictionary);
-        assert_ne!(
-            CodecError::corrupt("a"),
-            CodecError::corrupt("b"),
-        );
+        assert_ne!(CodecError::corrupt("a"), CodecError::corrupt("b"),);
     }
 }

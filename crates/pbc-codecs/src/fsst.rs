@@ -199,8 +199,7 @@ impl TrainableCodec for FsstCodec {
                         None => 1,
                     };
                     let cur = (pos, len);
-                    *gains.entry(sample[pos..pos + len].to_vec()).or_insert(0) +=
-                        len as u64;
+                    *gains.entry(sample[pos..pos + len].to_vec()).or_insert(0) += len as u64;
                     if let Some((ps, pl)) = prev {
                         let combined_len = pl + len;
                         if combined_len <= MAX_SYMBOL_LEN {
@@ -308,7 +307,10 @@ mod tests {
         let refs: Vec<&[u8]> = samples.iter().map(|s| s.as_slice()).collect();
         let codec = FsstCodec::train(&refs);
         assert!(codec.symbols().len() <= MAX_SYMBOLS);
-        assert!(codec.symbols().iter().all(|s| s.len() <= MAX_SYMBOL_LEN && !s.is_empty()));
+        assert!(codec
+            .symbols()
+            .iter()
+            .all(|s| s.len() <= MAX_SYMBOL_LEN && !s.is_empty()));
     }
 
     #[test]
@@ -321,10 +323,7 @@ mod tests {
         assert_eq!(consumed, table.len());
         assert_eq!(restored.symbols(), codec.symbols());
         let record = b"https://www.example.com/products/category-3/item_00042";
-        assert_eq!(
-            restored.decode(&codec.encode(record)).unwrap(),
-            record
-        );
+        assert_eq!(restored.decode(&codec.encode(record)).unwrap(), record);
     }
 
     #[test]

@@ -101,7 +101,9 @@ fn validate_lengths(lengths: &[u8; ALPHABET]) -> Result<()> {
         }
     }
     if kraft > unit {
-        return Err(CodecError::corrupt("huffman code lengths violate Kraft inequality"));
+        return Err(CodecError::corrupt(
+            "huffman code lengths violate Kraft inequality",
+        ));
     }
     Ok(())
 }
@@ -182,11 +184,7 @@ fn limit_lengths(lengths: &mut [u8; ALPHABET]) {
         return;
     }
     // Compute Kraft sum in units of 2^-MAX_CODE_LEN.
-    let kraft: u64 = lengths
-        .iter()
-        .filter(|&&l| l > 0)
-        .map(|&l| unit >> l)
-        .sum();
+    let kraft: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
     let mut excess = kraft.saturating_sub(unit);
     // Lengthen the shortest over-short codes until the Kraft inequality holds.
     while excess > 0 {
@@ -437,7 +435,7 @@ mod tests {
     fn all_byte_values_roundtrip() {
         let mut data = Vec::new();
         for i in 0..=255u8 {
-            data.extend(std::iter::repeat(i).take((i as usize % 7) + 1));
+            data.extend(std::iter::repeat_n(i, (i as usize % 7) + 1));
         }
         let compressed = compress(&data);
         assert_eq!(decompress(&compressed).unwrap(), data);

@@ -145,9 +145,7 @@ impl<'a> MatchFinder<'a> {
             debug_assert!(cand < pos);
             // Quick reject: compare the byte just past the current best.
             let best_len = best.map_or(MIN_MATCH - 1, |m| m.len);
-            if best_len < max_len
-                && self.data[cand + best_len] == self.data[pos + best_len]
-            {
+            if best_len < max_len && self.data[cand + best_len] == self.data[pos + best_len] {
                 let len = common_prefix(&self.data[cand..], &self.data[pos..], max_len);
                 if len >= MIN_MATCH && len > best_len {
                     best = Some(Match {
@@ -335,7 +333,10 @@ mod tests {
         let mut finder = MatchFinder::new(&data, 0, MatchFinderConfig::fast());
         let tokens = finder.parse();
         let has_match = tokens.iter().any(|t| t.match_.is_some());
-        assert!(has_match, "repeated decimal runs must produce back-references");
+        assert!(
+            has_match,
+            "repeated decimal runs must produce back-references"
+        );
     }
 
     #[test]
@@ -349,7 +350,10 @@ mod tests {
         let tokens = finder.parse();
         // The first token should reference into the dictionary region.
         let first_match = tokens.iter().find_map(|t| t.match_);
-        assert!(first_match.is_some(), "record prefix matches the dictionary");
+        assert!(
+            first_match.is_some(),
+            "record prefix matches the dictionary"
+        );
         // Reconstruction of the input region only.
         let mut out = dict.to_vec();
         for t in &tokens {
@@ -382,7 +386,10 @@ mod tests {
         let data = vec![b'z'; 10_000];
         let mut finder = MatchFinder::new(&data, 0, MatchFinderConfig::balanced());
         let tokens = finder.parse();
-        assert!(tokens.len() < 50, "a constant run should parse into few tokens");
+        assert!(
+            tokens.len() < 50,
+            "a constant run should parse into few tokens"
+        );
         assert_eq!(reconstruct(&tokens, &data), data);
     }
 }

@@ -276,7 +276,9 @@ mod tests {
         let mut state = 7u64;
         let data: Vec<u8> = (0..4096)
             .map(|_| {
-                state = state.wrapping_mul(0x5851F42D4C957F2D).wrapping_add(0x14057B7EF767814F);
+                state = state
+                    .wrapping_mul(0x5851F42D4C957F2D)
+                    .wrapping_add(0x14057B7EF767814F);
                 (state >> 33) as u8
             })
             .collect();
@@ -295,9 +297,8 @@ mod tests {
         // Flip a byte in the middle of the range-coded payload.
         let mid = corrupted.len() / 2;
         corrupted[mid] ^= 0xff;
-        match codec.decompress(&corrupted) {
-            Ok(out) => assert_ne!(out, data),
-            Err(_) => {}
+        if let Ok(out) = codec.decompress(&corrupted) {
+            assert_ne!(out, data)
         }
         // Truncation must not panic.
         let mut truncated = compressed;
@@ -310,7 +311,11 @@ mod tests {
         let data = vec![b'q'; 100_000];
         let codec = LzmaLike::default();
         let compressed = codec.compress(&data);
-        assert!(compressed.len() < 2048, "constant run must collapse, got {}", compressed.len());
+        assert!(
+            compressed.len() < 2048,
+            "constant run must collapse, got {}",
+            compressed.len()
+        );
         assert_eq!(codec.decompress(&compressed).unwrap(), data);
     }
 }

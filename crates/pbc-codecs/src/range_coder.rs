@@ -263,7 +263,9 @@ mod tests {
 
     #[test]
     fn direct_bits_roundtrip() {
-        let values: Vec<u32> = (0..500).map(|i| (i * 2654435761u32) >> 12).collect();
+        let values: Vec<u32> = (0..500u32)
+            .map(|i| i.wrapping_mul(2654435761) >> 12)
+            .collect();
         let mut enc = RangeEncoder::new();
         for &v in &values {
             enc.encode_direct(v, 20);
@@ -298,7 +300,13 @@ mod tests {
         let mut m0 = BitModel::new();
         let mut m1 = BitModel::new();
         let spec: Vec<(u8, u8, u32)> = (0..2000)
-            .map(|i| ((i % 3 == 0) as u8, (i % 5 == 0) as u8, (i * 7919) as u32 % 4096))
+            .map(|i| {
+                (
+                    (i % 3 == 0) as u8,
+                    (i % 5 == 0) as u8,
+                    (i * 7919) as u32 % 4096,
+                )
+            })
             .collect();
         for &(a, b, v) in &spec {
             enc.encode_bit(&mut m0, a);

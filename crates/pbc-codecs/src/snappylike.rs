@@ -70,9 +70,7 @@ impl SnappyLike {
             };
             if (4..=11).contains(&chunk) && offset < 2048 {
                 // COPY1: 3-bit length (chunk-4), 11-bit offset.
-                let tag = TAG_COPY1
-                    | (((chunk - 4) as u8) << 2)
-                    | (((offset >> 8) as u8) << 5);
+                let tag = TAG_COPY1 | (((chunk - 4) as u8) << 2) | (((offset >> 8) as u8) << 5);
                 out.push(tag);
                 out.push((offset & 0xff) as u8);
             } else if offset < 65536 {
@@ -168,8 +166,7 @@ impl Codec for SnappyLike {
                                     context: "snappy copy2 offset",
                                 });
                             }
-                            let offset =
-                                u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                            let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
                             pos += 2;
                             (len, offset)
                         }
@@ -219,7 +216,12 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let codec = SnappyLike::new();
         let compressed = codec.compress(data);
-        assert_eq!(codec.decompress(&compressed).unwrap(), data, "len {}", data.len());
+        assert_eq!(
+            codec.decompress(&compressed).unwrap(),
+            data,
+            "len {}",
+            data.len()
+        );
     }
 
     #[test]
@@ -236,8 +238,14 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..500 {
             data.extend_from_slice(
-                format!("2023-05-0{} 12:00:{:02} INFO dfs.DataNode: Received block blk_{} of size {}\n",
-                    (i % 9) + 1, i % 60, 1000000 + i * 37, 67108864 - i).as_bytes(),
+                format!(
+                    "2023-05-0{} 12:00:{:02} INFO dfs.DataNode: Received block blk_{} of size {}\n",
+                    (i % 9) + 1,
+                    i % 60,
+                    1000000 + i * 37,
+                    67108864 - i
+                )
+                .as_bytes(),
             );
         }
         let codec = SnappyLike::new();

@@ -50,9 +50,9 @@ pub fn read_u64(input: &[u8], mut pos: usize) -> Result<(u64, usize)> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *input.get(pos).ok_or(CodecError::UnexpectedEof {
-            context: "varint",
-        })?;
+        let byte = *input
+            .get(pos)
+            .ok_or(CodecError::UnexpectedEof { context: "varint" })?;
         pos += 1;
         if shift >= 64 {
             return Err(CodecError::corrupt("varint longer than 10 bytes"));

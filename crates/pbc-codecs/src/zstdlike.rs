@@ -229,8 +229,7 @@ mod tests {
 
     #[test]
     fn roundtrip_across_levels() {
-        let data = b"INFO 2023-05-01 connection from 10.0.0.1 established; session=42\n"
-            .repeat(64);
+        let data = b"INFO 2023-05-01 connection from 10.0.0.1 established; session=42\n".repeat(64);
         for level in [1, 3, 9, 19] {
             roundtrip(&ZstdLike::new(level), &data);
         }
@@ -248,13 +247,21 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..400 {
             data.extend_from_slice(
-                format!("user_id={} action=click page=/home/section/{} ts=16395{:05}\n",
-                    10_000 + i, i % 7, i * 13).as_bytes(),
+                format!(
+                    "user_id={} action=click page=/home/section/{} ts=16395{:05}\n",
+                    10_000 + i,
+                    i % 7,
+                    i * 13
+                )
+                .as_bytes(),
             );
         }
         let fast = ZstdLike::new(1).compress(&data).len();
         let strong = ZstdLike::new(19).compress(&data).len();
-        assert!(strong <= fast, "level 19 ({strong}) should be <= level 1 ({fast})");
+        assert!(
+            strong <= fast,
+            "level 19 ({strong}) should be <= level 1 ({fast})"
+        );
     }
 
     #[test]
@@ -286,13 +293,17 @@ mod tests {
     fn dictionary_mode_roundtrips_and_helps_short_records() {
         let codec = ZstdLike::new(3);
         let dict =
-            b"{\"event\":\"page_view\",\"user\":\"\",\"url\":\"https://example.com/\",\"ms\":}".to_vec();
+            b"{\"event\":\"page_view\",\"user\":\"\",\"url\":\"https://example.com/\",\"ms\":}"
+                .to_vec();
         let record =
             b"{\"event\":\"page_view\",\"user\":\"u_8842\",\"url\":\"https://example.com/checkout\",\"ms\":132}";
         let plain = codec.compress(record);
         let with_dict = codec.compress_with_dict(record, &dict);
         assert!(with_dict.len() < plain.len());
-        assert_eq!(codec.decompress_with_dict(&with_dict, &dict).unwrap(), record);
+        assert_eq!(
+            codec.decompress_with_dict(&with_dict, &dict).unwrap(),
+            record
+        );
     }
 
     #[test]
@@ -311,7 +322,9 @@ mod tests {
         let mut state = 1u64;
         let data: Vec<u8> = (0..8192)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 56) as u8
             })
             .collect();

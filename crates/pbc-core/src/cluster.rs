@@ -117,7 +117,13 @@ impl Cluster {
     /// Parse the paper's notation into a wildcard sequence (for tests).
     pub fn cs_from_str(text: &str) -> Vec<PatElem> {
         text.bytes()
-            .map(|b| if b == b'*' { PatElem::Gap } else { PatElem::Lit(b) })
+            .map(|b| {
+                if b == b'*' {
+                    PatElem::Gap
+                } else {
+                    PatElem::Lit(b)
+                }
+            })
             .collect()
     }
 }

@@ -13,7 +13,7 @@
 //! exhaustive computation.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::cluster::{Cluster, PatElem};
 use crate::dp;
@@ -125,8 +125,14 @@ pub fn cluster_records(samples: &[Vec<u8>], config: &ClusteringConfig) -> Cluste
     }
 
     // --- Build singleton clusters. ---
+    // Keyed by generation stamp in a BTreeMap: every iteration over the
+    // active set (pair seeding, re-pairing after a merge, final collection)
+    // must follow a deterministic order, or extracted dictionaries differ
+    // between identically-trained compressors (HashMap order is randomized
+    // per instance, which broke pbc-archive's byte-identical-segments
+    // guarantee).
     let mut stamps: u64 = 0;
-    let mut active: HashMap<u64, Cluster> = HashMap::new();
+    let mut active: BTreeMap<u64, Cluster> = BTreeMap::new();
     for (slot, &rep) in representatives.iter().enumerate() {
         let mut cluster = Cluster::singleton(rep, &samples[rep], weights[slot], config.max_cs_len);
         cluster.members.extend(extra_members[slot].iter().copied());
@@ -214,7 +220,9 @@ fn seed_candidate(
     result: &mut ClusteringResult,
 ) -> Candidate {
     if config.use_onegram_pruning && config.criterion == Criterion::EncodingLength {
-        let bound = ca.onegram.merge_lower_bound(&cb.onegram, ca.weight, cb.weight);
+        let bound = ca
+            .onegram
+            .merge_lower_bound(&cb.onegram, ca.weight, cb.weight);
         Candidate {
             score: bound,
             a,
@@ -296,18 +304,32 @@ mod tests {
         let mut samples = Vec::new();
         for i in 0..30 {
             samples.push(
-                format!("user_profile:{{\"id\": {}, \"plan\": \"pro\", \"active\": true}}", 1000 + i)
-                    .into_bytes(),
+                format!(
+                    "user_profile:{{\"id\": {}, \"plan\": \"pro\", \"active\": true}}",
+                    1000 + i
+                )
+                .into_bytes(),
             );
         }
         for i in 0..30 {
             samples.push(
-                format!("order_event:{{\"order\": {}, \"status\": \"shipped\", \"items\": {}}}", 77000 + i, i % 9)
-                    .into_bytes(),
+                format!(
+                    "order_event:{{\"order\": {}, \"status\": \"shipped\", \"items\": {}}}",
+                    77000 + i,
+                    i % 9
+                )
+                .into_bytes(),
             );
         }
         for i in 0..30 {
-            samples.push(format!("2023-06-0{} INFO worker-{} heartbeat ok", (i % 9) + 1, i % 4).into_bytes());
+            samples.push(
+                format!(
+                    "2023-06-0{} INFO worker-{} heartbeat ok",
+                    (i % 9) + 1,
+                    i % 4
+                )
+                .into_bytes(),
+            );
         }
         samples
     }
@@ -425,9 +447,8 @@ mod tests {
     #[test]
     fn edit_distance_matches_known_values() {
         use crate::cluster::Cluster;
-        let d = |a: &str, b: &str| {
-            edit_distance(&Cluster::cs_from_str(a), &Cluster::cs_from_str(b))
-        };
+        let d =
+            |a: &str, b: &str| edit_distance(&Cluster::cs_from_str(a), &Cluster::cs_from_str(b));
         assert_eq!(d("kitten", "sitting"), 3);
         assert_eq!(d("", "abc"), 3);
         assert_eq!(d("abc", "abc"), 0);

@@ -141,6 +141,16 @@ impl PbcCompressor {
         self.report.as_ref()
     }
 
+    /// The FSST symbol table used for residuals, if this is a `PBC_F`
+    /// compressor. Lets containers (e.g. `pbc-archive` segments) serialize
+    /// the full trained state next to the pattern dictionary.
+    pub fn residual_fsst(&self) -> Option<&FsstCodec> {
+        match &self.residual {
+            ResidualMode::Fsst(fsst) => Some(fsst),
+            ResidualMode::Plain => None,
+        }
+    }
+
     /// Name used in benchmark tables.
     pub fn variant_name(&self) -> &'static str {
         if self.residual.is_fsst() {
@@ -192,7 +202,9 @@ impl PbcCompressor {
             .filter(|s| matches!(s, Segment::Field(_)))
             .enumerate()
         {
-            let Segment::Field(enc) = seg else { unreachable!() };
+            let Segment::Field(enc) = seg else {
+                unreachable!()
+            };
             let mut value = Vec::new();
             pos = self
                 .decode_field(enc, data, pos, &mut value)

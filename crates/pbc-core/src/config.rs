@@ -94,9 +94,11 @@ mod tests {
 
     #[test]
     fn clustering_config_mirrors_pbc_config() {
-        let mut c = PbcConfig::default();
-        c.target_clusters = 17;
-        c.use_onegram_pruning = false;
+        let c = PbcConfig {
+            target_clusters: 17,
+            use_onegram_pruning: false,
+            ..PbcConfig::default()
+        };
         let cc = c.clustering();
         assert_eq!(cc.target_clusters, 17);
         assert!(!cc.use_onegram_pruning);

@@ -164,10 +164,8 @@ mod tests {
 
     #[test]
     fn pure_wildcard_patterns_are_dropped() {
-        let dict = PatternDictionary::from_patterns(vec![
-            Pattern::parse("*"),
-            Pattern::parse("a*b"),
-        ]);
+        let dict =
+            PatternDictionary::from_patterns(vec![Pattern::parse("*"), Pattern::parse("a*b")]);
         assert_eq!(dict.len(), 1);
     }
 
@@ -200,7 +198,7 @@ mod tests {
         let budget = full - 20;
         dict.truncate_to_budget(budget);
         assert!(dict.size_bytes() <= budget);
-        assert!(dict.len() >= 1);
+        assert!(!dict.is_empty());
         // The longest-literal pattern must survive.
         assert!(dict
             .iter()

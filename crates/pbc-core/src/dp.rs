@@ -186,13 +186,7 @@ fn merge_impl(
                 sx,
                 sy,
             );
-            let from_y = update_state(
-                state[row + j - 1],
-                cell_type[row + j - 1],
-                y_is_gap,
-                sy,
-                sx,
-            );
+            let from_y = update_state(state[row + j - 1], cell_type[row + j - 1], y_is_gap, sy, sx);
 
             let can_diag = !x_is_gap && !y_is_gap && x_elem == y_elem;
             // Candidates as (cost, -kept) lexicographic minima.
@@ -289,6 +283,7 @@ pub mod reference {
         size_x: usize,
         size_y: usize,
     ) -> i64 {
+        #[allow(clippy::too_many_arguments)] // mirrors the paper's recurrence state
         fn recurse(
             cs_x: &[PatElem],
             cs_y: &[PatElem],
@@ -422,7 +417,10 @@ mod tests {
         let b = cs("abcYdef");
         let small = min_encoding_length_increment(&a, &b, 1, 1);
         let large = min_encoding_length_increment(&a, &b, 100, 100);
-        assert!(large > small, "demoting a literal costs every member record");
+        assert!(
+            large > small,
+            "demoting a literal costs every member record"
+        );
     }
 
     #[test]

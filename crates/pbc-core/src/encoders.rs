@@ -144,7 +144,9 @@ impl FieldEncoder {
                 let n = n as usize;
                 let end = pos + n;
                 if end > input.len() {
-                    return Err(PbcError::Truncated { context: "CHAR field" });
+                    return Err(PbcError::Truncated {
+                        context: "CHAR field",
+                    });
                 }
                 out.extend_from_slice(&input[pos..end]);
                 Ok(end)
@@ -173,7 +175,9 @@ impl FieldEncoder {
             FieldEncoder::Int { digits, bytes } => {
                 let bytes = bytes as usize;
                 if pos + bytes > input.len() {
-                    return Err(PbcError::Truncated { context: "INT field" });
+                    return Err(PbcError::Truncated {
+                        context: "INT field",
+                    });
                 }
                 let mut le = [0u8; 8];
                 le[..bytes].copy_from_slice(&input[pos..pos + bytes]);
@@ -222,7 +226,9 @@ impl FieldEncoder {
         match tag {
             0 => {
                 if pos + 3 > input.len() {
-                    return Err(PbcError::Truncated { context: "CHAR width" });
+                    return Err(PbcError::Truncated {
+                        context: "CHAR width",
+                    });
                 }
                 let n = u16::from_le_bytes([input[pos + 1], input[pos + 2]]);
                 Ok((FieldEncoder::Char { n }, pos + 3))
@@ -230,7 +236,9 @@ impl FieldEncoder {
             1 => Ok((FieldEncoder::Varchar, pos + 1)),
             2 => {
                 if pos + 3 > input.len() {
-                    return Err(PbcError::Truncated { context: "INT descriptor" });
+                    return Err(PbcError::Truncated {
+                        context: "INT descriptor",
+                    });
                 }
                 Ok((
                     FieldEncoder::Int {
@@ -268,21 +276,23 @@ pub fn infer_encoder(values: &[&[u8]]) -> FieldEncoder {
     let mut candidates: Vec<FieldEncoder> = Vec::with_capacity(4);
     let first_len = values[0].len();
     let all_same_len = values.iter().all(|v| v.len() == first_len);
-    let all_digits = values.iter().all(|v| !v.is_empty() && v.iter().all(u8::is_ascii_digit));
+    let all_digits = values
+        .iter()
+        .all(|v| !v.is_empty() && v.iter().all(u8::is_ascii_digit));
     if all_same_len && all_digits && first_len <= 19 && first_len > 0 {
         candidates.push(FieldEncoder::int_for_digits(first_len as u8));
     }
     if all_digits {
-        let no_leading_zeros = values
-            .iter()
-            .all(|v| v.len() == 1 || v[0] != b'0');
+        let no_leading_zeros = values.iter().all(|v| v.len() == 1 || v[0] != b'0');
         let fits = values.iter().all(|v| v.len() <= 19);
         if no_leading_zeros && fits {
             candidates.push(FieldEncoder::Varint);
         }
     }
     if all_same_len && first_len > 0 && first_len < (1 << 16) {
-        candidates.push(FieldEncoder::Char { n: first_len as u16 });
+        candidates.push(FieldEncoder::Char {
+            n: first_len as u16,
+        });
     }
     candidates.push(FieldEncoder::Varchar);
 
@@ -332,12 +342,12 @@ mod tests {
     fn varchar_roundtrip_short_and_long() {
         roundtrip(FieldEncoder::Varchar, b"");
         roundtrip(FieldEncoder::Varchar, b"hello");
-        roundtrip(FieldEncoder::Varchar, &vec![b'x'; 127]);
-        roundtrip(FieldEncoder::Varchar, &vec![b'y'; 128]);
+        roundtrip(FieldEncoder::Varchar, &[b'x'; 127]);
+        roundtrip(FieldEncoder::Varchar, &[b'y'; 128]);
         roundtrip(FieldEncoder::Varchar, &vec![b'z'; 5000]);
         // Header sizes match the paper: 1 byte below 128, 2 bytes above.
         assert_eq!(FieldEncoder::Varchar.encoded_len(b"abc"), 4);
-        assert_eq!(FieldEncoder::Varchar.encoded_len(&vec![b'a'; 200]), 202);
+        assert_eq!(FieldEncoder::Varchar.encoded_len(&[b'a'; 200]), 202);
     }
 
     #[test]
@@ -367,10 +377,16 @@ mod tests {
         roundtrip(FieldEncoder::Varint, b"0");
         roundtrip(FieldEncoder::Varint, b"7");
         roundtrip(FieldEncoder::Varint, b"1639574096");
-        assert!(!FieldEncoder::Varint.accepts(b"007"), "leading zeros would be lost");
+        assert!(
+            !FieldEncoder::Varint.accepts(b"007"),
+            "leading zeros would be lost"
+        );
         assert!(!FieldEncoder::Varint.accepts(b""));
         assert!(!FieldEncoder::Varint.accepts(b"12a4"));
-        assert!(!FieldEncoder::Varint.accepts(b"99999999999999999999"), "20 digits may overflow u64");
+        assert!(
+            !FieldEncoder::Varint.accepts(b"99999999999999999999"),
+            "20 digits may overflow u64"
+        );
     }
 
     #[test]
@@ -396,7 +412,13 @@ mod tests {
     fn inference_matches_paper_figure2_fields() {
         // Field 0 of Figure 2: "57", "72", "15", "46" → INT(2,1).
         let field0: Vec<&[u8]> = vec![b"57", b"72", b"15", b"46"];
-        assert_eq!(infer_encoder(&field0), FieldEncoder::Int { digits: 2, bytes: 1 });
+        assert_eq!(
+            infer_encoder(&field0),
+            FieldEncoder::Int {
+                digits: 2,
+                bytes: 1
+            }
+        );
         // Field 2: "_ac", "_ac", "", "_ac" → VARCHAR.
         let field2: Vec<&[u8]> = vec![b"_ac", b"_ac", b"", b"_ac"];
         assert_eq!(infer_encoder(&field2), FieldEncoder::Varchar);
@@ -404,7 +426,10 @@ mod tests {
         let field4: Vec<&[u8]> = vec![b"123050", b"204181", b"205420", b"204381"];
         assert_eq!(
             infer_encoder(&field4),
-            FieldEncoder::Int { digits: 6, bytes: 3 }
+            FieldEncoder::Int {
+                digits: 6,
+                bytes: 3
+            }
         );
     }
 
@@ -418,7 +443,10 @@ mod tests {
         let encoders = [
             FieldEncoder::Char { n: 300 },
             FieldEncoder::Varchar,
-            FieldEncoder::Int { digits: 6, bytes: 3 },
+            FieldEncoder::Int {
+                digits: 6,
+                bytes: 3,
+            },
             FieldEncoder::Varint,
         ];
         let mut buf = Vec::new();

@@ -124,7 +124,11 @@ pub fn set_encoding_length(pattern: &Pattern, records: &[&[u8]]) -> usize {
 /// [`set_encoding_length`].
 pub fn cluster_encoding_length(cluster: &Cluster, samples: &[Vec<u8>]) -> usize {
     let pattern = pattern_from_cs(&cluster.cs);
-    let members: Vec<&[u8]> = cluster.members.iter().map(|&i| samples[i].as_slice()).collect();
+    let members: Vec<&[u8]> = cluster
+        .members
+        .iter()
+        .map(|&i| samples[i].as_slice())
+        .collect();
     set_encoding_length(&pattern, &members)
 }
 
@@ -152,9 +156,7 @@ mod tests {
 
     #[test]
     fn inferred_encoders_match_figure2() {
-        let cs = Cluster::cs_from_str(
-            "V5company_charging-100-*accenter*ac*counting_log_*202*",
-        );
+        let cs = Cluster::cs_from_str("V5company_charging-100-*accenter*ac*counting_log_*202*");
         let records: Vec<&[u8]> = vec![
             b"V5company_charging-100-57accenter20ac_accounting_log_202123050",
             b"V5company_charging-100-72accenter11ac_accounting_log_202204181",
@@ -164,11 +166,29 @@ mod tests {
         let p = pattern_with_inferred_encoders(&cs, &records);
         let encoders = p.field_encoders();
         assert_eq!(encoders.len(), 5);
-        assert_eq!(encoders[0], FieldEncoder::Int { digits: 2, bytes: 1 });
-        assert_eq!(encoders[1], FieldEncoder::Int { digits: 2, bytes: 1 });
+        assert_eq!(
+            encoders[0],
+            FieldEncoder::Int {
+                digits: 2,
+                bytes: 1
+            }
+        );
+        assert_eq!(
+            encoders[1],
+            FieldEncoder::Int {
+                digits: 2,
+                bytes: 1
+            }
+        );
         assert_eq!(encoders[2], FieldEncoder::Varchar);
         assert_eq!(encoders[3], FieldEncoder::Varchar);
-        assert_eq!(encoders[4], FieldEncoder::Int { digits: 6, bytes: 3 });
+        assert_eq!(
+            encoders[4],
+            FieldEncoder::Int {
+                digits: 6,
+                bytes: 3
+            }
+        );
         // All records still match with the constrained encoders.
         for r in &records {
             assert!(crate::matching::match_record(&p, r).is_some());

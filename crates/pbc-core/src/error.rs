@@ -74,10 +74,14 @@ mod tests {
 
     #[test]
     fn display_includes_key_information() {
-        assert!(PbcError::UnknownPattern { id: 42 }.to_string().contains("42"));
-        assert!(PbcError::Truncated { context: "field count" }
+        assert!(PbcError::UnknownPattern { id: 42 }
             .to_string()
-            .contains("field count"));
+            .contains("42"));
+        assert!(PbcError::Truncated {
+            context: "field count"
+        }
+        .to_string()
+        .contains("field count"));
         assert!(PbcError::FieldDecode {
             field: 3,
             reason: "not a digit".into()

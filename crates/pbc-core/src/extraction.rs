@@ -31,7 +31,10 @@ pub struct ExtractionReport {
 }
 
 /// Extract a pattern dictionary from already-sampled records.
-pub fn extract_from_samples(samples: &[Vec<u8>], config: &PbcConfig) -> (PatternDictionary, ExtractionReport) {
+pub fn extract_from_samples(
+    samples: &[Vec<u8>],
+    config: &PbcConfig,
+) -> (PatternDictionary, ExtractionReport) {
     // Long-record datasets (e.g. multi-KB JSON documents): the wildcard
     // sequences must cover more of the record or the trailing bytes all land
     // in one huge residual field. Raise the sequence cap and shrink the
@@ -68,7 +71,7 @@ pub fn extract_from_samples(samples: &[Vec<u8>], config: &PbcConfig) -> (Pattern
         }
     }
     // Deduplicate identical patterns (clusters can converge to the same one).
-    patterns.sort_by(|a, b| a.display().cmp(&b.display()));
+    patterns.sort_by_key(|a| a.display());
     patterns.dedup();
 
     let mut dictionary = PatternDictionary::from_patterns(patterns);
@@ -89,7 +92,10 @@ pub fn extract_from_samples(samples: &[Vec<u8>], config: &PbcConfig) -> (Pattern
 
 /// Sample `records` according to the config and extract a pattern
 /// dictionary from the sample.
-pub fn extract_patterns(records: &[Vec<u8>], config: &PbcConfig) -> (PatternDictionary, ExtractionReport) {
+pub fn extract_patterns(
+    records: &[Vec<u8>],
+    config: &PbcConfig,
+) -> (PatternDictionary, ExtractionReport) {
     let samples = sample_records(
         records,
         config.max_sample_records,
@@ -148,10 +154,14 @@ mod tests {
     fn extracted_patterns_capture_the_shared_template() {
         let records = trade_records(200);
         let (dict, _) = extract_patterns(&records, &PbcConfig::small());
-        let found = dict
-            .iter()
-            .any(|(_, p)| p.display().contains("\"symbol\": \"") && p.display().contains("\"timestamp\": "));
-        assert!(found, "patterns: {:?}", dict.iter().map(|(_, p)| p.display()).collect::<Vec<_>>());
+        let found = dict.iter().any(|(_, p)| {
+            p.display().contains("\"symbol\": \"") && p.display().contains("\"timestamp\": ")
+        });
+        assert!(
+            found,
+            "patterns: {:?}",
+            dict.iter().map(|(_, p)| p.display()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -166,7 +176,10 @@ mod tests {
         );
         let (dict, _) = extract_from_samples(&samples, &config);
         for (_, pattern) in dict.iter() {
-            let hits = samples.iter().filter(|r| match_record(pattern, r).is_some()).count();
+            let hits = samples
+                .iter()
+                .filter(|r| match_record(pattern, r).is_some())
+                .count();
             assert!(
                 hits > 0,
                 "pattern {} matches no training record",
@@ -197,11 +210,16 @@ mod tests {
     fn heterogeneous_data_produces_multiple_patterns() {
         let mut records = trade_records(100);
         for i in 0..100 {
-            records.push(format!("GET /static/asset_{i}.css HTTP/1.1 200 {}", 1000 + i).into_bytes());
+            records
+                .push(format!("GET /static/asset_{i}.css HTTP/1.1 200 {}", 1000 + i).into_bytes());
         }
         let mut config = PbcConfig::small();
         config.target_clusters = 6;
         let (dict, _) = extract_patterns(&records, &config);
-        assert!(dict.len() >= 2, "expected patterns for both families, got {}", dict.len());
+        assert!(
+            dict.len() >= 2,
+            "expected patterns for both families, got {}",
+            dict.len()
+        );
     }
 }

@@ -65,7 +65,9 @@ pub fn match_structure(pattern: &Pattern, record: &[u8]) -> Option<MatchResult> 
         if si < segs.len() {
             match &segs[si] {
                 Segment::Literal(lit) => {
-                    if record.len() >= pos + lit.len() && &record[pos..pos + lit.len()] == lit.as_slice() {
+                    if record.len() >= pos + lit.len()
+                        && &record[pos..pos + lit.len()] == lit.as_slice()
+                    {
                         pos += lit.len();
                         si += 1;
                         continue;
@@ -150,7 +152,10 @@ mod tests {
         let m1 = match_structure(&p1, record).expect("*ob* matches foobar");
         let m2 = match_structure(&p2, record).expect("*ooba* matches foobar");
         // Residuals for the longer pattern are ["f", "r"], as in the paper.
-        assert_eq!(m2.field_values(record), vec![b"f".as_slice(), b"r".as_slice()]);
+        assert_eq!(
+            m2.field_values(record),
+            vec![b"f".as_slice(), b"r".as_slice()]
+        );
         assert_eq!(m2.residual_len(), 2);
         assert!(m1.residual_len() > m2.residual_len());
     }
@@ -188,10 +193,16 @@ mod tests {
         let p = Pattern::parse("*middle*");
         let record = b"AAAmiddleBBB";
         let m = match_structure(&p, record).unwrap();
-        assert_eq!(m.field_values(record), vec![b"AAA".as_slice(), b"BBB".as_slice()]);
+        assert_eq!(
+            m.field_values(record),
+            vec![b"AAA".as_slice(), b"BBB".as_slice()]
+        );
         // Empty prefix/suffix also allowed.
         let m = match_structure(&p, b"middle").unwrap();
-        assert_eq!(m.field_values(b"middle"), vec![b"".as_slice(), b"".as_slice()]);
+        assert_eq!(
+            m.field_values(b"middle"),
+            vec![b"".as_slice(), b"".as_slice()]
+        );
     }
 
     #[test]

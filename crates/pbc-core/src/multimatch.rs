@@ -46,10 +46,7 @@ fn signature_of(bytes: impl Iterator<Item = u8>) -> [u64; 4] {
 
 /// Whether every bit of `needle` is present in `haystack`.
 fn signature_subset(needle: &[u64; 4], haystack: &[u64; 4]) -> bool {
-    needle
-        .iter()
-        .zip(haystack.iter())
-        .all(|(n, h)| n & !h == 0)
+    needle.iter().zip(haystack.iter()).all(|(n, h)| n & !h == 0)
 }
 
 impl MultiMatcher {
@@ -59,7 +56,7 @@ impl MultiMatcher {
         let mut floating = Vec::new();
         for (id, pattern) in dictionary.iter() {
             let literal_bytes = pattern.segments().iter().flat_map(|s| match s {
-                Segment::Literal(l) => l.iter().copied().collect::<Vec<u8>>(),
+                Segment::Literal(l) => l.to_vec(),
                 Segment::Field(_) => Vec::new(),
             });
             let signature = signature_of(literal_bytes);
@@ -80,8 +77,8 @@ impl MultiMatcher {
                 anchored.push(entry);
             }
         }
-        anchored.sort_by(|a, b| b.literal_len.cmp(&a.literal_len));
-        floating.sort_by(|a, b| b.literal_len.cmp(&a.literal_len));
+        anchored.sort_by_key(|e| std::cmp::Reverse(e.literal_len));
+        floating.sort_by_key(|e| std::cmp::Reverse(e.literal_len));
         MultiMatcher { anchored, floating }
     }
 
@@ -120,13 +117,19 @@ impl MultiMatcher {
         // accepted anchored entry is the best anchored one; likewise for
         // floating entries. We still compare across both lists.
         for entry in &self.anchored {
-            if best.as_ref().is_some_and(|(_, l, _)| entry.literal_len <= *l) {
+            if best
+                .as_ref()
+                .is_some_and(|(_, l, _)| entry.literal_len <= *l)
+            {
                 break;
             }
             consider(entry, &mut best);
         }
         for entry in &self.floating {
-            if best.as_ref().is_some_and(|(_, l, _)| entry.literal_len <= *l) {
+            if best
+                .as_ref()
+                .is_some_and(|(_, l, _)| entry.literal_len <= *l)
+            {
                 break;
             }
             consider(entry, &mut best);
@@ -224,7 +227,11 @@ mod tests {
             .collect();
         for r in &records {
             let found = matcher.best_match(r);
-            assert!(found.is_some(), "record {:?} must match", String::from_utf8_lossy(r));
+            assert!(
+                found.is_some(),
+                "record {:?} must match",
+                String::from_utf8_lossy(r)
+            );
         }
     }
 }

@@ -129,9 +129,7 @@ impl Pattern {
             .segments
             .iter()
             .map(|s| match s {
-                Segment::Field(_) => {
-                    Segment::Field(*it.next().expect("one encoder per field"))
-                }
+                Segment::Field(_) => Segment::Field(*it.next().expect("one encoder per field")),
                 Segment::Literal(l) => Segment::Literal(l.clone()),
             })
             .collect();
@@ -286,7 +284,9 @@ mod tests {
     fn parse_and_display_roundtrip_paper_notation() {
         let p = Pattern::parse("V5company_charging-100-*<INT(2,1)>accenter*<INT(2,1)>ac*<VARCHAR>counting_log_*<VARCHAR>202*<INT(6,2)>");
         assert_eq!(p.field_count(), 5);
-        assert!(p.display().starts_with("V5company_charging-100-*<INT(2,1)>"));
+        assert!(p
+            .display()
+            .starts_with("V5company_charging-100-*<INT(2,1)>"));
         let p2 = Pattern::parse(&p.display());
         assert_eq!(p, p2);
     }
@@ -338,7 +338,9 @@ mod tests {
 
     #[test]
     fn serialization_roundtrips() {
-        let p = Pattern::parse("GET /api/v1/users/*<VARINT>/profile?lang=*<CHAR(2)> HTTP/1.*<INT(1,1)>");
+        let p = Pattern::parse(
+            "GET /api/v1/users/*<VARINT>/profile?lang=*<CHAR(2)> HTTP/1.*<INT(1,1)>",
+        );
         let mut buf = Vec::new();
         p.serialize(&mut buf);
         let (q, pos) = Pattern::deserialize(&buf, 0).unwrap();

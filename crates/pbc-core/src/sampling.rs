@@ -59,6 +59,7 @@ impl SplitMix64 {
     }
 
     /// Next 64-bit value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, infallible
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.state;
@@ -73,7 +74,9 @@ mod tests {
     use super::*;
 
     fn records(n: usize, len: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("{i:0width$}", width = len).into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("{i:0width$}", width = len).into_bytes())
+            .collect()
     }
 
     #[test]
@@ -106,7 +109,10 @@ mod tests {
         let b = sample_records(&recs, 32, usize::MAX, 42);
         assert_eq!(a, b);
         let c = sample_records(&recs, 32, usize::MAX, 43);
-        assert_ne!(a, c, "different seeds should usually give different samples");
+        assert_ne!(
+            a, c,
+            "different seeds should usually give different samples"
+        );
     }
 
     #[test]

@@ -15,7 +15,12 @@ use crate::kv::{digits, hex, pick, word};
 /// `github` (paper avg. 863.8 bytes): GitHub push/watch events.
 pub fn github(count: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a73_0001);
-    let types = ["PushEvent", "WatchEvent", "IssueCommentEvent", "PullRequestEvent"];
+    let types = [
+        "PushEvent",
+        "WatchEvent",
+        "IssueCommentEvent",
+        "PullRequestEvent",
+    ];
     (0..count)
         .map(|i| {
             let user = format!("{}-{}", word(&mut rng, 6), rng.gen_range(1..999u32));
@@ -182,9 +187,21 @@ mod tests {
 
     #[test]
     fn average_lengths_track_table2() {
-        assert!((avg_len(&github(100, 1)) - 863.8).abs() < 220.0, "github {}", avg_len(&github(100, 1)));
-        assert!((avg_len(&cities(200, 1)) - 232.2).abs() < 60.0, "cities {}", avg_len(&cities(200, 1)));
-        assert!((avg_len(&unece(40, 1)) - 4494.8).abs() < 1200.0, "unece {}", avg_len(&unece(40, 1)));
+        assert!(
+            (avg_len(&github(100, 1)) - 863.8).abs() < 220.0,
+            "github {}",
+            avg_len(&github(100, 1))
+        );
+        assert!(
+            (avg_len(&cities(200, 1)) - 232.2).abs() < 60.0,
+            "cities {}",
+            avg_len(&cities(200, 1))
+        );
+        assert!(
+            (avg_len(&unece(40, 1)) - 4494.8).abs() < 1200.0,
+            "unece {}",
+            avg_len(&unece(40, 1))
+        );
     }
 
     #[test]

@@ -14,7 +14,12 @@ use crate::kv::{digits, hex, pick, word};
 /// A `HH:MM:SS` wall-clock string advancing roughly monotonically.
 fn clock(rng: &mut SmallRng, i: usize) -> String {
     let base = 36_000 + i * 2 + rng.gen_range(0..2);
-    format!("{:02}:{:02}:{:02}", (base / 3600) % 24, (base / 60) % 60, base % 60)
+    format!(
+        "{:02}:{:02}:{:02}",
+        (base / 3600) % 24,
+        (base / 60) % 60,
+        base % 60
+    )
 }
 
 /// `Android` (paper avg. 129.7 bytes): logcat-style lines.
@@ -75,7 +80,13 @@ pub fn bgl(count: usize, seed: u64) -> Vec<Vec<u8>> {
         .map(|_| {
             let rack = rng.gen_range(0..64u32);
             let node = rng.gen_range(0..32u32);
-            let loc = format!("R{:02}-M1-N{}-C:J{:02}-U{:02}", rack, node % 16, rng.gen_range(2..18u32), rng.gen_range(1..64u32));
+            let loc = format!(
+                "R{:02}-M1-N{}-C:J{:02}-U{:02}",
+                rack,
+                node % 16,
+                rng.gen_range(2..18u32),
+                rng.gen_range(1..64u32)
+            );
             let ts = 1_117_800_000 + rng.gen_range(0..3_000_000u64);
             let event = events[rng.gen_range(0..events.len())]
                 .replacen("{}", &rng.gen_range(100..9000u32).to_string(), 1)
@@ -176,7 +187,12 @@ pub fn hadoop(count: usize, seed: u64) -> Vec<Vec<u8>> {
 /// with many `key=value` pairs.
 pub fn alilogs(count: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x1060_0006);
-    let services = ["trade-core", "risk-engine", "inventory-sync", "settle-batch"];
+    let services = [
+        "trade-core",
+        "risk-engine",
+        "inventory-sync",
+        "settle-batch",
+    ];
     let results = ["SUCCESS", "SUCCESS", "SUCCESS", "TIMEOUT", "RETRY"];
     (0..count)
         .map(|i| {
@@ -213,12 +229,36 @@ mod tests {
 
     #[test]
     fn line_lengths_track_table2() {
-        assert!((avg_len(&android(300, 1)) - 129.7).abs() < 35.0, "android {}", avg_len(&android(300, 1)));
-        assert!((avg_len(&apache(300, 1)) - 63.9).abs() < 18.0, "apache {}", avg_len(&apache(300, 1)));
-        assert!((avg_len(&bgl(300, 1)) - 164.1).abs() < 45.0, "bgl {}", avg_len(&bgl(300, 1)));
-        assert!((avg_len(&hdfs(300, 1)) - 141.2).abs() < 35.0, "hdfs {}", avg_len(&hdfs(300, 1)));
-        assert!((avg_len(&hadoop(300, 1)) - 266.9).abs() < 65.0, "hadoop {}", avg_len(&hadoop(300, 1)));
-        assert!((avg_len(&alilogs(300, 1)) - 299.2).abs() < 75.0, "alilogs {}", avg_len(&alilogs(300, 1)));
+        assert!(
+            (avg_len(&android(300, 1)) - 129.7).abs() < 35.0,
+            "android {}",
+            avg_len(&android(300, 1))
+        );
+        assert!(
+            (avg_len(&apache(300, 1)) - 63.9).abs() < 18.0,
+            "apache {}",
+            avg_len(&apache(300, 1))
+        );
+        assert!(
+            (avg_len(&bgl(300, 1)) - 164.1).abs() < 45.0,
+            "bgl {}",
+            avg_len(&bgl(300, 1))
+        );
+        assert!(
+            (avg_len(&hdfs(300, 1)) - 141.2).abs() < 35.0,
+            "hdfs {}",
+            avg_len(&hdfs(300, 1))
+        );
+        assert!(
+            (avg_len(&hadoop(300, 1)) - 266.9).abs() < 65.0,
+            "hadoop {}",
+            avg_len(&hadoop(300, 1))
+        );
+        assert!(
+            (avg_len(&alilogs(300, 1)) - 299.2).abs() < 75.0,
+            "alilogs {}",
+            avg_len(&alilogs(300, 1))
+        );
     }
 
     #[test]
@@ -226,7 +266,10 @@ mod tests {
         for gen in [android, apache, bgl, hdfs, hadoop, alilogs] {
             for line in gen(50, 5) {
                 assert!(!line.contains(&b'\n'));
-                assert!(line.iter().all(|&b| (0x20..0x7f).contains(&b)), "non-printable byte");
+                assert!(
+                    line.iter().all(|&b| (0x20..0x7f).contains(&b)),
+                    "non-printable byte"
+                );
             }
         }
     }
@@ -238,7 +281,13 @@ mod tests {
         let lines = hdfs(30, 2);
         let first_words: std::collections::HashSet<String> = lines
             .iter()
-            .map(|l| String::from_utf8_lossy(l).split(' ').nth(3).unwrap_or("").to_string())
+            .map(|l| {
+                String::from_utf8_lossy(l)
+                    .split(' ')
+                    .nth(3)
+                    .unwrap_or("")
+                    .to_string()
+            })
             .collect();
         assert!(first_words.contains("INFO"));
     }

@@ -204,10 +204,22 @@ mod tests {
 
     #[test]
     fn kinds_partition_the_datasets() {
-        let kv = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::KeyValue).count();
-        let logs = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::Log).count();
-        let json = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::Json).count();
-        let boundary = Dataset::all().iter().filter(|d| d.kind() == DatasetKind::Boundary).count();
+        let kv = Dataset::all()
+            .iter()
+            .filter(|d| d.kind() == DatasetKind::KeyValue)
+            .count();
+        let logs = Dataset::all()
+            .iter()
+            .filter(|d| d.kind() == DatasetKind::Log)
+            .count();
+        let json = Dataset::all()
+            .iter()
+            .filter(|d| d.kind() == DatasetKind::Json)
+            .count();
+        let boundary = Dataset::all()
+            .iter()
+            .filter(|d| d.kind() == DatasetKind::Boundary)
+            .count();
         assert_eq!((kv, logs, json, boundary), (5, 6, 3, 2));
     }
 
@@ -215,7 +227,12 @@ mod tests {
     fn default_counts_are_laptop_scale() {
         for d in Dataset::all() {
             let bytes = d.default_count() as f64 * d.paper_avg_len();
-            assert!(bytes < 8.0 * 1024.0 * 1024.0, "{} would be {} bytes", d.name(), bytes);
+            assert!(
+                bytes < 8.0 * 1024.0 * 1024.0,
+                "{} would be {} bytes",
+                d.name(),
+                bytes
+            );
             assert!(d.default_count() >= 400);
         }
     }

@@ -32,7 +32,12 @@ pub fn urls(count: usize, seed: u64) -> Vec<Vec<u8>> {
                     rng.gen_range(1000..999_999u32),
                     word(&mut rng, 4)
                 ),
-                _ => format!("{}/{}/{}.html", host, rng.gen_range(2010..2024u32), word(&mut rng, 10)),
+                _ => format!(
+                    "{}/{}/{}.html",
+                    host,
+                    rng.gen_range(2010..2024u32),
+                    word(&mut rng, 10)
+                ),
             }
             .into_bytes()
         })

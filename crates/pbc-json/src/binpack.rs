@@ -80,7 +80,9 @@ impl BinPackCodec {
                 Ok(value)
             }
             Some(&ESCAPE_MARKER) => self.fallback.decode(&input[1..]),
-            Some(other) => Err(JsonError::corrupt(format!("unknown document marker {other:#x}"))),
+            Some(other) => Err(JsonError::corrupt(format!(
+                "unknown document marker {other:#x}"
+            ))),
             None => Err(JsonError::corrupt("empty payload")),
         }
     }
@@ -118,7 +120,10 @@ fn encode_with_schema(schema: &Schema, value: &JsonValue, out: &mut Vec<u8>) {
         }
         (Schema::Object(fields), JsonValue::Object(members)) => {
             for field in fields {
-                let found = members.iter().find(|(k, _)| k == &field.key).map(|(_, v)| v);
+                let found = members
+                    .iter()
+                    .find(|(k, _)| k == &field.key)
+                    .map(|(_, v)| v);
                 // The decoder reads a presence byte exactly when the field is
                 // optional or its schema is Null; mirror that here.
                 let has_presence = field.optional || matches!(field.schema, Schema::Null);
@@ -191,7 +196,10 @@ fn decode_with_schema(schema: &Schema, input: &[u8], pos: usize) -> Result<(Json
             }
             let mut b = [0u8; 8];
             b.copy_from_slice(&input[pos..pos + 8]);
-            Ok((JsonValue::Number(Number::Float(f64::from_le_bytes(b))), pos + 8))
+            Ok((
+                JsonValue::Number(Number::Float(f64::from_le_bytes(b))),
+                pos + 8,
+            ))
         }
         Schema::Enum(options) => {
             let (idx, pos) = varint::read_usize(input, pos)?;
@@ -304,8 +312,14 @@ mod tests {
         let text_len = crate::writer::to_string(doc).len();
         let ion_len = ion.encode(doc).len();
         let bp_len = codec.encode(doc).len();
-        assert!(bp_len < ion_len, "BP-D {bp_len} should beat Ion-B {ion_len}");
-        assert!(bp_len * 3 < text_len, "BP-D {bp_len} should be ≲ a third of text {text_len}");
+        assert!(
+            bp_len < ion_len,
+            "BP-D {bp_len} should beat Ion-B {ion_len}"
+        );
+        assert!(
+            bp_len * 3 < text_len,
+            "BP-D {bp_len} should be ≲ a third of text {text_len}"
+        );
     }
 
     #[test]

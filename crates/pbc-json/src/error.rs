@@ -78,9 +78,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(JsonError::parse(12, "expected ':'").to_string().contains("12"));
-        assert!(JsonError::corrupt("bad tag").to_string().contains("bad tag"));
-        assert!(JsonError::schema("missing field").to_string().contains("missing field"));
+        assert!(JsonError::parse(12, "expected ':'")
+            .to_string()
+            .contains("12"));
+        assert!(JsonError::corrupt("bad tag")
+            .to_string()
+            .contains("bad tag"));
+        assert!(JsonError::schema("missing field")
+            .to_string()
+            .contains("missing field"));
     }
 
     #[test]

@@ -141,7 +141,10 @@ fn decode_value(
             }
             let mut bytes = [0u8; 8];
             bytes.copy_from_slice(&input[pos..pos + 8]);
-            Ok((JsonValue::Number(Number::Float(f64::from_le_bytes(bytes))), pos + 8))
+            Ok((
+                JsonValue::Number(Number::Float(f64::from_le_bytes(bytes))),
+                pos + 8,
+            ))
         }
         tag::STRING => {
             let (len, pos) = varint::read_usize(input, pos)?;
@@ -188,9 +191,7 @@ fn decode_value(
                         symbols.push(s.clone());
                         s
                     }
-                    other => {
-                        return Err(JsonError::corrupt(format!("unexpected key tag {other}")))
-                    }
+                    other => return Err(JsonError::corrupt(format!("unexpected key tag {other}"))),
                 };
                 let (v, p) = decode_value(input, pos, symbols, depth + 1)?;
                 pos = p;
@@ -254,7 +255,9 @@ mod tests {
         let many = format!(
             "[{}]",
             (0..20)
-                .map(|i| format!(r#"{{"latitude": {i}.5, "longitude": -{i}.25, "population": {i}}}"#))
+                .map(|i| format!(
+                    r#"{{"latitude": {i}.5, "longitude": -{i}.25, "population": {i}}}"#
+                ))
                 .collect::<Vec<_>>()
                 .join(",")
         );

@@ -144,7 +144,10 @@ fn decode_value(input: &[u8], pos: usize, depth: usize) -> Result<(JsonValue, us
             }
             let mut b = [0u8; 8];
             b.copy_from_slice(&input[pos..pos + 8]);
-            Ok((JsonValue::Number(Number::Float(f64::from_le_bytes(b))), pos + 8))
+            Ok((
+                JsonValue::Number(Number::Float(f64::from_le_bytes(b))),
+                pos + 8,
+            ))
         }
         tag::ARRAY => {
             let (count, mut pos) = varint::read_usize(input, pos + 1)?;
@@ -177,7 +180,9 @@ fn decode_value(input: &[u8], pos: usize, depth: usize) -> Result<(JsonValue, us
             let (s, pos) = decode_str(input, pos)?;
             Ok((JsonValue::String(s), pos))
         }
-        other => Err(JsonError::corrupt(format!("unknown header byte {other:#x}"))),
+        other => Err(JsonError::corrupt(format!(
+            "unknown header byte {other:#x}"
+        ))),
     }
 }
 

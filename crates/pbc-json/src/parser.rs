@@ -18,7 +18,10 @@ pub fn parse(input: &str) -> Result<JsonValue> {
     let value = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(JsonError::parse(p.pos, "trailing characters after document"));
+        return Err(JsonError::parse(
+            p.pos,
+            "trailing characters after document",
+        ));
     }
     Ok(value)
 }
@@ -151,7 +154,10 @@ impl<'a> Parser<'a> {
                             if self.peek() == Some(b'\\') {
                                 self.pos += 1;
                                 if self.bump() != Some(b'u') {
-                                    return Err(JsonError::parse(self.pos, "expected low surrogate"));
+                                    return Err(JsonError::parse(
+                                        self.pos,
+                                        "expected low surrogate",
+                                    ));
                                 }
                                 let low = self.parse_hex4()?;
                                 let combined =
@@ -272,7 +278,10 @@ mod tests {
         assert_eq!(parse("42").unwrap(), JsonValue::Number(Number::Int(42)));
         assert_eq!(parse("-7").unwrap(), JsonValue::Number(Number::Int(-7)));
         assert_eq!(parse("1.5").unwrap(), JsonValue::Number(Number::Float(1.5)));
-        assert_eq!(parse("1e3").unwrap(), JsonValue::Number(Number::Float(1000.0)));
+        assert_eq!(
+            parse("1e3").unwrap(),
+            JsonValue::Number(Number::Float(1000.0))
+        );
         assert_eq!(parse("\"hi\"").unwrap(), JsonValue::from("hi"));
     }
 
@@ -305,7 +314,10 @@ mod tests {
     #[test]
     fn unicode_passthrough() {
         let doc = parse(r#"{"city": "São Paulo", "国": "日本"}"#).unwrap();
-        assert_eq!(doc.get("city").and_then(JsonValue::as_str), Some("São Paulo"));
+        assert_eq!(
+            doc.get("city").and_then(JsonValue::as_str),
+            Some("São Paulo")
+        );
         assert_eq!(doc.get("国").and_then(JsonValue::as_str), Some("日本"));
     }
 

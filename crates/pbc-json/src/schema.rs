@@ -70,9 +70,7 @@ impl Schema {
             (Schema::Int, JsonValue::Number(Number::Int(_))) => true,
             (Schema::Float, JsonValue::Number(_)) => true,
             (Schema::String | Schema::Enum(_), JsonValue::String(_)) => true,
-            (Schema::Array(elem), JsonValue::Array(items)) => {
-                items.iter().all(|i| elem.matches(i))
-            }
+            (Schema::Array(elem), JsonValue::Array(items)) => items.iter().all(|i| elem.matches(i)),
             (Schema::Object(fields), JsonValue::Object(members)) => {
                 // Every member must be a known field, and every required
                 // field must be present.
@@ -97,7 +95,10 @@ fn infer_values(values: &[&JsonValue]) -> Schema {
     }
     // Null mixed with another single kind: keep the other kind (the codec
     // writes a presence marker for nullable values).
-    let non_null: Vec<&&JsonValue> = values.iter().filter(|v| !matches!(v, JsonValue::Null)).collect();
+    let non_null: Vec<&&JsonValue> = values
+        .iter()
+        .filter(|v| !matches!(v, JsonValue::Null))
+        .collect();
     if non_null.is_empty() {
         return Schema::Null;
     }
@@ -230,7 +231,9 @@ mod tests {
         ]);
         let refs: Vec<&JsonValue> = samples.iter().collect();
         let schema = Schema::infer(&refs);
-        let Schema::Object(fields) = &schema else { panic!() };
+        let Schema::Object(fields) = &schema else {
+            panic!()
+        };
         let capital = fields.iter().find(|f| f.key == "capital").unwrap();
         assert!(capital.optional);
         let geo = fields.iter().find(|f| f.key == "geo").unwrap();
@@ -245,7 +248,9 @@ mod tests {
         let samples = docs(&[r#"{"values": [1, 2, 3.5], "tags": ["a", "b"]}"#]);
         let refs: Vec<&JsonValue> = samples.iter().collect();
         let schema = Schema::infer(&refs);
-        let Schema::Object(fields) = &schema else { panic!() };
+        let Schema::Object(fields) = &schema else {
+            panic!()
+        };
         assert!(matches!(&fields[0].schema, Schema::Array(e) if **e == Schema::Float));
         assert!(matches!(&fields[1].schema, Schema::Array(_)));
     }
@@ -256,7 +261,9 @@ mod tests {
             .map(|i| parse(&format!(r#"{{"id": "user-{i}"}}"#)).unwrap())
             .collect();
         let refs: Vec<&JsonValue> = samples.iter().collect();
-        let Schema::Object(fields) = Schema::infer(&refs) else { panic!() };
+        let Schema::Object(fields) = Schema::infer(&refs) else {
+            panic!()
+        };
         assert_eq!(fields[0].schema, Schema::String);
     }
 
@@ -273,8 +280,14 @@ mod tests {
         let samples = docs(&[r#"{"a": 1, "b": "x"}"#, r#"{"a": 2, "b": "y"}"#]);
         let refs: Vec<&JsonValue> = samples.iter().collect();
         let schema = Schema::infer(&refs);
-        assert!(!schema.matches(&parse(r#"{"a": 1}"#).unwrap()), "missing required b");
-        assert!(!schema.matches(&parse(r#"{"a": 1, "b": "x", "c": 2}"#).unwrap()), "unknown member c");
+        assert!(
+            !schema.matches(&parse(r#"{"a": 1}"#).unwrap()),
+            "missing required b"
+        );
+        assert!(
+            !schema.matches(&parse(r#"{"a": 1, "b": "x", "c": 2}"#).unwrap()),
+            "unknown member c"
+        );
         assert!(!schema.matches(&parse(r#"{"a": "not int", "b": "x"}"#).unwrap()));
     }
 

@@ -89,7 +89,10 @@ mod tests {
     fn writes_compact_json() {
         let doc = JsonValue::Object(vec![
             ("a".to_string(), JsonValue::from(1i64)),
-            ("b".to_string(), JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null])),
+            (
+                "b".to_string(),
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
         ]);
         assert_eq!(to_string(&doc), r#"{"a":1,"b":[true,null]}"#);
     }

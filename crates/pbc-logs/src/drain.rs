@@ -188,8 +188,16 @@ mod tests {
         let (miner, _) = DrainMiner::mine(&lines, DrainConfig::default());
         // Every mined template should contain both constants and variables.
         for t in miner.templates() {
-            assert!(t.constant_count() > 0, "template lost all constants: {}", t.display());
-            assert!(t.variable_count() > 0, "template has no variables: {}", t.display());
+            assert!(
+                t.constant_count() > 0,
+                "template lost all constants: {}",
+                t.display()
+            );
+            assert!(
+                t.variable_count() > 0,
+                "template has no variables: {}",
+                t.display()
+            );
         }
     }
 

@@ -216,9 +216,10 @@ impl LogReducer {
                     text_pos += 1;
                     match tag {
                         1 => {
-                            let width = *text_stream.get(text_pos).ok_or_else(|| LogArchiveError {
-                                message: "truncated numeric width".to_string(),
-                            })? as usize;
+                            let width =
+                                *text_stream.get(text_pos).ok_or_else(|| LogArchiveError {
+                                    message: "truncated numeric width".to_string(),
+                                })? as usize;
                             text_pos += 1;
                             let (delta, p) = varint::read_i64(numeric_stream, numeric_pos)?;
                             numeric_pos = p;
@@ -301,7 +302,10 @@ mod tests {
         let lines = apache_like(500);
         let lr = LogReducer::default();
         let ratio = lr.corpus_ratio(&lines);
-        assert!(ratio < 0.15, "templated logs should compress >6x, got {ratio:.3}");
+        assert!(
+            ratio < 0.15,
+            "templated logs should compress >6x, got {ratio:.3}"
+        );
     }
 
     #[test]
@@ -339,7 +343,11 @@ mod tests {
             ));
         }
         for i in 0..50 {
-            lines.push(format!("panic at worker {} restarting in {}s", i, (i * 3) % 30));
+            lines.push(format!(
+                "panic at worker {} restarting in {}s",
+                i,
+                (i * 3) % 30
+            ));
         }
         let lr = LogReducer::default();
         let restored = lr.decompress_lines(&lr.compress_lines(&lines)).unwrap();

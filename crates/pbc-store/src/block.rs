@@ -163,9 +163,12 @@ impl PerRecordStore {
 
     /// Random access: decompress exactly one record.
     pub fn lookup(&self, index: usize) -> Result<Vec<u8>, StoreError> {
-        let stored = self.records.get(index).ok_or_else(|| StoreError::ValueCorrupt {
-            reason: format!("index {index} out of range"),
-        })?;
+        let stored = self
+            .records
+            .get(index)
+            .ok_or_else(|| StoreError::ValueCorrupt {
+                reason: format!("index {index} out of range"),
+            })?;
         self.codec.decompress(stored).map_err(to_store_err)
     }
 }
@@ -199,7 +202,11 @@ mod tests {
             let store = BlockStore::build(&recs, block_size, Box::new(ZstdLike::new(3)));
             assert_eq!(store.len(), 100);
             for idx in [0usize, 1, 17, 63, 99] {
-                assert_eq!(store.lookup(idx).unwrap(), recs[idx], "block_size {block_size}");
+                assert_eq!(
+                    store.lookup(idx).unwrap(),
+                    recs[idx],
+                    "block_size {block_size}"
+                );
             }
             assert!(store.lookup(100).is_err());
         }

@@ -3,30 +3,65 @@
 use std::fmt;
 use std::sync::Arc;
 
+use pbc_archive::ArchiveError;
 use pbc_codecs::dict::Dictionary;
 use pbc_codecs::traits::DictCodec;
 use pbc_codecs::zstdlike::ZstdLike;
 use pbc_core::{PbcCompressor, PbcConfig};
 
 /// Errors surfaced by the store.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum StoreError {
     /// A stored value failed to decompress (corruption or codec mismatch).
     ValueCorrupt {
         /// Description of the failure.
         reason: String,
     },
+    /// A segment snapshot or restore failed. The original [`ArchiveError`]
+    /// is preserved (behind an `Arc` so `StoreError` stays `Clone`) and
+    /// reachable through [`std::error::Error::source`].
+    Archive(Arc<ArchiveError>),
 }
+
+impl PartialEq for StoreError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (StoreError::ValueCorrupt { reason: a }, StoreError::ValueCorrupt { reason: b }) => {
+                a == b
+            }
+            // ArchiveError carries io::Error and is not PartialEq; compare
+            // the rendered failure, which is what callers match on in tests.
+            (StoreError::Archive(a), StoreError::Archive(b)) => a.to_string() == b.to_string(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for StoreError {}
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::ValueCorrupt { reason } => write!(f, "stored value corrupt: {reason}"),
+            StoreError::Archive(e) => write!(f, "segment snapshot/restore failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::ValueCorrupt { .. } => None,
+            StoreError::Archive(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<ArchiveError> for StoreError {
+    fn from(e: ArchiveError) -> Self {
+        StoreError::Archive(Arc::new(e))
+    }
+}
 
 /// How values are compressed inside the store.
 #[derive(Clone)]
@@ -109,9 +144,11 @@ impl ValueCodec {
                 .map_err(|e| StoreError::ValueCorrupt {
                     reason: e.to_string(),
                 }),
-            ValueCodec::Pbc(pbc) => pbc.decompress(stored).map_err(|e| StoreError::ValueCorrupt {
-                reason: e.to_string(),
-            }),
+            ValueCodec::Pbc(pbc) => pbc
+                .decompress(stored)
+                .map_err(|e| StoreError::ValueCorrupt {
+                    reason: e.to_string(),
+                }),
         }
     }
 
@@ -184,7 +221,10 @@ mod tests {
         let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
         assert_eq!(ValueCodec::None.name(), "Uncompressed");
         assert_eq!(ValueCodec::train_zstd_dict(&refs, 3).name(), "Zstd(dict)");
-        assert_eq!(ValueCodec::train_pbc_f(&refs, &PbcConfig::small()).name(), "PBC_F");
+        assert_eq!(
+            ValueCodec::train_pbc_f(&refs, &PbcConfig::small()).name(),
+            "PBC_F"
+        );
     }
 
     #[test]

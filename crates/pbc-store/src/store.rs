@@ -27,6 +27,16 @@ pub struct TierStore {
     raw_value_bytes: AtomicU64,
 }
 
+impl std::fmt::Debug for TierStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierStore")
+            .field("len", &self.len())
+            .field("codec", &self.codec)
+            .field("memory_usage_bytes", &self.memory_usage_bytes())
+            .finish()
+    }
+}
+
 impl TierStore {
     /// Create a store with the given value codec.
     pub fn new(codec: ValueCodec) -> Self {
@@ -121,6 +131,53 @@ impl TierStore {
             + self.stored_key_bytes.load(Ordering::Relaxed)
     }
 
+    /// Spill the whole store to a durable `pbc-archive` segment at `path`.
+    ///
+    /// Values are decoded to raw bytes first, so the segment is independent
+    /// of this store's [`ValueCodec`] (the segment writer re-compresses
+    /// blocks with its own codec choice). Entries are written in sorted key
+    /// order, which keeps the segment key-searchable via
+    /// [`pbc_archive::SegmentReader::get`] and makes snapshots of the same
+    /// contents byte-identical regardless of shard layout.
+    ///
+    /// The snapshot materializes all entries in memory before writing; at
+    /// this store's scale (an in-memory cache) that is at most a 2x
+    /// transient overhead.
+    pub fn snapshot_to_segment(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        config: pbc_archive::SegmentConfig,
+    ) -> Result<pbc_archive::SegmentSummary, StoreError> {
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (key, stored) in shard.iter() {
+                entries.push((key.clone(), self.codec.decode(stored)?));
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut writer = pbc_archive::SegmentWriter::create(path, config)?;
+        for (key, value) in &entries {
+            writer.append(key, value)?;
+        }
+        Ok(writer.finish()?)
+    }
+
+    /// Load a segment written by [`TierStore::snapshot_to_segment`] into a
+    /// fresh store using the given value codec.
+    pub fn restore_from_segment(
+        path: impl AsRef<std::path::Path>,
+        codec: ValueCodec,
+    ) -> Result<TierStore, StoreError> {
+        let reader = pbc_archive::SegmentReader::open(path)?;
+        let store = TierStore::new(codec);
+        for entry in reader.scan() {
+            let (key, value) = entry?;
+            store.set(&key, &value);
+        }
+        Ok(store)
+    }
+
     /// Memory usage relative to storing the same data uncompressed
     /// (Table 8's "Memory Usage (%)", uncompressed = 100%).
     pub fn memory_usage_ratio(&self) -> f64 {
@@ -164,7 +221,10 @@ mod tests {
             store.set(format!("key:{i}").as_bytes(), v);
         }
         assert_eq!(store.len(), 100);
-        assert_eq!(store.get(b"key:42").unwrap().as_deref(), Some(vals[42].as_slice()));
+        assert_eq!(
+            store.get(b"key:42").unwrap().as_deref(),
+            Some(vals[42].as_slice())
+        );
         assert_eq!(store.get(b"key:999").unwrap(), None);
         assert!(store.delete(b"key:42"));
         assert!(!store.delete(b"key:42"));
@@ -189,7 +249,10 @@ mod tests {
         // Values read back identical.
         for (i, v) in vals.iter().enumerate().step_by(37) {
             let key = format!("user_session:{i:08}");
-            assert_eq!(compressed.get(key.as_bytes()).unwrap().as_deref(), Some(v.as_slice()));
+            assert_eq!(
+                compressed.get(key.as_bytes()).unwrap().as_deref(),
+                Some(v.as_slice())
+            );
         }
     }
 
@@ -202,7 +265,10 @@ mod tests {
         let after_second = store.memory_usage_bytes();
         assert!(after_second < after_first);
         assert_eq!(store.len(), 1);
-        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(b"01234".as_slice()));
+        assert_eq!(
+            store.get(b"k").unwrap().as_deref(),
+            Some(b"01234".as_slice())
+        );
     }
 
     #[test]
@@ -233,5 +299,103 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.memory_usage_ratio(), 1.0);
         assert_eq!(store.memory_usage_bytes(), 0);
+    }
+
+    /// Unique temp path with a drop-guard, so failing tests don't leak
+    /// segment files (and parallel tests can't collide on a tag).
+    fn temp_segment(tag: &str) -> (std::path::PathBuf, TempSegment) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pbc-store-test-{}-{tag}-{}.seg",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        (path.clone(), TempSegment(path))
+    }
+
+    struct TempSegment(std::path::PathBuf);
+
+    impl Drop for TempSegment {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_and_restore_preserve_every_entry() {
+        use pbc_archive::{SegmentConfig, SegmentReader};
+        let vals = values(400);
+        let refs: Vec<&[u8]> = vals[..128].iter().map(|v| v.as_slice()).collect();
+        let store = TierStore::new(ValueCodec::train_pbc_f(&refs, &PbcConfig::small()));
+        for (i, v) in vals.iter().enumerate() {
+            store.set(format!("sess:{i:06}").as_bytes(), v);
+        }
+
+        let (path, _guard) = temp_segment("roundtrip");
+        let summary = store
+            .snapshot_to_segment(&path, SegmentConfig::default())
+            .unwrap();
+        assert_eq!(summary.record_count, 400);
+
+        // The segment itself is key-searchable (snapshot sorts by key).
+        let reader = SegmentReader::open(&path).unwrap();
+        assert!(reader.is_sorted());
+        assert_eq!(
+            reader.get(b"sess:000123").unwrap().as_deref(),
+            Some(vals[123].as_slice())
+        );
+        drop(reader);
+
+        // Restoring into a different codec still yields identical values.
+        let restored = TierStore::restore_from_segment(&path, ValueCodec::None).unwrap();
+        assert_eq!(restored.len(), 400);
+        for (i, v) in vals.iter().enumerate().step_by(29) {
+            let key = format!("sess:{i:06}");
+            assert_eq!(
+                restored.get(key.as_bytes()).unwrap().as_deref(),
+                Some(v.as_slice())
+            );
+        }
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_across_stores() {
+        use pbc_archive::SegmentConfig;
+        let vals = values(200);
+        let a = TierStore::new(ValueCodec::None);
+        let b = TierStore::new(ValueCodec::None);
+        // Insert in different orders; sorted snapshot must erase the
+        // difference.
+        for (i, v) in vals.iter().enumerate() {
+            a.set(format!("k:{i:05}").as_bytes(), v);
+        }
+        for (i, v) in vals.iter().enumerate().rev() {
+            b.set(format!("k:{i:05}").as_bytes(), v);
+        }
+        let (path_a, _guard_a) = temp_segment("det-a");
+        let (path_b, _guard_b) = temp_segment("det-b");
+        a.snapshot_to_segment(&path_a, SegmentConfig::default())
+            .unwrap();
+        b.snapshot_to_segment(&path_b, SegmentConfig::default())
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn restore_surfaces_archive_errors_with_source_chain() {
+        use std::error::Error;
+        let (missing, _guard) = temp_segment("missing-never-written");
+        let err = TierStore::restore_from_segment(&missing, ValueCodec::None).unwrap_err();
+        let StoreError::Archive(archive) = &err else {
+            panic!("expected StoreError::Archive, got {err:?}");
+        };
+        assert!(matches!(**archive, pbc_archive::ArchiveError::Io(_)));
+        // The chain stays non-lossy: StoreError -> ArchiveError -> io::Error.
+        let source = err.source().expect("archive source");
+        assert!(source.source().is_some(), "io::Error should be chained");
     }
 }

@@ -140,7 +140,11 @@ mod tests {
         let codec = ValueCodec::train_pbc_f(&sample, &PbcConfig::small());
         let spec = WorkloadSpec::new("Workload A", 800, 7);
         let report = run_workload(&spec, codec, &records);
-        assert!(report.memory_ratio < 0.8, "memory ratio {:.3}", report.memory_ratio);
+        assert!(
+            report.memory_ratio < 0.8,
+            "memory ratio {:.3}",
+            report.memory_ratio
+        );
         assert_eq!(report.codec, "PBC_F");
         assert!(report.get_qps > 0.0);
     }

@@ -15,7 +15,11 @@ fn main() {
         .map(|r| pbc::json::parse(std::str::from_utf8(r).unwrap()).expect("valid JSON"))
         .collect();
     let raw: usize = records.iter().map(|r| r.len()).sum();
-    println!("Corpus: {} JSON documents, {} bytes of text\n", docs.len(), raw);
+    println!(
+        "Corpus: {} JSON documents, {} bytes of text\n",
+        docs.len(),
+        raw
+    );
 
     // Ion-like: schema-less binary encoding.
     let ion = IonLikeCodec::new();
@@ -27,7 +31,12 @@ fn main() {
     let bp_total: usize = docs.iter().map(|d| binpack.encode(d).len()).sum();
 
     // PBC: no JSON knowledge at all, patterns mined from raw text.
-    let sample: Vec<&[u8]> = records.iter().step_by(16).take(250).map(|r| r.as_slice()).collect();
+    let sample: Vec<&[u8]> = records
+        .iter()
+        .step_by(16)
+        .take(250)
+        .map(|r| r.as_slice())
+        .collect();
     let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
     let pbc_total: usize = records.iter().map(|r| pbc.compress(r).len()).sum();
 
@@ -38,14 +47,22 @@ fn main() {
         ("BinPack-like (schema)", bp_total),
         ("PBC (pattern-based)", pbc_total),
     ] {
-        println!("{:<22} {:>12} {:>8.3}", name, total, total as f64 / raw as f64);
+        println!(
+            "{:<22} {:>12} {:>8.3}",
+            name,
+            total,
+            total as f64 / raw as f64
+        );
     }
 
     // All three binary paths are lossless.
     let doc_roundtrip = ion.decode(&ion.encode(&docs[7])).unwrap();
     assert_eq!(doc_roundtrip, docs[7]);
     assert_eq!(binpack.decode(&binpack.encode(&docs[7])).unwrap(), docs[7]);
-    assert_eq!(pbc.decompress(&pbc.compress(&records[7])).unwrap(), records[7]);
+    assert_eq!(
+        pbc.decompress(&pbc.compress(&records[7])).unwrap(),
+        records[7]
+    );
     println!(
         "\nPBC captures value-level co-occurrence the schema-driven codec cannot,\n\
          which is why it stays competitive without any JSON knowledge (Section 7.4.2)."

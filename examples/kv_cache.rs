@@ -11,7 +11,12 @@ use pbc::store::{workload::run_workload, ValueCodec, WorkloadSpec};
 fn main() {
     // A production-like key-value workload: serialized order objects (KV2).
     let records = Dataset::Kv2.generate(6_000, 7);
-    let sample: Vec<&[u8]> = records.iter().step_by(25).take(240).map(|r| r.as_slice()).collect();
+    let sample: Vec<&[u8]> = records
+        .iter()
+        .step_by(25)
+        .take(240)
+        .map(|r| r.as_slice())
+        .collect();
 
     let codecs = vec![
         ValueCodec::None,
@@ -19,7 +24,10 @@ fn main() {
         ValueCodec::train_pbc_f(&sample, &PbcConfig::default()),
     ];
 
-    println!("{:<14} {:>10} {:>12} {:>12}", "codec", "memory %", "SET ops/s", "GET ops/s");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "codec", "memory %", "SET ops/s", "GET ops/s"
+    );
     for codec in codecs {
         let spec = WorkloadSpec::new("cache-demo", records.len(), 99);
         let report = run_workload(&spec, codec, &records);

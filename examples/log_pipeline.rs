@@ -32,7 +32,12 @@ fn main() {
     );
 
     // PBC_L: per-record pattern compression + LZMA block backend.
-    let sample: Vec<&[u8]> = records.iter().step_by(20).take(250).map(|r| r.as_slice()).collect();
+    let sample: Vec<&[u8]> = records
+        .iter()
+        .step_by(20)
+        .take(250)
+        .map(|r| r.as_slice())
+        .collect();
     let pbc_l = PbcBlockCompressor::lzma(&sample, &PbcConfig::default(), 6);
     let start = Instant::now();
     let block = pbc_l.compress_block(&records);
@@ -54,7 +59,10 @@ fn main() {
         total as f64 / raw as f64
     );
     let line = pbc.decompress(&compressed[1234]).expect("roundtrip");
-    println!("\nRandom access to line 1234:\n  {}", String::from_utf8_lossy(&line));
+    println!(
+        "\nRandom access to line 1234:\n  {}",
+        String::from_utf8_lossy(&line)
+    );
 
     // Both corpus archives restore the original lines.
     assert_eq!(logreducer.decompress_lines(&archive).unwrap(), lines);

@@ -25,7 +25,12 @@ fn main() {
         .collect();
 
     // Offline phase: extract patterns from a small sample (Figure 1(a)).
-    let sample: Vec<&[u8]> = records.iter().step_by(20).take(250).map(|r| r.as_slice()).collect();
+    let sample: Vec<&[u8]> = records
+        .iter()
+        .step_by(20)
+        .take(250)
+        .map(|r| r.as_slice())
+        .collect();
     let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
 
     println!("Extracted {} patterns:", pbc.dictionary().len());
@@ -49,7 +54,9 @@ fn main() {
     // Random access: decompress a single record without touching the others
     // (Figure 1(c)).
     let i = 4_242;
-    let restored = pbc.decompress(&compressed[i]).expect("decompression succeeds");
+    let restored = pbc
+        .decompress(&compressed[i])
+        .expect("decompression succeeds");
     assert_eq!(restored, records[i]);
     println!(
         "\nRandom access to record {i}: {} compressed bytes -> {:?}",

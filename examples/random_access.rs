@@ -13,7 +13,12 @@ use pbc::store::{BlockStore, PerRecordStore};
 
 fn main() {
     let records = Dataset::Kv2.generate(8_000, 3);
-    let sample: Vec<&[u8]> = records.iter().step_by(30).take(260).map(|r| r.as_slice()).collect();
+    let sample: Vec<&[u8]> = records
+        .iter()
+        .step_by(30)
+        .take(260)
+        .map(|r| r.as_slice())
+        .collect();
     let lookups: Vec<usize> = (0..500).map(|i| (i * 7919 + 11) % records.len()).collect();
 
     println!(

@@ -16,6 +16,8 @@
 //!   paper's production and public corpora.
 //! * [`store`] — a TierBase-like in-memory key-value store with pluggable
 //!   value compression.
+//! * [`archive`] — a persistent, random-access segment store with parallel
+//!   per-block compression, used for durable snapshots of the store.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@
 //! assert_eq!(compressor.decompress(&compressed[17]).unwrap(), records[17]);
 //! ```
 
+pub use pbc_archive as archive;
 pub use pbc_codecs as codecs;
 pub use pbc_core as core;
 pub use pbc_datagen as datagen;

@@ -7,12 +7,23 @@ use pbc::datagen::{Dataset, DatasetKind};
 
 fn sample_of(records: &[Vec<u8>], n: usize) -> Vec<&[u8]> {
     let step = (records.len() / n.max(1)).max(1);
-    records.iter().step_by(step).take(n).map(|r| r.as_slice()).collect()
+    records
+        .iter()
+        .step_by(step)
+        .take(n)
+        .map(|r| r.as_slice())
+        .collect()
 }
 
 #[test]
 fn pbc_roundtrips_every_dataset_family() {
-    for dataset in [Dataset::Kv1, Dataset::Hdfs, Dataset::Cities, Dataset::Urls, Dataset::Uuid] {
+    for dataset in [
+        Dataset::Kv1,
+        Dataset::Hdfs,
+        Dataset::Cities,
+        Dataset::Urls,
+        Dataset::Uuid,
+    ] {
         let records = dataset.generate(600, 21);
         let sample = sample_of(&records, 200);
         let pbc = PbcCompressor::train(&sample, &PbcConfig::default());
@@ -102,7 +113,10 @@ fn block_variants_roundtrip_and_beat_per_record_pbc() {
 #[test]
 fn every_log_dataset_parses_with_the_log_substrate() {
     use pbc::logs::LogReducer;
-    for dataset in Dataset::all().into_iter().filter(|d| d.kind() == DatasetKind::Log) {
+    for dataset in Dataset::all()
+        .into_iter()
+        .filter(|d| d.kind() == DatasetKind::Log)
+    {
         let records = dataset.generate(300, 17);
         let lines: Vec<String> = records
             .iter()
@@ -123,7 +137,10 @@ fn every_log_dataset_parses_with_the_log_substrate() {
 #[test]
 fn every_json_dataset_parses_with_the_json_substrate() {
     use pbc::json::{BinPackCodec, IonLikeCodec, JsonValue};
-    for dataset in Dataset::all().into_iter().filter(|d| d.kind() == DatasetKind::Json) {
+    for dataset in Dataset::all()
+        .into_iter()
+        .filter(|d| d.kind() == DatasetKind::Json)
+    {
         let records = dataset.generate(120, 29);
         let docs: Vec<JsonValue> = records
             .iter()
@@ -136,8 +153,18 @@ fn every_json_dataset_parses_with_the_json_substrate() {
         let sample: Vec<&JsonValue> = docs.iter().take(60).collect();
         let binpack = BinPackCodec::train(&sample);
         for doc in &docs {
-            assert_eq!(&ion.decode(&ion.encode(doc)).unwrap(), doc, "{}", dataset.name());
-            assert_eq!(&binpack.decode(&binpack.encode(doc)).unwrap(), doc, "{}", dataset.name());
+            assert_eq!(
+                &ion.decode(&ion.encode(doc)).unwrap(),
+                doc,
+                "{}",
+                dataset.name()
+            );
+            assert_eq!(
+                &binpack.decode(&binpack.encode(doc)).unwrap(),
+                doc,
+                "{}",
+                dataset.name()
+            );
         }
     }
 }

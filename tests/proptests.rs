@@ -3,6 +3,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+use pbc::archive::{ArchiveError, CodecSpec, SegmentConfig, SegmentReader, SegmentWriter};
 use pbc::codecs::traits::{Codec, TrainableCodec};
 use pbc::codecs::{huffman, varint, FsstCodec, Lz4Like, LzmaLike, SnappyLike, ZstdLike};
 use pbc::core::matching::{match_record, reassemble};
@@ -172,6 +173,146 @@ proptest! {
         prop_assert_eq!(ion.decode(&ion.encode(&doc)).unwrap(), doc.clone());
         let mp = pbc::json::MsgPackCodec::new();
         prop_assert_eq!(mp.decode(&mp.encode(&doc)).unwrap(), doc);
+    }
+}
+
+// ---------------- archive segments ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn segments_roundtrip_arbitrary_records_under_every_codec(
+        records in vec(vec(any::<u8>(), 0..160), 1..60),
+        codec_pick in 0usize..5,
+        block_bytes in 64usize..2048,
+    ) {
+        let codec = segment_codecs()[codec_pick].clone();
+        let (path, _guard) = segment_path();
+        let config = SegmentConfig {
+            target_block_bytes: block_bytes,
+            ..SegmentConfig::with_codec(codec)
+        };
+        let mut writer = SegmentWriter::create(&path, config).unwrap();
+        for record in &records {
+            writer.append_record(record).unwrap();
+        }
+        let summary = writer.finish().unwrap();
+        prop_assert_eq!(summary.record_count, records.len() as u64);
+
+        let reader = SegmentReader::open(&path).unwrap();
+        prop_assert_eq!(reader.record_count(), records.len() as u64);
+        // Every record readable by ordinal, byte-identical.
+        for (i, record) in records.iter().enumerate() {
+            prop_assert_eq!(&reader.get_record(i as u64).unwrap(), record);
+        }
+        // And the scan reproduces the exact append order.
+        let scanned: Vec<Vec<u8>> =
+            reader.scan().map(|e| e.unwrap().1).collect();
+        prop_assert_eq!(scanned, records);
+    }
+
+    #[test]
+    fn sorted_keyed_segments_serve_key_lookups(
+        suffixes in vec(0u32..1_000_000, 1..80),
+        codec_pick in 0usize..5,
+    ) {
+        let mut keys: Vec<Vec<u8>> = suffixes
+            .iter()
+            .map(|s| format!("key:{s:07}").into_bytes())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let codec = segment_codecs()[codec_pick].clone();
+        let (path, _guard) = segment_path();
+        let config = SegmentConfig {
+            target_block_bytes: 256, // force several blocks
+            ..SegmentConfig::with_codec(codec)
+        };
+        let mut writer = SegmentWriter::create(&path, config).unwrap();
+        for key in &keys {
+            let mut value = b"v=".to_vec();
+            value.extend_from_slice(key);
+            writer.append(key, &value).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader = SegmentReader::open(&path).unwrap();
+        prop_assert!(reader.is_sorted());
+        for key in keys.iter().step_by(7) {
+            let mut expected = b"v=".to_vec();
+            expected.extend_from_slice(key);
+            prop_assert_eq!(reader.get(key).unwrap(), Some(expected));
+        }
+        prop_assert_eq!(reader.get(b"key:~~~~").unwrap(), None);
+    }
+
+    #[test]
+    fn corrupting_any_single_byte_never_panics_the_reader(
+        records in vec(vec(any::<u8>(), 1..80), 4..24),
+        damage in any::<u8>(),
+        position_seed in any::<u64>(),
+    ) {
+        let (path, _guard) = segment_path();
+        let mut writer = SegmentWriter::create(
+            &path,
+            SegmentConfig {
+                target_block_bytes: 128,
+                ..SegmentConfig::with_codec(CodecSpec::Raw)
+            },
+        )
+        .unwrap();
+        for record in &records {
+            writer.append_record(record).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let position = (position_seed % bytes.len() as u64) as usize;
+        bytes[position] ^= damage.max(1); // always change something
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Open may fail (typed) or succeed; reads must never panic and any
+        // error must be a typed ArchiveError.
+        if let Ok(reader) = SegmentReader::open(&path) {
+            for i in 0..reader.record_count() {
+                match reader.get_record(i) {
+                    Ok(_) => {}
+                    Err(e) => { let _: ArchiveError = e; }
+                }
+            }
+        }
+    }
+}
+
+/// The five codec choices a segment can commit to.
+fn segment_codecs() -> [CodecSpec; 5] {
+    [
+        CodecSpec::Raw,
+        CodecSpec::Pbc(PbcConfig::small()),
+        CodecSpec::PbcF(PbcConfig::small()),
+        CodecSpec::Zstd { level: 3 },
+        CodecSpec::Fsst,
+    ]
+}
+
+/// Unique temp path + cleanup guard for property cases.
+fn segment_path() -> (std::path::PathBuf, SegmentGuard) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "pbc-proptest-{}-{}.seg",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    (path.clone(), SegmentGuard(path))
+}
+
+struct SegmentGuard(std::path::PathBuf);
+
+impl Drop for SegmentGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
     }
 }
 

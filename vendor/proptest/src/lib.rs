@@ -1,0 +1,113 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no registry access, so this vendors a
+//! generation-only subset of the proptest API that this workspace's tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! integer and float range strategies, regex-subset string strategies,
+//! tuple strategies, [`collection::vec`], `any::<T>()`, `Just`,
+//! `prop_oneof!`, the `proptest!` macro, and `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the normal assertion message; it is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's module path and name, so failures reproduce across runs.
+//! * **Regex strategies** support the subset `[class]{m,n}` concatenations
+//!   actually used here (char classes with ranges, `{m}`, `{m,n}`, `*`,
+//!   `+`, `?` quantifiers, literal characters).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Generation-only assertion: plain `assert!` under the hood.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Generation-only assertion: plain `assert_eq!` under the hood.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Generation-only assertion: plain `assert_ne!` under the hood.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest!` block: expands each contained test fn into a `#[test]`
+/// that generates `config.cases` random inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($items:tt)*) => {
+        $crate::__proptest_items!{ ($config) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __proptest_config: $crate::test_runner::ProptestConfig = $config;
+            let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __proptest_case in 0..__proptest_config.cases {
+                let _ = __proptest_case;
+                $crate::__proptest_bind!{ __proptest_rng, $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind!{ $rng $(, $($rest)*)? }
+    };
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!{ $rng $(, $($rest)*)? }
+    };
+}

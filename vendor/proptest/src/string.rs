@@ -1,0 +1,181 @@
+//! Generator for the regex subset used as string strategies.
+//!
+//! Supported syntax: a concatenation of atoms, where an atom is either a
+//! character class `[...]` (literal characters and `a-z` style ranges; `-`
+//! first or last is literal) or a literal character, optionally followed by
+//! a quantifier `{m}`, `{m,n}`, `*`, `+`, or `?`. This covers every pattern
+//! in the workspace's tests (e.g. `"[a-z]{1,8}"`, `"[ -~]{0,24}"`,
+//! `"[A-Za-z0-9_./-]{0,12}"`).
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_MAX: usize = 8;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a random string matching `pattern`. Panics on syntax this
+/// subset does not support, so a typo fails loudly instead of producing
+/// garbage.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = atom.max - atom.min + 1;
+        let count = atom.min + rng.below(span.max(1));
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in regex strategy {pattern:?}"))
+                    + i
+                    + 1;
+                let class = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling \\ in regex strategy {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            '.' => {
+                i += 1;
+                (b' '..=b'~').map(|b| b as char).collect()
+            }
+            c if !"(){}*+?|".contains(c) => {
+                i += 1;
+                vec![c]
+            }
+            c => panic!("unsupported regex construct {c:?} in strategy {pattern:?}"),
+        };
+        let (min, max, consumed) = parse_quantifier(&chars[i..], pattern);
+        i += consumed;
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty [] in regex strategy {pattern:?}");
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` range: a dash with a neighbour on both sides.
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in regex strategy {pattern:?}");
+            for code in lo..=hi {
+                choices.push(char::from_u32(code).unwrap());
+            }
+            i += 3;
+        } else {
+            choices.push(body[i]);
+            i += 1;
+        }
+    }
+    choices
+}
+
+fn parse_quantifier(rest: &[char], pattern: &str) -> (usize, usize, usize) {
+    match rest.first() {
+        Some('{') => {
+            let close = rest
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in regex strategy {pattern:?}"));
+            let body: String = rest[1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((min, "")) => (parse_count(min, pattern), UNBOUNDED_MAX.max(1)),
+                Some((min, max)) => (parse_count(min, pattern), parse_count(max, pattern)),
+                None => {
+                    let n = parse_count(&body, pattern);
+                    (n, n)
+                }
+            };
+            assert!(
+                min <= max,
+                "inverted quantifier in regex strategy {pattern:?}"
+            );
+            (min, max, close + 1)
+        }
+        Some('*') => (0, UNBOUNDED_MAX, 1),
+        Some('+') => (1, UNBOUNDED_MAX, 1),
+        Some('?') => (0, 1, 1),
+        _ => (1, 1, 0),
+    }
+}
+
+fn parse_count(text: &str, pattern: &str) -> usize {
+    text.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad quantifier count {text:?} in regex strategy {pattern:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(77)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[A-Za-z0-9_./-]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[ -~]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bounded_repetition_honours_min() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = rng();
+        let s = generate_matching("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,89 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+/// Configuration for a `proptest!` block. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; a generation-only runner has no
+        // shrinking cost, so the same default stays cheap.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from the test's name, so a
+/// failing case reproduces on every run without recording seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (the macro passes the test's path).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, mixed with a fixed tweak.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: hash ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+}
