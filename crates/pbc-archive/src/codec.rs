@@ -429,11 +429,31 @@ pub fn build_codec(spec: &CodecSpec, samples: &[Entry]) -> BlockCodec {
     }
 }
 
-/// Trial-compress the sample block with every candidate codec and keep the
-/// one producing the fewest bytes (ties break toward the earlier candidate,
-/// so selection is deterministic).
+/// Trial-compress one sample block with every candidate codec and keep the
+/// one producing the fewest bytes.
 fn select_codec(samples: &[Entry]) -> BlockCodec {
-    if samples.is_empty() {
+    select_codec_over_blocks(&[samples])
+}
+
+/// Trial-select a codec over several sample blocks spread across the input.
+///
+/// Candidates train on the concatenation of all samples and are scored by
+/// the total trial-compressed size of the sample blocks plus the artifact
+/// bytes each codec would add to the header (ties break toward the earlier
+/// candidate, so selection is deterministic). Sampling blocks spread across
+/// the input — rather than the first block only — keeps drifting corpora
+/// from committing to a codec that raw-fallbacks on the whole tail.
+pub fn select_codec_over_blocks(sample_blocks: &[&[Entry]]) -> BlockCodec {
+    let concatenated: Vec<Entry>;
+    let training: &[Entry] = match sample_blocks {
+        [] => &[],
+        [single] => single,
+        many => {
+            concatenated = many.iter().flat_map(|b| b.iter().cloned()).collect();
+            &concatenated
+        }
+    };
+    if training.is_empty() {
         return BlockCodec::Raw;
     }
     let candidates = [
@@ -445,8 +465,12 @@ fn select_codec(samples: &[Entry]) -> BlockCodec {
     ];
     let mut best: Option<(usize, BlockCodec)> = None;
     for spec in &candidates {
-        let codec = build_codec(spec, samples);
-        let size = codec.compress_block(samples).len() + codec.artifacts().len();
+        let codec = build_codec(spec, training);
+        let size = sample_blocks
+            .iter()
+            .map(|block| codec.compress_block(block).len())
+            .sum::<usize>()
+            + codec.artifacts().len();
         if best.as_ref().is_none_or(|(b, _)| size < *b) {
             best = Some((size, codec));
         }

@@ -42,13 +42,16 @@
 pub mod codec;
 pub mod error;
 pub mod format;
+pub mod positioned;
 pub mod reader;
 pub mod writer;
 
-pub use codec::{build_codec, BlockCodec, CodecSpec, Entry};
+pub use codec::{build_codec, select_codec_over_blocks, BlockCodec, CodecSpec, Entry};
 pub use error::{ArchiveError, Result};
 pub use reader::{Scan, SegmentReader};
-pub use writer::{SegmentConfig, SegmentSummary, SegmentWriter};
+pub use writer::{
+    entry_size_estimate, spread_sample_indices, SegmentConfig, SegmentSummary, SegmentWriter,
+};
 
 #[cfg(test)]
 mod tests {
@@ -234,6 +237,61 @@ mod tests {
                 context: "block index"
             })
         ));
+    }
+
+    #[test]
+    fn auto_selection_samples_past_an_unrepresentative_first_block() {
+        // First blocks: pseudo-random noise. Tail: highly templated records.
+        // First-block-only selection would commit to what the noise
+        // suggests (Raw) and store the whole templated tail uncompressed;
+        // window sampling must spot the tail and pick a real codec.
+        let (path, _guard) = temp_segment("drift");
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut records: Vec<(Vec<u8>, Vec<u8>)> = (0..60usize)
+            .map(|i| {
+                let value: Vec<u8> = (0..80)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1);
+                        (state >> 33) as u8
+                    })
+                    .collect();
+                (format!("k:{i:06}").into_bytes(), value)
+            })
+            .collect();
+        for i in 60..2_000usize {
+            records.push((
+                format!("k:{i:06}").into_bytes(),
+                format!(
+                    "evt|uid={}|dev=ios-17|region=eu-{}|ts={}",
+                    10_000_000 + (i * 9_700_417) % 89_999_999,
+                    i % 8,
+                    1_686_000_000 + i * 7
+                )
+                .into_bytes(),
+            ));
+        }
+        let summary = write_segment(
+            &path,
+            &records,
+            SegmentConfig {
+                target_block_bytes: 4 * 1024,
+                ..SegmentConfig::default()
+            },
+        );
+        assert!(summary.block_count > 16, "must outgrow the sampling window");
+        assert_ne!(summary.codec, "Raw", "sampling must see past the noise");
+        assert!(
+            summary.ratio() < 0.7,
+            "templated tail should compress, got {}",
+            summary.ratio()
+        );
+        // And the mixed segment still roundtrips exactly.
+        let reader = SegmentReader::open(&path).unwrap();
+        for i in (0..records.len()).step_by(111) {
+            assert_eq!(reader.get_entry(i as u64).unwrap(), records[i]);
+        }
     }
 
     #[test]

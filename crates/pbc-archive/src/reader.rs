@@ -3,21 +3,22 @@
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 use crate::codec::{BlockCodec, Entry};
 use crate::error::{ArchiveError, Result};
 use crate::format::{
     crc32, decode_index, decode_trailer, BlockMeta, Header, FLAG_SORTED_KEYS, TRAILER_LEN,
 };
+use crate::positioned::PositionedFile;
 
-/// A reopened segment. All methods take `&self`; the underlying file handle
-/// is guarded by a mutex, so a reader can be shared across threads.
+/// A reopened segment. All methods take `&self`; block reads go through
+/// [`PositionedFile`] (`pread` on unix), so concurrent readers sharing one
+/// `SegmentReader` do not serialize on a file cursor.
 ///
 /// The `Debug` form reports geometry only (no block payloads).
 pub struct SegmentReader {
     path: PathBuf,
-    file: Mutex<File>,
+    file: PositionedFile,
     header: Header,
     codec: BlockCodec,
     /// Shared instance backing the per-block raw-fallback path.
@@ -117,7 +118,7 @@ impl SegmentReader {
 
         Ok(SegmentReader {
             path,
-            file: Mutex::new(file),
+            file: PositionedFile::new(file),
             header,
             codec,
             raw_codec: BlockCodec::Raw,
@@ -161,11 +162,7 @@ impl SegmentReader {
     fn read_block_bytes(&self, block: usize) -> Result<Vec<u8>> {
         let meta = &self.blocks[block];
         let mut bytes = vec![0u8; meta.comp_len as usize];
-        {
-            let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-            file.seek(SeekFrom::Start(meta.file_offset))?;
-            file.read_exact(&mut bytes)?;
-        }
+        self.file.read_exact_at(&mut bytes, meta.file_offset)?;
         let computed = crc32(&bytes);
         if computed != meta.crc {
             return Err(ArchiveError::CrcMismatch {
@@ -236,23 +233,31 @@ impl SegmentReader {
         self.get_entry(i).map(|(_, value)| value)
     }
 
-    /// Key lookup over a sorted segment: binary-search the block index by
-    /// min/max key, then search inside the single candidate block. Returns
-    /// the value of the **last** entry with the key (later appends win).
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// The contiguous range of blocks whose `[min_key, max_key]` interval
+    /// contains `key` — the blocks a point lookup must inspect. Requires a
+    /// sorted segment. External block caches use this to fetch and cache
+    /// exactly the blocks a `get` would touch.
+    pub fn candidate_blocks_for_key(&self, key: &[u8]) -> Result<std::ops::Range<usize>> {
         if !self.is_sorted() {
             return Err(ArchiveError::UnsortedKeys);
         }
-        // Candidate blocks form the contiguous range whose [min, max] key
-        // interval contains the key; duplicates may straddle block borders,
-        // so for last-wins semantics scan the range back to front.
         let lo = self
             .blocks
             .partition_point(|meta| meta.max_key.as_slice() < key);
         let hi = self
             .blocks
             .partition_point(|meta| meta.min_key.as_slice() <= key);
-        for block in (lo..hi).rev() {
+        Ok(lo..hi)
+    }
+
+    /// Key lookup over a sorted segment: binary-search the block index by
+    /// min/max key, then search inside the single candidate block. Returns
+    /// the value of the **last** entry with the key (later appends win).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        // Candidate blocks form the contiguous range whose [min, max] key
+        // interval contains the key; duplicates may straddle block borders,
+        // so for last-wins semantics scan the range back to front.
+        for block in self.candidate_blocks_for_key(key)?.rev() {
             let bytes = self.read_block_bytes(block)?;
             let hit = self.block_codec(block)?.find_by_key(
                 &bytes,

@@ -6,9 +6,13 @@
 //! before hitting the file — so a segment written with N workers is
 //! byte-identical to one written single-threaded.
 //!
-//! The block codec is fixed when the first block closes (trained on its
-//! entries, or trial-selected for [`CodecSpec::Auto`]); the header with the
-//! trained artifacts is written at that point, before any block bytes.
+//! The block codec is fixed once: forced specs train on the first block as
+//! it closes, while [`CodecSpec::Auto`] buffers a window of blocks
+//! ([`SegmentConfig::auto_sample_window`]) and trial-selects over up to
+//! [`SegmentConfig::auto_sample_blocks`] samples spread across it, so a
+//! drifting corpus cannot commit the segment to whatever the first block
+//! alone suggested. Either way the header with the trained artifacts is
+//! written before any block bytes.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -36,6 +40,14 @@ pub struct SegmentConfig {
     pub codec: CodecSpec,
     /// Compression worker threads. `0` and `1` both mean inline (no pool).
     pub workers: usize,
+    /// For [`CodecSpec::Auto`]: buffer up to this many closed blocks before
+    /// committing to a codec, so selection can sample across the input
+    /// instead of trusting the first block. Bounds the writer's extra memory
+    /// to roughly `auto_sample_window * target_block_bytes`.
+    pub auto_sample_window: usize,
+    /// For [`CodecSpec::Auto`]: how many blocks, spread evenly across the
+    /// buffered window, the trial selection samples (at most 4 by default).
+    pub auto_sample_blocks: usize,
 }
 
 impl Default for SegmentConfig {
@@ -45,6 +57,8 @@ impl Default for SegmentConfig {
             max_block_records: 4096,
             codec: CodecSpec::Auto,
             workers: 1,
+            auto_sample_window: 16,
+            auto_sample_blocks: 4,
         }
     }
 }
@@ -63,6 +77,22 @@ impl SegmentConfig {
         self.workers = workers;
         self
     }
+
+    /// Whether a block holding `records` entries of `bytes` estimated
+    /// payload is due to close under this config. This is **the** blocking
+    /// rule — callers predicting writer block boundaries (e.g. to sample
+    /// spill payloads for codec selection) must use it rather than
+    /// re-deriving the thresholds.
+    pub fn block_is_full(&self, records: usize, bytes: usize) -> bool {
+        bytes >= self.target_block_bytes || records >= self.max_block_records
+    }
+}
+
+/// The writer's per-entry size estimate used to close blocks: key and
+/// value bytes plus ~10 bytes of varint framing. Shared so external block
+/// predictions stay in sync with [`SegmentWriter::append`].
+pub fn entry_size_estimate(key_len: usize, value_len: usize) -> usize {
+    key_len + value_len + 10
 }
 
 /// What [`SegmentWriter::finish`] reports.
@@ -150,6 +180,20 @@ fn compress_one(codec: &BlockCodec, entries: Vec<Entry>) -> CompressedBlock {
     }
 }
 
+/// Up to `k` strictly increasing indices spread evenly over `0..n` (first
+/// and last always included when `n > 1`) — the shared sampling rule for
+/// codec selection, used by this writer's `Auto` window and by callers
+/// sampling whole segments or spill payloads.
+pub fn spread_sample_indices(n: usize, k: usize) -> Vec<usize> {
+    if n <= k {
+        return (0..n).collect();
+    }
+    if k == 1 {
+        return vec![0];
+    }
+    (0..k).map(|i| i * (n - 1) / (k - 1)).collect()
+}
+
 struct Pool {
     work_tx: Option<SyncSender<(u64, Vec<Entry>)>>,
     result_rx: Receiver<(u64, CompressedBlock)>,
@@ -222,6 +266,9 @@ pub struct SegmentWriter {
     pool: Option<Pool>,
     current: Vec<Entry>,
     current_bytes: usize,
+    /// Closed blocks held back while [`CodecSpec::Auto`] waits for its
+    /// sampling window to fill (see [`SegmentConfig::auto_sample_window`]).
+    pending: Vec<Vec<Entry>>,
     sorted: bool,
     last_key: Vec<u8>,
     offset: u64,
@@ -276,6 +323,7 @@ impl SegmentWriter {
             pool: None,
             current: Vec::new(),
             current_bytes: 0,
+            pending: Vec::new(),
             sorted: true,
             last_key: Vec::new(),
             offset: 0,
@@ -297,11 +345,12 @@ impl SegmentWriter {
         }
         self.last_key.clear();
         self.last_key.extend_from_slice(key);
-        self.current_bytes += key.len() + value.len() + 10;
+        self.current_bytes += entry_size_estimate(key.len(), value.len());
         self.current.push((key.to_vec(), value.to_vec()));
         self.record_count += 1;
-        if self.current_bytes >= self.config.target_block_bytes
-            || self.current.len() >= self.config.max_block_records
+        if self
+            .config
+            .block_is_full(self.current.len(), self.current_bytes)
         {
             self.close_block()?;
         }
@@ -324,8 +373,9 @@ impl SegmentWriter {
         self.codec.as_ref().map(|c| c.name())
     }
 
-    /// Close the current block: pick the codec if this is the first, then
-    /// compress inline or enqueue to the pool.
+    /// Close the current block: pick the codec if none is committed yet
+    /// (buffering under [`CodecSpec::Auto`] until the sampling window
+    /// fills), then compress inline or enqueue to the pool.
     fn close_block(&mut self) -> Result<()> {
         if self.current.is_empty() {
             return Ok(());
@@ -333,9 +383,26 @@ impl SegmentWriter {
         let entries = std::mem::take(&mut self.current);
         self.current_bytes = 0;
         if self.codec.is_none() {
-            self.commit_codec(&entries)?;
+            if matches!(self.config.codec, CodecSpec::Auto) {
+                self.pending.push(entries);
+                if self.pending.len() >= self.config.auto_sample_window.max(1) {
+                    self.commit_pending()?;
+                }
+                return Ok(());
+            }
+            self.commit_codec(build_codec(&self.config.codec, &entries))?;
         }
-        let codec = Arc::clone(self.codec.as_ref().expect("codec committed above"));
+        self.dispatch_block(entries)
+    }
+
+    /// Hand a closed block to the worker pool (or compress it inline) once a
+    /// codec is committed.
+    fn dispatch_block(&mut self, entries: Vec<Entry>) -> Result<()> {
+        let codec = Arc::clone(
+            self.codec
+                .as_ref()
+                .expect("codec committed before dispatch"),
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.config.workers > 1 {
@@ -358,9 +425,24 @@ impl SegmentWriter {
         Ok(())
     }
 
-    /// Train/select the codec on the first block and write the header.
-    fn commit_codec(&mut self, first_block: &[Entry]) -> Result<()> {
-        let codec = build_codec(&self.config.codec, first_block);
+    /// Commit the `Auto` codec: trial-select over up to
+    /// [`SegmentConfig::auto_sample_blocks`] blocks spread evenly across the
+    /// buffered window, write the header, then stream the buffered blocks
+    /// out in their original order.
+    fn commit_pending(&mut self) -> Result<()> {
+        let pending = std::mem::take(&mut self.pending);
+        let samples = spread_sample_indices(pending.len(), self.config.auto_sample_blocks.max(1));
+        let sample_blocks: Vec<&[Entry]> = samples.iter().map(|&i| pending[i].as_slice()).collect();
+        let codec = crate::codec::select_codec_over_blocks(&sample_blocks);
+        self.commit_codec(codec)?;
+        for block in pending {
+            self.dispatch_block(block)?;
+        }
+        Ok(())
+    }
+
+    /// Write the header for a trained codec and commit to it.
+    fn commit_codec(&mut self, codec: BlockCodec) -> Result<()> {
         let header = Header {
             version: VERSION,
             codec_id: codec.id(),
@@ -468,10 +550,15 @@ impl SegmentWriter {
     /// Flush the tail block, drain the pool, and write the index + trailer.
     pub fn finish(mut self) -> Result<SegmentSummary> {
         self.close_block()?;
+        if self.codec.is_none() && !self.pending.is_empty() {
+            // Auto segment shorter than the sampling window: select over
+            // whatever blocks exist.
+            self.commit_pending()?;
+        }
         if self.codec.is_none() {
-            // Zero-record segment: commit to Raw so the file is still
-            // self-describing.
-            self.commit_codec(&[])?;
+            // Zero-record segment: commit so the file is still
+            // self-describing (Raw under Auto).
+            self.commit_codec(build_codec(&self.config.codec, &[]))?;
         }
         self.drain_results(true)?;
         if let Some(mut pool) = self.pool.take() {
@@ -493,5 +580,25 @@ impl SegmentWriter {
             compressed_bytes: self.compressed_bytes,
             codec: self.codec.as_ref().expect("codec committed above").name(),
         })
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::spread_sample_indices;
+
+    #[test]
+    fn spread_indices_cover_first_and_last() {
+        assert_eq!(spread_sample_indices(16, 4), vec![0, 5, 10, 15]);
+        assert_eq!(spread_sample_indices(5, 4), vec![0, 1, 2, 4]);
+        assert_eq!(spread_sample_indices(3, 4), vec![0, 1, 2]);
+        assert_eq!(spread_sample_indices(0, 4), Vec::<usize>::new());
+        assert_eq!(spread_sample_indices(9, 1), vec![0]);
+        // Strictly increasing whenever n > k.
+        for n in 5..40 {
+            let idx = spread_sample_indices(n, 4);
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "n={n}: {idx:?}");
+            assert_eq!(*idx.last().unwrap(), n - 1);
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! Criterion bench for the tiered store: get latency on the hot path, the
+//! cold path through a warm block cache, and the cold path forced to disk
+//! (cache capacity zero).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbc_bench::data::corpus;
+use pbc_datagen::Dataset;
+use pbc_tier::{TierConfig, TieredStore};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pbc-bench-crit-tier-{}-{tag}", std::process::id()))
+}
+
+fn keys_of(n: usize, stride: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .step_by(stride)
+        .map(|i| format!("tier:{i:08}").into_bytes())
+        .collect()
+}
+
+fn populate(dir: &std::path::Path, records: &[Vec<u8>], cache_capacity: usize) -> TieredStore {
+    let raw_bytes: usize = records.iter().map(|r| r.len() + 14).sum();
+    let store = TieredStore::open(
+        TierConfig::new(dir)
+            .with_watermark((raw_bytes as u64 / 8).max(64 * 1024))
+            .with_cache_capacity(cache_capacity),
+    )
+    .expect("open tier store");
+    for (i, value) in records.iter().enumerate() {
+        store
+            .set(format!("tier:{i:08}").as_bytes(), value)
+            .expect("bench set");
+    }
+    store
+}
+
+fn bench_tier_gets(c: &mut Criterion) {
+    let records = corpus(Dataset::Kv2, 0.05);
+    let n = records.len();
+    let probe = keys_of(n, 7);
+
+    let mut group = c.benchmark_group("tier_get");
+    group.sample_size(10);
+
+    // Hot: watermark high enough that nothing spills.
+    {
+        let dir = temp_dir("hot");
+        let raw_bytes: usize = records.iter().map(|r| r.len() + 14).sum();
+        let store = TieredStore::open(TierConfig::new(&dir).with_watermark(raw_bytes as u64 * 2))
+            .expect("open hot store");
+        for (i, value) in records.iter().enumerate() {
+            store
+                .set(format!("tier:{i:08}").as_bytes(), value)
+                .expect("bench set");
+        }
+        group.bench_function(BenchmarkId::new("path", "hot"), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for key in &probe {
+                    found += usize::from(store.get(key).expect("get").is_some());
+                }
+                assert!(found > 0);
+            })
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Cold with a warm cache: everything spilled, cache big enough to hold
+    // the working set after the first pass.
+    {
+        let dir = temp_dir("cold-hit");
+        let raw_bytes: usize = records.iter().map(|r| r.len() + 14).sum();
+        let store = populate(&dir, &records, raw_bytes * 2);
+        store.flush_all().expect("flush");
+        store.compact().expect("compact");
+        // Warm pass.
+        for key in &probe {
+            store.get(key).expect("warm get");
+        }
+        group.bench_function(BenchmarkId::new("path", "cold_cache_hit"), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for key in &probe {
+                    found += usize::from(store.get(key).expect("get").is_some());
+                }
+                assert!(found > 0);
+            })
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Cold forced to disk: cache capacity zero, every get decodes a block.
+    {
+        let dir = temp_dir("cold-miss");
+        let store = populate(&dir, &records, 0);
+        store.flush_all().expect("flush");
+        store.compact().expect("compact");
+        group.bench_function(BenchmarkId::new("path", "cold_cache_miss"), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for key in &probe {
+                    found += usize::from(store.get(key).expect("get").is_some());
+                }
+                assert!(found > 0);
+            })
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tier_gets);
+criterion_main!(benches);

@@ -2,17 +2,19 @@
 //! evaluation on the synthetic stand-in datasets.
 //!
 //! ```text
-//! Usage: repro [--scale <f64>] <experiment> [experiment...]
+//! Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b archive
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
 //!
 //! `--scale` multiplies every dataset's record count (default 0.5); use a
-//! small value like 0.05 for a smoke run.
+//! small value like 0.05 for a smoke run, or pass `--smoke` which pins the
+//! scale to 0.02 for CI. `--experiment <name>` is an explicit alias for the
+//! positional form.
 
 use pbc_bench::experiments::{
     render_dataset_rows, render_method_table, table2, table3, table4, table5, table6, table7,
@@ -26,17 +28,28 @@ use pbc_datagen::Dataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 0.5f64;
+    let mut scale: Option<f64> = None;
+    let mut smoke = false;
     let mut experiments: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--scale requires a number"));
+                scale = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--scale requires a number")),
+                );
+            }
+            "--smoke" => smoke = true,
+            "--experiment" => {
+                i += 1;
+                experiments.push(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--experiment requires a name")),
+                );
             }
             "--help" | "-h" => {
                 print_usage();
@@ -46,6 +59,8 @@ fn main() {
         }
         i += 1;
     }
+    // --smoke pins a tiny scale unless one was given explicitly.
+    let scale = scale.unwrap_or(if smoke { 0.02 } else { 0.5 });
     if experiments.is_empty() {
         print_usage();
         return;
@@ -55,7 +70,7 @@ fn main() {
         .flat_map(|e| match e.as_str() {
             "all" => vec![
                 "table2", "table3", "fig5", "table4", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-                "table5", "table6", "table7", "table8", "archive",
+                "table5", "table6", "table7", "table8", "archive", "tier",
             ]
             .into_iter()
             .map(String::from)
@@ -75,9 +90,9 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "Usage: repro [--scale <f64>] <experiment>...\n\
+        "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b archive all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive tier all quick"
     );
 }
 
@@ -238,6 +253,7 @@ fn run_experiment(name: &str, scale: f64) {
             println!("{}", table.render());
         }
         "archive" => println!("{}", pbc_bench::archive::archive_throughput(scale).render()),
+        "tier" => println!("{}", pbc_bench::tier::tier_throughput(scale).render()),
         other => die(&format!("unknown experiment '{other}'")),
     }
     eprintln!(

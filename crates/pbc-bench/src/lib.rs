@@ -20,6 +20,7 @@
 //! | Tables 6–7 (JSON compression) | [`experiments::table6`], [`experiments::table7`] |
 //! | Table 8 (production case study) | [`experiments::table8`] |
 //! | Archive ingest/lookups (beyond the paper) | [`archive::archive_throughput`] |
+//! | Tiered-store get latency (beyond the paper) | [`tier::tier_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
@@ -30,6 +31,7 @@ pub mod experiments;
 pub mod figures;
 pub mod measure;
 pub mod report;
+pub mod tier;
 
 pub use data::{corpus, scaled_count, SEED};
 pub use measure::{time_per_byte, Throughput};

@@ -5,9 +5,16 @@
 //! and values pass through the configured [`ValueCodec`] on SET/GET. Memory
 //! accounting counts stored key and value bytes, which is what Table 8's
 //! "Memory Usage (%)" compares across codecs.
+//!
+//! Beyond the paper's experiment, the store exposes the hooks a tiered
+//! engine (`pbc-tier`) needs to spill cold shards to `pbc-archive` segments:
+//! per-shard byte accounting and last-access epochs (for LRU shard
+//! selection), [`TierStore::take_shard`] (drain a shard's decoded entries
+//! plus its tombstones), and tombstone tracking so deletes of already-
+//! spilled keys stay observable until they reach a segment themselves.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,13 +25,76 @@ use crate::engine::{StoreError, ValueCodec};
 /// Number of shards (power of two).
 const SHARDS: usize = 16;
 
+/// One shard's map plus its byte accounting. The accounting lives inside
+/// the lock so [`TierStore::take_shard`] can drain and zero it atomically
+/// with respect to concurrent writers.
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<Vec<u8>, Vec<u8>>,
+    stored_value_bytes: u64,
+    stored_key_bytes: u64,
+}
+
+/// Tombstones recorded for a shard: keys deleted while (possibly) still
+/// present in colder storage.
+#[derive(Default)]
+struct TombstoneState {
+    set: HashSet<Vec<u8>>,
+    bytes: u64,
+}
+
+struct Shard {
+    state: RwLock<ShardState>,
+    tombstones: RwLock<TombstoneState>,
+    /// Epoch of the most recent access (set/get/delete) — the LRU signal
+    /// tiered storage uses to pick spill victims.
+    last_access: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            state: RwLock::new(ShardState::default()),
+            tombstones: RwLock::new(TombstoneState::default()),
+            last_access: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Everything [`TierStore::take_shard`] drains out of a shard: decoded
+/// entries and tombstoned keys, both sorted by key.
+#[derive(Debug, Default)]
+pub struct ShardDrain {
+    /// `(key, decoded value)` pairs, sorted by key.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Tombstoned keys, sorted.
+    pub tombstones: Vec<Vec<u8>>,
+}
+
+impl ShardDrain {
+    /// Whether the drain carried nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.tombstones.is_empty()
+    }
+}
+
 /// A TierBase-like sharded key-value store with value compression.
 pub struct TierStore {
-    shards: Vec<RwLock<HashMap<Vec<u8>, Vec<u8>>>>,
+    shards: Vec<Shard>,
     codec: ValueCodec,
-    stored_value_bytes: AtomicU64,
-    stored_key_bytes: AtomicU64,
     raw_value_bytes: AtomicU64,
+    /// Global access counter; each shard access stamps the shard with the
+    /// next value.
+    epoch: AtomicU64,
+    /// Running total of stored key + value bytes across all shards,
+    /// updated with every per-shard delta. Watermark checks on the write
+    /// path read this with two atomic loads instead of taking every shard
+    /// lock; the per-shard counters stay the exact source of truth for
+    /// [`TierStore::shard_memory_bytes`] and [`TierStore::take_shard`].
+    stored_bytes_total: AtomicU64,
+    /// Running total of tombstone key bytes, mirroring the per-shard
+    /// tombstone accounting the same way.
+    tombstone_bytes_total: AtomicU64,
 }
 
 impl std::fmt::Debug for TierStore {
@@ -33,6 +103,7 @@ impl std::fmt::Debug for TierStore {
             .field("len", &self.len())
             .field("codec", &self.codec)
             .field("memory_usage_bytes", &self.memory_usage_bytes())
+            .field("tombstones", &self.tombstone_count())
             .finish()
     }
 }
@@ -41,11 +112,12 @@ impl TierStore {
     /// Create a store with the given value codec.
     pub fn new(codec: ValueCodec) -> Self {
         TierStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
             codec,
-            stored_value_bytes: AtomicU64::new(0),
-            stored_key_bytes: AtomicU64::new(0),
             raw_value_bytes: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            stored_bytes_total: AtomicU64::new(0),
+            tombstone_bytes_total: AtomicU64::new(0),
         }
     }
 
@@ -54,69 +126,314 @@ impl TierStore {
         &self.codec
     }
 
-    fn shard_of(&self, key: &[u8]) -> usize {
+    /// How many shards keys are hashed onto.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard holds `key`.
+    pub fn shard_of_key(&self, key: &[u8]) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         (hasher.finish() as usize) % SHARDS
     }
 
+    /// Stamp a shard with the next global access epoch.
+    fn touch(&self, shard: usize) {
+        let now = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shards[shard].last_access.store(now, Ordering::Relaxed);
+    }
+
+    /// The epoch of shard `idx`'s most recent access (0 = never touched).
+    /// Smaller means colder.
+    pub fn shard_access_epoch(&self, idx: usize) -> u64 {
+        self.shards[idx].last_access.load(Ordering::Relaxed)
+    }
+
+    /// Keys currently stored in shard `idx`.
+    pub fn shard_len(&self, idx: usize) -> usize {
+        self.shards[idx].state.read().map.len()
+    }
+
+    /// Stored (compressed) value + key bytes held by shard `idx`, excluding
+    /// tombstones.
+    pub fn shard_memory_bytes(&self, idx: usize) -> u64 {
+        let state = self.shards[idx].state.read();
+        state.stored_value_bytes + state.stored_key_bytes
+    }
+
     /// Store a value under a key (Redis `SET`). Returns the stored
     /// (compressed) size in bytes.
     pub fn set(&self, key: &[u8], value: &[u8]) -> usize {
+        self.set_inner(key, value, false)
+    }
+
+    /// SET that also drops any tombstone for `key`, atomically with the
+    /// insert (both shard locks held together). Tiered callers need the
+    /// pair to be indivisible: insert-then-clear as two steps lets a
+    /// concurrent delete's tombstone land between them and be wrongly
+    /// erased, resurrecting an older cold value.
+    pub fn set_and_clear_tombstone(&self, key: &[u8], value: &[u8]) -> usize {
+        self.set_inner(key, value, true)
+    }
+
+    fn set_inner(&self, key: &[u8], value: &[u8], clear_tombstone: bool) -> usize {
         let encoded = self.codec.encode(value);
         let encoded_len = encoded.len();
-        let mut shard = self.shards[self.shard_of(key)].write();
-        let previous = shard.insert(key.to_vec(), encoded);
-        drop(shard);
-        match previous {
-            Some(old) => {
-                // Replace: adjust value accounting only.
-                self.stored_value_bytes
-                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
+        let idx = self.shard_of_key(key);
+        {
+            // The global totals update inside the shard lock: they must
+            // move in lockstep with the per-shard counters, or a racing
+            // take_shard (which subtracts the per-shard sums under this
+            // lock) could transiently wrap the u64 totals.
+            let shard = &self.shards[idx];
+            let mut state = shard.state.write();
+            let mut added = encoded_len as u64;
+            match state.map.insert(key.to_vec(), encoded) {
+                Some(old) => {
+                    state.stored_value_bytes -= old.len() as u64;
+                    self.stored_bytes_total
+                        .fetch_sub(old.len() as u64, Ordering::Relaxed);
+                }
+                None => {
+                    state.stored_key_bytes += key.len() as u64;
+                    added += key.len() as u64;
+                }
             }
-            None => {
-                self.stored_key_bytes
-                    .fetch_add(key.len() as u64, Ordering::Relaxed);
+            state.stored_value_bytes += encoded_len as u64;
+            self.stored_bytes_total.fetch_add(added, Ordering::Relaxed);
+            self.raw_value_bytes
+                .fetch_add(value.len() as u64, Ordering::Relaxed);
+            if clear_tombstone {
+                // Lock order state -> tombstones, same as set_if_absent.
+                let mut tombs = shard.tombstones.write();
+                if tombs.set.remove(key) {
+                    tombs.bytes -= key.len() as u64;
+                    self.tombstone_bytes_total
+                        .fetch_sub(key.len() as u64, Ordering::Relaxed);
+                }
             }
         }
-        self.stored_value_bytes
-            .fetch_add(encoded_len as u64, Ordering::Relaxed);
-        self.raw_value_bytes
-            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.touch(idx);
         encoded_len
     }
 
     /// Fetch and decompress a value (Redis `GET`).
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
-        let shard = self.shards[self.shard_of(key)].read();
-        match shard.get(key) {
-            Some(stored) => {
-                let stored = stored.clone();
-                drop(shard);
-                self.codec.decode(&stored).map(Some)
-            }
+        let idx = self.shard_of_key(key);
+        let stored = self.shards[idx].state.read().map.get(key).cloned();
+        self.touch(idx);
+        match stored {
+            Some(stored) => self.codec.decode(&stored).map(Some),
             None => Ok(None),
         }
     }
 
-    /// Remove a key. Returns whether it existed.
+    /// Remove a key. Returns whether it existed. (Does **not** record a
+    /// tombstone — callers layering cold storage underneath use
+    /// [`TierStore::record_tombstone`] as well.)
     pub fn delete(&self, key: &[u8]) -> bool {
-        let mut shard = self.shards[self.shard_of(key)].write();
-        match shard.remove(key) {
-            Some(old) => {
-                self.stored_value_bytes
-                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
-                self.stored_key_bytes
-                    .fetch_sub(key.len() as u64, Ordering::Relaxed);
-                true
+        let idx = self.shard_of_key(key);
+        let existed = {
+            let mut state = self.shards[idx].state.write();
+            match state.map.remove(key) {
+                Some(old) => {
+                    state.stored_value_bytes -= old.len() as u64;
+                    state.stored_key_bytes -= key.len() as u64;
+                    // Global total moves under the lock, in lockstep with
+                    // the per-shard counters (see set_inner).
+                    self.stored_bytes_total
+                        .fetch_sub((old.len() + key.len()) as u64, Ordering::Relaxed);
+                    true
+                }
+                None => false,
             }
-            None => false,
+        };
+        self.touch(idx);
+        existed
+    }
+
+    /// Insert `key` only if it is neither stored nor tombstoned in this
+    /// store. Returns whether the insert happened.
+    ///
+    /// This is the rollback primitive for a failed spill: entries drained
+    /// out of a shard go back in *without* clobbering a write or delete
+    /// that was acknowledged while the spill ran (both of which are newer
+    /// than the drained copy).
+    pub fn set_if_absent(&self, key: &[u8], value: &[u8]) -> bool {
+        let idx = self.shard_of_key(key);
+        let shard = &self.shards[idx];
+        let mut state = shard.state.write();
+        if state.map.contains_key(key) || shard.tombstones.read().set.contains(key) {
+            return false;
         }
+        let encoded = self.codec.encode(value);
+        state.stored_key_bytes += key.len() as u64;
+        state.stored_value_bytes += encoded.len() as u64;
+        self.stored_bytes_total
+            .fetch_add((key.len() + encoded.len()) as u64, Ordering::Relaxed);
+        self.raw_value_bytes
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        state.map.insert(key.to_vec(), encoded);
+        drop(state);
+        self.touch(idx);
+        true
+    }
+
+    /// Remove `key` only while a tombstone for it is present, atomically
+    /// (both shard locks held together). This is the rollback-safe second
+    /// delete for tiered callers: if a concurrent newer SET already
+    /// cleared the tombstone (atomically with its insert), the stored
+    /// value postdates the delete and must survive; a blind `delete`
+    /// here would erase it and resurrect whatever older copy sits in
+    /// colder storage.
+    pub fn delete_if_tombstoned(&self, key: &[u8]) -> bool {
+        let idx = self.shard_of_key(key);
+        let shard = &self.shards[idx];
+        let mut state = shard.state.write();
+        // Lock order state -> tombstones, same as set_inner.
+        if !shard.tombstones.read().set.contains(key) {
+            return false;
+        }
+        match state.map.remove(key) {
+            Some(old) => {
+                state.stored_value_bytes -= old.len() as u64;
+                state.stored_key_bytes -= key.len() as u64;
+                self.stored_bytes_total
+                    .fetch_sub((old.len() + key.len()) as u64, Ordering::Relaxed);
+            }
+            None => return false,
+        }
+        drop(state);
+        self.touch(idx);
+        true
+    }
+
+    /// Record a tombstone for `key` only if the key is not currently
+    /// stored (the storing write is newer than the drained tombstone).
+    /// Returns whether the tombstone was recorded. The shard's map lock is
+    /// held across the check and the insert, so a concurrent `set` cannot
+    /// interleave between them.
+    pub fn record_tombstone_if_absent(&self, key: &[u8]) -> bool {
+        let idx = self.shard_of_key(key);
+        let shard = &self.shards[idx];
+        let state = shard.state.read();
+        if state.map.contains_key(key) {
+            return false;
+        }
+        let mut tombs = shard.tombstones.write();
+        if tombs.set.insert(key.to_vec()) {
+            tombs.bytes += key.len() as u64;
+            self.tombstone_bytes_total
+                .fetch_add(key.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record that `key` was deleted while possibly still present in colder
+    /// storage. Returns whether the tombstone is new.
+    pub fn record_tombstone(&self, key: &[u8]) -> bool {
+        let idx = self.shard_of_key(key);
+        let mut tombs = self.shards[idx].tombstones.write();
+        if tombs.set.insert(key.to_vec()) {
+            tombs.bytes += key.len() as u64;
+            self.tombstone_bytes_total
+                .fetch_add(key.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop the tombstone for `key` (a newer SET supersedes the delete).
+    /// Returns whether one existed.
+    pub fn clear_tombstone(&self, key: &[u8]) -> bool {
+        let idx = self.shard_of_key(key);
+        let mut tombs = self.shards[idx].tombstones.write();
+        if tombs.set.remove(key) {
+            tombs.bytes -= key.len() as u64;
+            self.tombstone_bytes_total
+                .fetch_sub(key.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `key` is currently tombstoned.
+    pub fn has_tombstone(&self, key: &[u8]) -> bool {
+        let idx = self.shard_of_key(key);
+        self.shards[idx].tombstones.read().set.contains(key)
+    }
+
+    /// Total tombstoned keys.
+    pub fn tombstone_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tombstones.read().set.len())
+            .sum()
+    }
+
+    /// Bytes held by tombstoned keys (not part of
+    /// [`TierStore::memory_usage_bytes`], which keeps Table 8 semantics).
+    /// A single atomic load — cheap enough for per-write watermark checks.
+    pub fn tombstone_bytes(&self) -> u64 {
+        self.tombstone_bytes_total.load(Ordering::Relaxed)
+    }
+
+    /// Tombstone bytes held by shard `idx`.
+    pub fn shard_tombstone_bytes(&self, idx: usize) -> u64 {
+        self.shards[idx].tombstones.read().bytes
+    }
+
+    /// Drain shard `idx`: decode and remove every entry and every tombstone,
+    /// returning both sorted by key. Decoding happens before anything is
+    /// removed, so a corrupt value leaves the shard untouched.
+    pub fn take_shard(&self, idx: usize) -> Result<ShardDrain, StoreError> {
+        let mut entries;
+        {
+            let mut state = self.shards[idx].state.write();
+            entries = Vec::with_capacity(state.map.len());
+            for (key, stored) in state.map.iter() {
+                entries.push((key.clone(), self.codec.decode(stored)?));
+            }
+            state.map.clear();
+            state.map.shrink_to_fit();
+            self.stored_bytes_total.fetch_sub(
+                state.stored_value_bytes + state.stored_key_bytes,
+                Ordering::Relaxed,
+            );
+            state.stored_value_bytes = 0;
+            state.stored_key_bytes = 0;
+            // Keep the memory-ratio denominator honest: the drained
+            // values' raw bytes leave with them (and come back via
+            // set_if_absent if a failed spill restores them). Updated
+            // under the lock so the total moves in lockstep with the
+            // shard it mirrors.
+            let drained_raw: u64 = entries.iter().map(|(_, v)| v.len() as u64).sum();
+            self.raw_value_bytes
+                .fetch_sub(drained_raw, Ordering::Relaxed);
+        }
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut tombstones = {
+            let mut tombs = self.shards[idx].tombstones.write();
+            self.tombstone_bytes_total
+                .fetch_sub(tombs.bytes, Ordering::Relaxed);
+            tombs.bytes = 0;
+            tombs.set.drain().collect::<Vec<_>>()
+        };
+        tombstones.sort_unstable();
+        Ok(ShardDrain {
+            entries,
+            tombstones,
+        })
     }
 
     /// Number of stored keys.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.state.read().map.len()).sum()
     }
 
     /// Whether the store is empty.
@@ -125,10 +442,11 @@ impl TierStore {
     }
 
     /// Bytes of stored (compressed) values plus keys — the store's data
-    /// memory footprint.
+    /// memory footprint (tombstones excluded; see
+    /// [`TierStore::tombstone_bytes`]). A single atomic load — cheap
+    /// enough for per-write watermark checks on the hot path.
     pub fn memory_usage_bytes(&self) -> u64 {
-        self.stored_value_bytes.load(Ordering::Relaxed)
-            + self.stored_key_bytes.load(Ordering::Relaxed)
+        self.stored_bytes_total.load(Ordering::Relaxed)
     }
 
     /// Spill the whole store to a durable `pbc-archive` segment at `path`.
@@ -140,25 +458,36 @@ impl TierStore {
     /// [`pbc_archive::SegmentReader::get`] and makes snapshots of the same
     /// contents byte-identical regardless of shard layout.
     ///
-    /// The snapshot materializes all entries in memory before writing; at
-    /// this store's scale (an in-memory cache) that is at most a 2x
-    /// transient overhead.
+    /// The snapshot streams: only the key list is materialized up front;
+    /// values are fetched and decoded one at a time as the segment writer
+    /// consumes them, so peak extra allocation is bounded by the keys plus
+    /// one decoded value plus the writer's current block — not the decoded
+    /// corpus. Keys written or deleted concurrently with the snapshot may
+    /// or may not be included (the snapshot was never atomic).
     pub fn snapshot_to_segment(
         &self,
         path: impl AsRef<std::path::Path>,
         config: pbc_archive::SegmentConfig,
     ) -> Result<pbc_archive::SegmentSummary, StoreError> {
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(self.len());
-        for shard in &self.shards {
-            let shard = shard.read();
-            for (key, stored) in shard.iter() {
-                entries.push((key.clone(), self.codec.decode(stored)?));
-            }
+        // Phase 1: every key with its shard, sorted. Values stay put.
+        let mut keys: Vec<(Vec<u8>, u16)> = Vec::with_capacity(self.len());
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let state = shard.state.read();
+            keys.extend(state.map.keys().map(|k| (k.clone(), idx as u16)));
         }
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        keys.sort_unstable();
+        // Phase 2: stream values through the writer in key order.
         let mut writer = pbc_archive::SegmentWriter::create(path, config)?;
-        for (key, value) in &entries {
-            writer.append(key, value)?;
+        for (key, idx) in &keys {
+            let stored = self.shards[*idx as usize]
+                .state
+                .read()
+                .map
+                .get(key)
+                .cloned();
+            if let Some(stored) = stored {
+                writer.append(key, &self.codec.decode(&stored)?)?;
+            }
         }
         Ok(writer.finish()?)
     }
@@ -181,8 +510,12 @@ impl TierStore {
     /// Memory usage relative to storing the same data uncompressed
     /// (Table 8's "Memory Usage (%)", uncompressed = 100%).
     pub fn memory_usage_ratio(&self) -> f64 {
-        let raw = self.raw_value_bytes.load(Ordering::Relaxed)
-            + self.stored_key_bytes.load(Ordering::Relaxed);
+        let key_bytes: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.state.read().stored_key_bytes)
+            .sum();
+        let raw = self.raw_value_bytes.load(Ordering::Relaxed) + key_bytes;
         if raw == 0 {
             return 1.0;
         }
@@ -299,6 +632,139 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.memory_usage_ratio(), 1.0);
         assert_eq!(store.memory_usage_bytes(), 0);
+    }
+
+    #[test]
+    fn shard_accounting_sums_to_store_accounting() {
+        let store = TierStore::new(ValueCodec::None);
+        let vals = values(200);
+        for (i, v) in vals.iter().enumerate() {
+            store.set(format!("acct:{i:05}").as_bytes(), v);
+        }
+        let per_shard: u64 = (0..store.shard_count())
+            .map(|s| store.shard_memory_bytes(s))
+            .sum();
+        assert_eq!(per_shard, store.memory_usage_bytes());
+        let per_shard_len: usize = (0..store.shard_count()).map(|s| store.shard_len(s)).sum();
+        assert_eq!(per_shard_len, store.len());
+    }
+
+    #[test]
+    fn access_epochs_order_shards_by_recency() {
+        let store = TierStore::new(ValueCodec::None);
+        // Touch two different shards in a known order.
+        let (mut key_a, mut key_b) = (None, None);
+        for i in 0..1_000 {
+            let key = format!("probe:{i}");
+            let shard = store.shard_of_key(key.as_bytes());
+            match &key_a {
+                None => key_a = Some((key.clone(), shard)),
+                Some((_, shard_a)) if shard != *shard_a => {
+                    key_b = Some((key.clone(), shard));
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        let (key_a, shard_a) = key_a.unwrap();
+        let (key_b, shard_b) = key_b.unwrap();
+        store.set(key_a.as_bytes(), b"first");
+        store.set(key_b.as_bytes(), b"second");
+        assert!(store.shard_access_epoch(shard_a) < store.shard_access_epoch(shard_b));
+        // A read refreshes recency.
+        store.get(key_a.as_bytes()).unwrap();
+        assert!(store.shard_access_epoch(shard_a) > store.shard_access_epoch(shard_b));
+    }
+
+    #[test]
+    fn tombstones_track_bytes_and_clear_on_reinsert() {
+        let store = TierStore::new(ValueCodec::None);
+        assert!(store.record_tombstone(b"gone:1"));
+        assert!(!store.record_tombstone(b"gone:1"), "no double-count");
+        assert!(store.record_tombstone(b"gone:22"));
+        assert!(store.has_tombstone(b"gone:1"));
+        assert_eq!(store.tombstone_count(), 2);
+        assert_eq!(store.tombstone_bytes(), 6 + 7);
+        assert!(store.clear_tombstone(b"gone:1"));
+        assert!(!store.clear_tombstone(b"gone:1"));
+        assert_eq!(store.tombstone_count(), 1);
+        assert_eq!(store.tombstone_bytes(), 7);
+    }
+
+    #[test]
+    fn set_and_clear_tombstone_is_one_step() {
+        let store = TierStore::new(ValueCodec::None);
+        store.record_tombstone(b"k");
+        assert_eq!(store.set_and_clear_tombstone(b"k", b"alive"), 5);
+        assert!(!store.has_tombstone(b"k"));
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"alive"[..]));
+        assert_eq!(store.tombstone_bytes(), 0);
+        // Plain set never touches tombstones.
+        store.record_tombstone(b"other");
+        store.set(b"other", b"v");
+        assert!(store.has_tombstone(b"other"));
+    }
+
+    #[test]
+    fn conditional_reinsert_never_clobbers_newer_state() {
+        let store = TierStore::new(ValueCodec::None);
+        // Plain absent key: insert happens.
+        assert!(store.set_if_absent(b"a", b"old"));
+        assert_eq!(store.get(b"a").unwrap().as_deref(), Some(&b"old"[..]));
+        // Present key: the newer value wins.
+        store.set(b"b", b"newer");
+        assert!(!store.set_if_absent(b"b", b"older"));
+        assert_eq!(store.get(b"b").unwrap().as_deref(), Some(&b"newer"[..]));
+        // Tombstoned key: the delete wins, no resurrection.
+        store.record_tombstone(b"c");
+        assert!(!store.set_if_absent(b"c", b"zombie"));
+        assert_eq!(store.get(b"c").unwrap(), None);
+        // Tombstone restore honors a newer stored value.
+        assert!(!store.record_tombstone_if_absent(b"b"));
+        assert!(!store.has_tombstone(b"b"));
+        assert!(store.record_tombstone_if_absent(b"d"));
+        assert!(store.has_tombstone(b"d"));
+    }
+
+    #[test]
+    fn take_shard_drains_entries_and_tombstones_sorted() {
+        let vals = values(300);
+        let refs: Vec<&[u8]> = vals[..64].iter().map(|v| v.as_slice()).collect();
+        let store = TierStore::new(ValueCodec::train_pbc_f(&refs, &PbcConfig::small()));
+        let mut reference = std::collections::BTreeMap::new();
+        for (i, v) in vals.iter().enumerate() {
+            let key = format!("take:{i:05}").into_bytes();
+            store.set(&key, v);
+            reference.insert(key, v.clone());
+        }
+        store.record_tombstone(b"take:dead");
+        let dead_shard = store.shard_of_key(b"take:dead");
+
+        let mut total_entries = 0;
+        let mut total_tombstones = 0;
+        for idx in 0..store.shard_count() {
+            let drain = store.take_shard(idx).unwrap();
+            assert!(
+                drain.entries.windows(2).all(|w| w[0].0 < w[1].0),
+                "entries sorted"
+            );
+            for (key, value) in &drain.entries {
+                assert_eq!(store.shard_of_key(key), idx, "entry from its own shard");
+                assert_eq!(reference.get(key), Some(value), "decoded value intact");
+            }
+            total_entries += drain.entries.len();
+            if idx == dead_shard {
+                assert_eq!(drain.tombstones, vec![b"take:dead".to_vec()]);
+            }
+            total_tombstones += drain.tombstones.len();
+            assert_eq!(store.shard_len(idx), 0);
+            assert_eq!(store.shard_memory_bytes(idx), 0);
+        }
+        assert_eq!(total_entries, 300);
+        assert_eq!(total_tombstones, 1);
+        assert!(store.is_empty());
+        assert_eq!(store.memory_usage_bytes(), 0);
+        assert_eq!(store.tombstone_bytes(), 0);
     }
 
     /// Unique temp path with a drop-guard, so failing tests don't leak

@@ -1,0 +1,285 @@
+//! LRU block cache for cold reads.
+//!
+//! LeCo's lesson (PAPERS.md) is that lightweight per-block codecs pay off
+//! when random access stays cheap through a block-granular cache: a cold
+//! `get` decodes a whole ~64 KiB block anyway, so keeping the decoded block
+//! around makes the next hit on it free. Capacity is accounted in decoded
+//! **bytes**, not block count, so mixed block sizes cannot blow the budget.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pbc_archive::Entry;
+
+/// Cache key: `(segment id, block index)`.
+pub type BlockKey = (u64, usize);
+
+/// A decoded block kept by the cache.
+struct Slot {
+    entries: Arc<Vec<Entry>>,
+    bytes: usize,
+    /// LRU tick of the most recent touch; also this slot's key in the
+    /// recency index.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<BlockKey, Slot>,
+    /// Recency index: tick -> block. Ticks are unique, so the smallest
+    /// entry is always the least recently used block.
+    by_recency: BTreeMap<u64, BlockKey>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A shared, thread-safe LRU cache of decoded blocks with byte-capacity
+/// eviction and hit/miss/eviction counters.
+pub struct BlockCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BlockCache")
+            .field("capacity", &self.capacity)
+            .field("cached_bytes", &inner.bytes)
+            .field("blocks", &inner.map.len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("evictions", &self.evictions.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Decoded size a cached block is accounted at: key and value bytes plus a
+/// small per-entry overhead for the vectors themselves.
+pub fn entries_bytes(entries: &[Entry]) -> usize {
+    entries
+        .iter()
+        .map(|(k, v)| k.len() + v.len() + 2 * std::mem::size_of::<Vec<u8>>())
+        .sum()
+}
+
+impl BlockCache {
+    /// Create a cache bounded to `capacity` decoded bytes (0 disables
+    /// caching: every get misses and nothing is kept).
+    pub fn new(capacity: usize) -> Self {
+        BlockCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Decoded bytes currently cached (always `<= capacity`).
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Cached blocks.
+    pub fn block_count(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Block lookups that found the block cached.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Block lookups that did not.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Blocks evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Look a block up, refreshing its recency on a hit.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<Entry>>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(slot) => {
+                let old_tick = slot.tick;
+                slot.tick = tick;
+                let entries = Arc::clone(&slot.entries);
+                inner.by_recency.remove(&old_tick);
+                inner.by_recency.insert(tick, key);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entries)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a decoded block, evicting least-recently-used blocks until the
+    /// byte budget holds. Blocks larger than the whole capacity are not
+    /// cached at all.
+    pub fn insert(&self, key: BlockKey, entries: Arc<Vec<Entry>>) {
+        let bytes = entries_bytes(&entries);
+        if bytes > self.capacity {
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.inner.lock();
+            // Replacing an existing slot first keeps accounting exact.
+            if let Some(old) = inner.map.remove(&key) {
+                inner.bytes -= old.bytes;
+                inner.by_recency.remove(&old.tick);
+            }
+            while inner.bytes + bytes > self.capacity {
+                let (&lru_tick, &lru_key) = inner
+                    .by_recency
+                    .iter()
+                    .next()
+                    .expect("bytes > 0 implies a resident block");
+                let slot = inner.map.remove(&lru_key).expect("index and map agree");
+                inner.bytes -= slot.bytes;
+                inner.by_recency.remove(&lru_tick);
+                evicted += 1;
+            }
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.by_recency.insert(tick, key);
+            inner.map.insert(
+                key,
+                Slot {
+                    entries,
+                    bytes,
+                    tick,
+                },
+            );
+            inner.bytes += bytes;
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every cached block of `segment` (the segment was compacted
+    /// away).
+    pub fn evict_segment(&self, segment: u64) {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<BlockKey> = inner
+            .map
+            .keys()
+            .filter(|(seg, _)| *seg == segment)
+            .copied()
+            .collect();
+        for key in doomed {
+            let slot = inner.map.remove(&key).expect("listed above");
+            inner.bytes -= slot.bytes;
+            inner.by_recency.remove(&slot.tick);
+        }
+    }
+
+    /// Drop everything (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.by_recency.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(tag: u8, n: usize, value_len: usize) -> Arc<Vec<Entry>> {
+        Arc::new(
+            (0..n)
+                .map(|i| (vec![tag, i as u8], vec![tag; value_len]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_capacity() {
+        let one_block = entries_bytes(&block(0, 4, 100));
+        let cache = BlockCache::new(one_block * 2 + 1);
+        cache.insert((1, 0), block(1, 4, 100));
+        cache.insert((1, 1), block(2, 4, 100));
+        assert_eq!(cache.block_count(), 2);
+        // Touch (1, 0) so (1, 1) becomes the LRU victim.
+        assert!(cache.get((1, 0)).is_some());
+        cache.insert((1, 2), block(3, 4, 100));
+        assert_eq!(cache.block_count(), 2);
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((1, 1)).is_none(), "LRU block evicted");
+        assert!(cache.get((1, 2)).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.cached_bytes() <= cache.capacity());
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let cache = BlockCache::new(1 << 20);
+        assert!(cache.get((7, 0)).is_none());
+        cache.insert((7, 0), block(1, 8, 64));
+        assert!(cache.get((7, 0)).is_some());
+        assert!(cache.get((7, 1)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn oversized_blocks_and_zero_capacity_are_never_cached() {
+        let cache = BlockCache::new(16);
+        cache.insert((1, 0), block(1, 4, 100));
+        assert_eq!(cache.block_count(), 0);
+        let disabled = BlockCache::new(0);
+        disabled.insert((1, 0), block(1, 1, 1));
+        assert_eq!(disabled.block_count(), 0);
+        assert!(disabled.get((1, 0)).is_none());
+    }
+
+    #[test]
+    fn evict_segment_removes_only_that_segment() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert((1, 0), block(1, 4, 10));
+        cache.insert((1, 1), block(2, 4, 10));
+        cache.insert((2, 0), block(3, 4, 10));
+        cache.evict_segment(1);
+        assert!(cache.get((1, 0)).is_none());
+        assert!(cache.get((1, 1)).is_none());
+        assert!(cache.get((2, 0)).is_some());
+        let survivor = entries_bytes(&block(3, 4, 10));
+        assert_eq!(cache.cached_bytes(), survivor);
+    }
+
+    #[test]
+    fn reinserting_a_block_does_not_double_count() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert((3, 0), block(1, 4, 50));
+        let once = cache.cached_bytes();
+        cache.insert((3, 0), block(1, 4, 50));
+        assert_eq!(cache.cached_bytes(), once);
+        assert_eq!(cache.block_count(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Segment compaction: k-way merge with shadow and tombstone elimination.
+//!
+//! Overlapping segments accumulate as shards spill: a hot key that is
+//! written, spilled, rewritten and spilled again exists in two segments,
+//! and a deleted key leaves a tombstone shadowing an older value.
+//! [`merge_segments`] streams every input segment (newest first) through a
+//! k-way merge that keeps only the newest version of each key, drops
+//! tombstones entirely (after a full merge nothing older remains for them
+//! to shadow), and writes the survivors to a fresh segment whose codec is
+//! retrained on blocks sampled across the merged corpus.
+
+use std::path::Path;
+
+use pbc_archive::reader::Scan;
+use pbc_archive::{
+    select_codec_over_blocks, spread_sample_indices, BlockCodec, CodecSpec, Entry, SegmentConfig,
+    SegmentReader, SegmentSummary, SegmentWriter,
+};
+
+use crate::error::Result;
+use crate::store::is_tombstone;
+
+/// What a merge pass produced.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// Live entries written to the output segment.
+    pub live_entries: u64,
+    /// Entries dropped because a newer segment shadowed them.
+    pub shadowed_dropped: u64,
+    /// Tombstones dropped (each also shadows any older versions).
+    pub tombstones_dropped: u64,
+    /// Writer summary, absent when every key was dead and no output segment
+    /// was written.
+    pub summary: Option<SegmentSummary>,
+    /// The codec retrained on the merged corpus (absent when the inputs
+    /// were empty) — callers reuse it for subsequent spills.
+    pub codec: Option<BlockCodec>,
+}
+
+/// One input to the merge, newest first by position in the slice.
+struct MergeSource<'a> {
+    scan: Scan<'a>,
+    current: Option<Entry>,
+}
+
+impl MergeSource<'_> {
+    fn advance(&mut self) -> Result<()> {
+        self.current = self.scan.next().transpose()?;
+        Ok(())
+    }
+}
+
+/// Train a codec for the merged output by sampling up to
+/// `config.auto_sample_blocks` blocks spread across the *combined* block
+/// count of all inputs — genuinely across the corpus, unlike the streaming
+/// writer which can only sample its buffered window.
+fn retrained_codec(readers: &[&SegmentReader], config: &SegmentConfig) -> Result<CodecSpec> {
+    let total_blocks: usize = readers.iter().map(|r| r.block_count()).sum();
+    if total_blocks == 0 {
+        return Ok(CodecSpec::Raw);
+    }
+    let ordinals = spread_sample_indices(total_blocks, config.auto_sample_blocks.max(1));
+    let mut samples: Vec<Vec<Entry>> = Vec::with_capacity(ordinals.len());
+    for ordinal in ordinals {
+        // Map the global block ordinal onto (reader, local block).
+        let mut remaining = ordinal;
+        for reader in readers {
+            if remaining < reader.block_count() {
+                samples.push(reader.read_block(remaining)?);
+                break;
+            }
+            remaining -= reader.block_count();
+        }
+    }
+    let refs: Vec<&[Entry]> = samples.iter().map(|b| b.as_slice()).collect();
+    Ok(CodecSpec::Pretrained(select_codec_over_blocks(&refs)))
+}
+
+/// Merge `readers` (newest first) into a fresh segment at `out_path`.
+///
+/// Output keys are unique and ascending; values keep their tombstone
+/// marker encoding (all live after the merge). When no live entry
+/// survives, no file is written and `summary` is `None`.
+pub fn merge_segments(
+    readers: &[&SegmentReader],
+    out_path: &Path,
+    config: &SegmentConfig,
+) -> Result<MergeOutcome> {
+    let codec_spec = retrained_codec(readers, config)?;
+    let retrained = match &codec_spec {
+        CodecSpec::Pretrained(codec) => Some(codec.clone()),
+        _ => None,
+    };
+    let mut sources: Vec<MergeSource<'_>> = readers
+        .iter()
+        .map(|reader| MergeSource {
+            scan: reader.scan(),
+            current: None,
+        })
+        .collect();
+    for source in &mut sources {
+        source.advance()?;
+    }
+
+    let mut writer: Option<SegmentWriter> = None;
+    let mut outcome = MergeOutcome {
+        live_entries: 0,
+        shadowed_dropped: 0,
+        tombstones_dropped: 0,
+        summary: None,
+        codec: retrained,
+    };
+    // Each round: smallest key still pending; the newest source holding it
+    // (lowest rank) wins, every other holder is shadowed. Compare heads by
+    // reference and clone only the winning key.
+    while let Some(min_key) = sources
+        .iter()
+        .filter_map(|s| s.current.as_ref().map(|(k, _)| k.as_slice()))
+        .min()
+        .map(|k| k.to_vec())
+    {
+        let mut winner: Option<Vec<u8>> = None;
+        for source in sources.iter_mut() {
+            if source.current.as_ref().is_some_and(|(k, _)| *k == min_key) {
+                let (_, value) = source.current.take().expect("matched above");
+                if winner.is_none() {
+                    winner = Some(value);
+                } else {
+                    outcome.shadowed_dropped += 1;
+                }
+                source.advance()?;
+            }
+        }
+        let value = winner.expect("min key came from some source");
+        if is_tombstone(&value) {
+            outcome.tombstones_dropped += 1;
+            continue;
+        }
+        let writer = match writer.as_mut() {
+            Some(writer) => writer,
+            None => writer.insert(SegmentWriter::create(
+                out_path,
+                SegmentConfig {
+                    codec: codec_spec.clone(),
+                    ..config.clone()
+                },
+            )?),
+        };
+        writer.append(&min_key, &value)?;
+        outcome.live_entries += 1;
+    }
+    if let Some(writer) = writer {
+        outcome.summary = Some(writer.finish()?);
+    }
+    Ok(outcome)
+}

@@ -1,0 +1,98 @@
+//! Tuning knobs for the tiered store.
+
+use std::path::PathBuf;
+
+use pbc_archive::SegmentConfig;
+use pbc_store::ValueCodec;
+
+/// Configuration for a [`crate::TieredStore`].
+///
+/// The central knob is the **memory watermark** (the FRaZ-style budget): as
+/// soon as the hot tier's accounted bytes cross it, the coldest shards are
+/// spilled to segments until usage drops back to
+/// `memory_watermark_bytes * spill_target_fraction`. Spilling to a fraction
+/// rather than just below the watermark produces chunkier segments and
+/// fewer spill cycles.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Directory holding the manifest and every cold segment.
+    pub dir: PathBuf,
+    /// Hot-tier byte budget (stored keys + values + tombstones). `u64::MAX`
+    /// disables spilling.
+    pub memory_watermark_bytes: u64,
+    /// After crossing the watermark, spill until usage is at or below
+    /// `memory_watermark_bytes * spill_target_fraction` (clamped to 0..=1).
+    pub spill_target_fraction: f64,
+    /// Byte capacity of the read-through block cache (0 disables caching).
+    pub cache_capacity_bytes: usize,
+    /// How spill and compaction segments are written (block size, codec
+    /// selection, workers).
+    pub segment: SegmentConfig,
+    /// Codec for values while they sit in the hot tier.
+    pub hot_codec: ValueCodec,
+    /// Select the spill codec once (on the first spill) and reuse it for
+    /// every later spill — the paper's "train offline, ship the dictionary"
+    /// flow, avoiding a retraining pass per spill. Compaction still
+    /// retrains on the merged corpus and refreshes the shared codec; the
+    /// per-block raw fallback bounds any drift in between.
+    pub reuse_spill_codec: bool,
+}
+
+impl TierConfig {
+    /// Defaults: 64 MiB watermark, spill to half of it, 8 MiB block cache,
+    /// uncompressed hot values, auto-selected segment codec.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TierConfig {
+            dir: dir.into(),
+            memory_watermark_bytes: 64 * 1024 * 1024,
+            spill_target_fraction: 0.5,
+            cache_capacity_bytes: 8 * 1024 * 1024,
+            segment: SegmentConfig::default(),
+            hot_codec: ValueCodec::None,
+            reuse_spill_codec: true,
+        }
+    }
+
+    /// Set the hot-tier memory watermark.
+    pub fn with_watermark(mut self, bytes: u64) -> Self {
+        self.memory_watermark_bytes = bytes;
+        self
+    }
+
+    /// Set the block cache capacity in bytes.
+    pub fn with_cache_capacity(mut self, bytes: usize) -> Self {
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Set the post-spill usage target as a fraction of the watermark.
+    pub fn with_spill_target_fraction(mut self, fraction: f64) -> Self {
+        self.spill_target_fraction = fraction;
+        self
+    }
+
+    /// Set how segments are written.
+    pub fn with_segment_config(mut self, segment: SegmentConfig) -> Self {
+        self.segment = segment;
+        self
+    }
+
+    /// Set the hot-tier value codec.
+    pub fn with_hot_codec(mut self, codec: ValueCodec) -> Self {
+        self.hot_codec = codec;
+        self
+    }
+
+    /// Set whether spills reuse one shared trained codec (see the field
+    /// docs).
+    pub fn with_reuse_spill_codec(mut self, reuse: bool) -> Self {
+        self.reuse_spill_codec = reuse;
+        self
+    }
+
+    /// The usage target spilling drives down to.
+    pub(crate) fn spill_target_bytes(&self) -> u64 {
+        let fraction = self.spill_target_fraction.clamp(0.0, 1.0);
+        (self.memory_watermark_bytes as f64 * fraction) as u64
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed errors for the tiered store.
+
+use std::fmt;
+use std::io;
+
+use pbc_archive::ArchiveError;
+use pbc_store::StoreError;
+
+/// Everything that can go wrong operating a [`crate::TieredStore`].
+#[derive(Debug)]
+pub enum TierError {
+    /// Filesystem work outside segment files (directories, manifest).
+    Io(io::Error),
+    /// The hot in-memory store failed (value decode).
+    Store(StoreError),
+    /// Reading or writing a cold segment failed.
+    Archive(ArchiveError),
+    /// The manifest decoded to something impossible.
+    ManifestCorrupt {
+        /// Description of the inconsistency.
+        context: String,
+    },
+    /// Another process (or another open handle) holds the store directory.
+    DirectoryLocked {
+        /// The directory that could not be locked.
+        dir: std::path::PathBuf,
+    },
+    /// A stored cold value had an unknown tombstone marker.
+    BadValueMarker {
+        /// The marker byte found.
+        found: u8,
+    },
+}
+
+impl fmt::Display for TierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierError::Io(e) => write!(f, "tier i/o failed: {e}"),
+            TierError::Store(e) => write!(f, "hot store failed: {e}"),
+            TierError::Archive(e) => write!(f, "cold segment failed: {e}"),
+            TierError::ManifestCorrupt { context } => {
+                write!(f, "manifest corrupt: {context}")
+            }
+            TierError::DirectoryLocked { dir } => {
+                write!(
+                    f,
+                    "store directory {} is locked by another process",
+                    dir.display()
+                )
+            }
+            TierError::BadValueMarker { found } => {
+                write!(f, "cold value carries unknown marker byte {found:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TierError::Io(e) => Some(e),
+            TierError::Store(e) => Some(e),
+            TierError::Archive(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TierError {
+    fn from(e: io::Error) -> Self {
+        TierError::Io(e)
+    }
+}
+
+impl From<StoreError> for TierError {
+    fn from(e: StoreError) -> Self {
+        TierError::Store(e)
+    }
+}
+
+impl From<ArchiveError> for TierError {
+    fn from(e: ArchiveError) -> Self {
+        TierError::Archive(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TierError>;

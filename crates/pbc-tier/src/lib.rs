@@ -1,0 +1,395 @@
+//! # pbc-tier — tiered hot/cold storage engine
+//!
+//! The paper's production case study (Section 7.5) compresses TierBase
+//! values to cut memory; this crate takes the next step the ROADMAP names:
+//! a storage engine where the in-memory [`pbc_store::TierStore`] is only
+//! the **hot tier**, and cold data lives in compressed `pbc-archive`
+//! segments with transparent read-through.
+//!
+//! ```text
+//!             set/get/delete
+//!                   │
+//!        ┌──────────▼──────────┐
+//!        │  hot: TierStore     │  sharded RAM, value codec, tombstones
+//!        │  (watermark-bound)  │
+//!        └──────────┬──────────┘
+//!          miss?    │    spill (coldest shards by access epoch)
+//!        ┌──────────▼──────────┐
+//!        │  staging (in-flight │  readable while a spill is mid-write
+//!        │  spill overflow)    │
+//!        └──────────┬──────────┘
+//!        ┌──────────▼──────────┐
+//!        │  BlockCache (LRU by │  decoded blocks, hit/miss/eviction
+//!        │  bytes)             │  counters
+//!        └──────────┬──────────┘
+//!        ┌──────────▼──────────┐
+//!        │  cold segments      │  newest first; MANIFEST names them,
+//!        │  (pbc-archive)      │  swapped by write-temp + rename
+//!        └─────────────────────┘
+//! ```
+//!
+//! * **Spilling**: when hot bytes cross [`TierConfig::memory_watermark_bytes`],
+//!   the coldest shards (LRU by last-access epoch) are drained, merged and
+//!   written as one sorted segment, then evicted from RAM.
+//! * **Read-through**: `get` falls from hot memory through the staging area
+//!   and the byte-bounded LRU [`BlockCache`] to the segments, newest first,
+//!   so overwrites and tombstones always shadow older spilled state.
+//! * **Crash safety**: durable state is the [`Manifest`] plus the segments
+//!   it names; segments are fsynced before the atomic manifest swap, and
+//!   reopen sweeps debris (stale `MANIFEST.tmp`, orphaned segments).
+//! * **Compaction**: [`TieredStore::compact`] k-way-merges every segment,
+//!   drops shadowed versions and tombstones, and retrains the block codec
+//!   on samples spread across the merged corpus.
+//!
+//! ## Example
+//!
+//! ```
+//! use pbc_tier::{TierConfig, TieredStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("pbc-tier-doc-{}", std::process::id()));
+//! let store = TieredStore::open(
+//!     TierConfig::new(&dir).with_watermark(16 * 1024), // tiny: force spills
+//! ).unwrap();
+//! for i in 0..500u32 {
+//!     let value = format!("evt|id={i:08}|status=done|region=eu-{}", i % 4);
+//!     store.set(format!("k:{i:05}").as_bytes(), value.as_bytes()).unwrap();
+//! }
+//! assert!(store.segment_count() >= 1, "the watermark forced spills");
+//! // Cold keys read back transparently.
+//! assert_eq!(
+//!     store.get(b"k:00007").unwrap().unwrap(),
+//!     b"evt|id=00000007|status=done|region=eu-3".to_vec()
+//! );
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod cache;
+pub mod compact;
+pub mod config;
+pub mod error;
+pub mod manifest;
+pub mod store;
+
+pub use cache::{BlockCache, BlockKey};
+pub use compact::MergeOutcome;
+pub use config::TierConfig;
+pub use error::{Result, TierError};
+pub use manifest::{Manifest, ManifestEntry};
+pub use store::{CompactionSummary, TierStats, TieredStore};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique temp directory removed on drop.
+    fn temp_dir(tag: &str) -> (PathBuf, TempDir) {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pbc-tier-test-{}-{tag}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        (dir.clone(), TempDir(dir))
+    }
+
+    struct TempDir(PathBuf);
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn value(i: usize) -> Vec<u8> {
+        format!(
+            "sess|uid={}|dev=android-13|ip=10.0.{}.{}|exp={}",
+            10_000_000 + (i * 9_700_417) % 89_999_999,
+            i % 256,
+            (i * 7) % 256,
+            1_686_000_000 + (i * 86_413) % 9_999_999
+        )
+        .into_bytes()
+    }
+
+    fn key(i: usize) -> Vec<u8> {
+        format!("user:{i:06}").into_bytes()
+    }
+
+    fn small_config(dir: &std::path::Path) -> TierConfig {
+        TierConfig::new(dir)
+            .with_watermark(8 * 1024)
+            .with_cache_capacity(256 * 1024)
+    }
+
+    #[test]
+    fn watermark_forces_spills_and_reads_stay_correct() {
+        let (dir, _guard) = temp_dir("spill");
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        let n = 2_000usize;
+        for i in 0..n {
+            store.set(&key(i), &value(i)).unwrap();
+        }
+        assert!(
+            store.memory_usage_bytes() <= store.config().memory_watermark_bytes,
+            "spilling keeps usage at or below the watermark between writes"
+        );
+        assert!(store.segment_count() >= 2, "multiple spill segments");
+        let stats = store.stats();
+        assert!(stats.spills >= 2);
+        for i in (0..n).step_by(37) {
+            assert_eq!(
+                store.get(&key(i)).unwrap().as_deref(),
+                Some(value(i).as_slice()),
+                "key {i}"
+            );
+        }
+        assert!(store.get(b"user:999999").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrites_and_deletes_shadow_spilled_state() {
+        let (dir, _guard) = temp_dir("shadow");
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        for i in 0..600 {
+            store.set(&key(i), &value(i)).unwrap();
+        }
+        // Force everything cold, then mutate on top.
+        store.flush_all().unwrap();
+        assert_eq!(store.hot_len(), 0);
+        store.set(&key(5), b"overwritten").unwrap();
+        assert!(store.delete(&key(6)).unwrap());
+        assert!(!store.delete(&key(6)).unwrap(), "double delete is false");
+        assert_eq!(
+            store.get(&key(5)).unwrap().as_deref(),
+            Some(&b"overwritten"[..])
+        );
+        assert_eq!(store.get(&key(6)).unwrap(), None);
+        // Spill the overwrite + tombstone as well; still shadowing.
+        store.flush_all().unwrap();
+        assert_eq!(
+            store.get(&key(5)).unwrap().as_deref(),
+            Some(&b"overwritten"[..])
+        );
+        assert_eq!(store.get(&key(6)).unwrap(), None);
+        assert_eq!(
+            store.get(&key(7)).unwrap().as_deref(),
+            Some(value(7).as_slice())
+        );
+    }
+
+    #[test]
+    fn cache_accounting_invariant_holds() {
+        let (dir, _guard) = temp_dir("cache");
+        let store = TieredStore::open(
+            TierConfig::new(&dir)
+                .with_watermark(8 * 1024)
+                .with_cache_capacity(16 * 1024),
+        )
+        .unwrap();
+        for i in 0..800 {
+            store.set(&key(i), &value(i)).unwrap();
+        }
+        store.flush_all().unwrap();
+        let mut state = 0x1234_5678u64;
+        for _ in 0..600 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let i = (state >> 33) as usize % 800;
+            store.get(&key(i)).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.cold_gets > 0);
+        assert_eq!(
+            stats.cold_cache_hits + stats.cold_cache_misses,
+            stats.cold_gets,
+            "every cold get is exactly one hit or one miss"
+        );
+        assert!(stats.cold_cache_hits > 0, "repeat gets hit the cache");
+        assert!(
+            store.cache().cached_bytes() <= store.cache().capacity(),
+            "cached bytes within capacity"
+        );
+        assert!(store.cache().evictions() > 0, "small cache must evict");
+    }
+
+    #[test]
+    fn compaction_merges_shadows_and_drops_tombstones() {
+        let (dir, _guard) = temp_dir("compact");
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        let mut reference: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for i in 0..900 {
+            store.set(&key(i), &value(i)).unwrap();
+            reference.insert(key(i), value(i));
+        }
+        store.flush_all().unwrap();
+        // Overwrite a slice, delete a slice, spill those too.
+        for i in (0..900).step_by(10) {
+            let v = format!("v2-{i}").into_bytes();
+            store.set(&key(i), &v).unwrap();
+            reference.insert(key(i), v);
+        }
+        for i in (0..900).step_by(17) {
+            store.delete(&key(i)).unwrap();
+            reference.remove(&key(i));
+        }
+        store.flush_all().unwrap();
+        let before = store.segment_count();
+        assert!(before >= 2);
+
+        let summary = store.compact().unwrap();
+        assert_eq!(summary.merged_segments, before);
+        assert_eq!(summary.live_entries, reference.len() as u64);
+        assert!(summary.shadowed_dropped > 0);
+        assert!(summary.tombstones_dropped > 0);
+        assert_eq!(store.segment_count(), 1);
+
+        // Observationally identical to the reference after compaction.
+        for i in 0..900 {
+            assert_eq!(
+                store.get(&key(i)).unwrap(),
+                reference.get(&key(i)).cloned(),
+                "key {i}"
+            );
+        }
+        // Old segment files are gone; only the merged one plus MANIFEST.
+        let seg_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".seg")
+            })
+            .count();
+        assert_eq!(seg_files, 1);
+    }
+
+    #[test]
+    fn compacting_everything_away_leaves_an_empty_cold_tier() {
+        let (dir, _guard) = temp_dir("compact-empty");
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        for i in 0..300 {
+            store.set(&key(i), &value(i)).unwrap();
+        }
+        store.flush_all().unwrap();
+        for i in 0..300 {
+            store.delete(&key(i)).unwrap();
+        }
+        store.flush_all().unwrap();
+        let summary = store.compact().unwrap();
+        assert_eq!(summary.live_entries, 0);
+        assert_eq!(store.segment_count(), 0);
+        for i in (0..300).step_by(23) {
+            assert_eq!(store.get(&key(i)).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn second_open_of_a_live_directory_is_refused() {
+        let (dir, _guard) = temp_dir("lock");
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        match TieredStore::open(small_config(&dir)) {
+            Err(TierError::DirectoryLocked { dir: locked }) => assert_eq!(locked, dir),
+            other => panic!("expected DirectoryLocked, got {other:?}"),
+        }
+        drop(store);
+        // Released on drop: the directory opens again.
+        TieredStore::open(small_config(&dir)).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_spilled_state() {
+        let (dir, _guard) = temp_dir("reopen");
+        {
+            let store = TieredStore::open(small_config(&dir)).unwrap();
+            for i in 0..700 {
+                store.set(&key(i), &value(i)).unwrap();
+            }
+            store.delete(&key(13)).unwrap();
+            store.flush_all().unwrap();
+        }
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        assert!(store.segment_count() >= 1);
+        assert_eq!(store.hot_len(), 0);
+        for i in (0..700).step_by(31) {
+            let expected = if i == 13 { None } else { Some(value(i)) };
+            assert_eq!(store.get(&key(i)).unwrap(), expected, "key {i}");
+        }
+    }
+
+    #[test]
+    fn reopen_sweeps_orphaned_segments_and_keeps_ids_monotonic() {
+        let (dir, _guard) = temp_dir("orphan");
+        {
+            let store = TieredStore::open(small_config(&dir)).unwrap();
+            for i in 0..400 {
+                store.set(&key(i), &value(i)).unwrap();
+            }
+            store.flush_all().unwrap();
+        }
+        // Simulate a spill that died after writing its segment but before
+        // the manifest swap.
+        std::fs::write(dir.join("seg-000999.seg"), b"half-written segment").unwrap();
+        let store = TieredStore::open(small_config(&dir)).unwrap();
+        assert!(!dir.join("seg-000999.seg").exists(), "orphan swept");
+        // New segments must not collide with the swept id.
+        for i in 400..800 {
+            store.set(&key(i), &value(i)).unwrap();
+        }
+        store.flush_all().unwrap();
+        for i in (0..800).step_by(53) {
+            assert_eq!(
+                store.get(&key(i)).unwrap().as_deref(),
+                Some(value(i).as_slice())
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_survive_spilling() {
+        use std::sync::Arc;
+        let (dir, _guard) = temp_dir("threads");
+        let store = Arc::new(
+            TieredStore::open(
+                TierConfig::new(&dir)
+                    .with_watermark(16 * 1024)
+                    .with_cache_capacity(64 * 1024),
+            )
+            .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..400u32 {
+                    let key = format!("t{t}:k{i:04}").into_bytes();
+                    let value = format!("value-{t}-{i}").into_bytes();
+                    store.set(&key, &value).unwrap();
+                    assert_eq!(
+                        store.get(&key).unwrap().as_deref(),
+                        Some(value.as_slice()),
+                        "read-your-write for t{t} i{i}"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every write from every thread is still visible.
+        for t in 0..4u32 {
+            for i in (0..400u32).step_by(29) {
+                let key = format!("t{t}:k{i:04}").into_bytes();
+                assert_eq!(
+                    store.get(&key).unwrap().unwrap(),
+                    format!("value-{t}-{i}").into_bytes()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The manifest: which segments are live, swapped atomically.
+//!
+//! A tiered store's durable state is the set of segment files plus this one
+//! small file naming them (newest first). Updates never touch the live
+//! manifest in place: the new contents are written to `MANIFEST.tmp`,
+//! fsynced, and renamed over `MANIFEST` — a single atomic step on POSIX
+//! filesystems. A crash mid-spill therefore leaves either the old manifest
+//! (the half-written segment is orphaned and swept on reopen) or the new
+//! one (the segment is fully durable); acknowledged data is never lost.
+//! A leftover `MANIFEST.tmp` is crash debris and is deleted on load.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pbc_archive::format::crc32;
+
+use crate::error::{Result, TierError};
+
+/// File name of the live manifest inside the store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Scratch name the next manifest is staged under before the rename.
+pub const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
+
+const MAGIC_LINE: &str = "pbc-tier-manifest v1";
+
+/// One live segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Monotonic segment id (larger = newer).
+    pub id: u64,
+    /// File name relative to the store directory.
+    pub file_name: String,
+}
+
+/// The ordered set of live segments, newest first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Live segments, newest first. Lookups scan in this order so newer
+    /// segments shadow older ones.
+    pub segments: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Path of the live manifest in `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_NAME)
+    }
+
+    /// Serialize: magic line, one `segment <id> <file>` line each, then a
+    /// CRC line over everything above it.
+    fn encode(&self) -> String {
+        let mut body = String::from(MAGIC_LINE);
+        body.push('\n');
+        for entry in &self.segments {
+            body.push_str(&format!("segment {} {}\n", entry.id, entry.file_name));
+        }
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        body
+    }
+
+    fn decode(text: &str) -> Result<Manifest> {
+        let corrupt = |context: String| TierError::ManifestCorrupt { context };
+        let Some((body, crc_line)) = text.trim_end_matches('\n').rsplit_once('\n') else {
+            return Err(corrupt("missing crc line".into()));
+        };
+        let body = format!("{body}\n");
+        let stored = crc_line
+            .strip_prefix("crc ")
+            .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| corrupt(format!("bad crc line {crc_line:?}")))?;
+        let computed = crc32(body.as_bytes());
+        if stored != computed {
+            return Err(corrupt(format!(
+                "crc mismatch: stored {stored:08x}, computed {computed:08x}"
+            )));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(MAGIC_LINE) {
+            return Err(corrupt("bad magic line".into()));
+        }
+        let mut segments = Vec::new();
+        for line in lines {
+            let mut parts = line.split(' ');
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some("segment"), Some(id), Some(file_name), None) => {
+                    let id = id
+                        .parse::<u64>()
+                        .map_err(|_| corrupt(format!("bad segment id in {line:?}")))?;
+                    if file_name.is_empty() || file_name.contains(['/', '\\']) {
+                        return Err(corrupt(format!("bad segment file name in {line:?}")));
+                    }
+                    segments.push(ManifestEntry {
+                        id,
+                        file_name: file_name.to_string(),
+                    });
+                }
+                _ => return Err(corrupt(format!("unrecognized line {line:?}"))),
+            }
+        }
+        Ok(Manifest { segments })
+    }
+
+    /// Load the manifest from `dir`. Returns `Ok(None)` when none exists
+    /// (a fresh directory). A leftover `MANIFEST.tmp` — crash debris from
+    /// an interrupted swap — is removed.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>> {
+        let tmp = dir.join(MANIFEST_TMP_NAME);
+        if tmp.exists() {
+            fs::remove_file(&tmp)?;
+        }
+        let path = Self::path_in(dir);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let text = String::from_utf8(bytes).map_err(|_| TierError::ManifestCorrupt {
+            context: "manifest is not valid UTF-8".into(),
+        })?;
+        Self::decode(&text).map(Some)
+    }
+
+    /// Atomically replace the manifest in `dir`: write `MANIFEST.tmp`,
+    /// fsync it, rename over `MANIFEST`, fsync the directory.
+    ///
+    /// The rename is the commit point: `Err` means the swap did **not**
+    /// happen and the old manifest is still live, so callers may safely
+    /// clean up the segment the new manifest would have named. The
+    /// directory fsync after the rename is therefore best-effort — if it
+    /// fails, the swap has still happened in-process (at worst a crash
+    /// before the rename reaches disk replays as the ordinary
+    /// old-manifest + orphan-segment recovery); surfacing it as an error
+    /// would make callers delete a segment the on-disk manifest already
+    /// references.
+    pub fn store(&self, dir: &Path) -> Result<()> {
+        let tmp = dir.join(MANIFEST_TMP_NAME);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(self.encode().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, Self::path_in(dir))?;
+        #[cfg(unix)]
+        let _ = fs::File::open(dir).and_then(|d| d.sync_all());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> (PathBuf, TempDir) {
+        let dir =
+            std::env::temp_dir().join(format!("pbc-tier-manifest-{}-{tag}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        (dir.clone(), TempDir(dir))
+    }
+
+    struct TempDir(PathBuf);
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            segments: vec![
+                ManifestEntry {
+                    id: 7,
+                    file_name: "seg-000007.seg".into(),
+                },
+                ManifestEntry {
+                    id: 3,
+                    file_name: "seg-000003.seg".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_preserves_order() {
+        let (dir, _guard) = temp_dir("roundtrip");
+        sample().store(&dir).unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, sample());
+        assert_eq!(loaded.segments[0].id, 7, "newest first");
+    }
+
+    #[test]
+    fn missing_manifest_is_none_and_stale_tmp_is_swept() {
+        let (dir, _guard) = temp_dir("fresh");
+        fs::write(dir.join(MANIFEST_TMP_NAME), b"half-written garbage").unwrap();
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        assert!(!dir.join(MANIFEST_TMP_NAME).exists(), "debris removed");
+    }
+
+    #[test]
+    fn tmp_debris_never_shadows_the_live_manifest() {
+        let (dir, _guard) = temp_dir("debris");
+        sample().store(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_TMP_NAME), b"crash debris").unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, sample());
+        assert!(!dir.join(MANIFEST_TMP_NAME).exists());
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let (dir, _guard) = temp_dir("corrupt");
+        sample().store(&dir).unwrap();
+        let path = Manifest::path_in(&dir);
+        // Flip a byte inside a segment line (not the crc line itself).
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = bytes.iter().position(|&b| b == b'7').unwrap();
+        bytes[idx] = b'8';
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(TierError::ManifestCorrupt { .. })
+        ));
+        // Truncation too.
+        fs::write(&path, b"pbc-tier-manifest v1\n").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(TierError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn store_replaces_atomically_by_rename() {
+        let (dir, _guard) = temp_dir("swap");
+        sample().store(&dir).unwrap();
+        let newer = Manifest {
+            segments: vec![ManifestEntry {
+                id: 9,
+                file_name: "seg-000009.seg".into(),
+            }],
+        };
+        newer.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap(), newer);
+        assert!(!dir.join(MANIFEST_TMP_NAME).exists());
+    }
+}

@@ -1,0 +1,828 @@
+//! The tiered store: hot sharded memory over cold compressed segments.
+//!
+//! Writes land in a hot [`TierStore`]; when its accounted bytes cross the
+//! configured watermark, the coldest shards (by last-access epoch) are
+//! drained, merged, and written to a `pbc-archive` segment, then the
+//! manifest is swapped atomically. Reads go hot → tombstones → in-flight
+//! spill staging → block cache → cold segments newest-first, so overwrites
+//! and deletes always win over older spilled state.
+//!
+//! ## Crash safety
+//!
+//! The durable state is the manifest plus the segments it names. Spills
+//! write and fsync the new segment *before* the manifest swap, and the swap
+//! is write-temp + rename; a crash mid-spill leaves the previous manifest
+//! intact and at worst an orphaned half-segment, swept on reopen. Hot
+//! (in-memory) data is acknowledged as volatile until spilled — the same
+//! contract as any memory-tier cache; [`TieredStore::flush_all`] spills
+//! everything for a clean shutdown.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pbc_archive::{select_codec_over_blocks, BlockCodec, CodecSpec, Entry, SegmentReader};
+use pbc_store::TierStore;
+
+use crate::cache::BlockCache;
+use crate::compact::merge_segments;
+use crate::config::TierConfig;
+use crate::error::{Result, TierError};
+use crate::manifest::{Manifest, ManifestEntry};
+
+/// Marker prefix for a live cold value.
+const MARKER_LIVE: u8 = 0;
+/// Marker for a tombstone (the whole stored value is this single byte).
+const MARKER_TOMBSTONE: u8 = 1;
+
+/// Encode a live value for cold storage.
+fn encode_live(value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(value.len() + 1);
+    out.push(MARKER_LIVE);
+    out.extend_from_slice(value);
+    out
+}
+
+/// The single-byte tombstone record.
+fn encode_tombstone() -> Vec<u8> {
+    vec![MARKER_TOMBSTONE]
+}
+
+/// Whether a stored cold value is a tombstone.
+pub(crate) fn is_tombstone(stored: &[u8]) -> bool {
+    stored.first() == Some(&MARKER_TOMBSTONE)
+}
+
+/// Strip the marker: `Ok(Some(value))` for live, `Ok(None)` for tombstone.
+fn decode_marked(stored: &[u8]) -> Result<Option<Vec<u8>>> {
+    match stored.first() {
+        Some(&MARKER_LIVE) => Ok(Some(stored[1..].to_vec())),
+        Some(&MARKER_TOMBSTONE) => Ok(None),
+        other => Err(TierError::BadValueMarker {
+            found: other.copied().unwrap_or(0xff),
+        }),
+    }
+}
+
+/// File name for segment `id`.
+fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+/// One cold segment: its id, reader, and on-disk name.
+struct ColdSegment {
+    id: u64,
+    file_name: String,
+    reader: SegmentReader,
+}
+
+/// Read-side counters; see [`TieredStore::stats`].
+#[derive(Default)]
+struct StatCounters {
+    hot_hits: AtomicU64,
+    tombstone_negatives: AtomicU64,
+    staging_hits: AtomicU64,
+    cold_gets: AtomicU64,
+    cold_index_only: AtomicU64,
+    cold_cache_hits: AtomicU64,
+    cold_cache_misses: AtomicU64,
+    spills: AtomicU64,
+    spilled_entries: AtomicU64,
+    compactions: AtomicU64,
+}
+
+/// What one cold lookup did at the block level.
+#[derive(Default)]
+struct BlockProbes {
+    /// Blocks consulted (cache lookups attempted).
+    probed: usize,
+    /// Whether any consulted block had to be read from disk.
+    missed: bool,
+}
+
+/// A snapshot of the store's counters.
+///
+/// The cache-accounting invariant: every cold lookup that consulted at
+/// least one block is classified as exactly one of `cold_cache_hits`
+/// (every block it touched was cached) or `cold_cache_misses`, so
+/// `cold_cache_hits + cold_cache_misses == cold_gets` always holds.
+/// Lookups the footer indexes answered without touching any block are
+/// counted separately in `cold_index_only`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Gets answered by the hot tier.
+    pub hot_hits: u64,
+    /// Gets answered `None` by a hot tombstone.
+    pub tombstone_negatives: u64,
+    /// Gets answered by the in-flight spill staging area.
+    pub staging_hits: u64,
+    /// Lookups that reached the cold tier and consulted at least one
+    /// block.
+    pub cold_gets: u64,
+    /// Cold lookups the per-block key ranges answered with no block
+    /// fetch at all (absent keys outside every block's range).
+    pub cold_index_only: u64,
+    /// Cold lookups fully served from cached blocks.
+    pub cold_cache_hits: u64,
+    /// Cold lookups that had to read at least one block from disk.
+    pub cold_cache_misses: u64,
+    /// Spill passes completed.
+    pub spills: u64,
+    /// Records (entries + tombstones) written by spills.
+    pub spilled_entries: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+}
+
+/// What [`TieredStore::compact`] reports.
+#[derive(Debug, Clone)]
+pub struct CompactionSummary {
+    /// Segments merged away.
+    pub merged_segments: usize,
+    /// Live entries surviving into the output segment.
+    pub live_entries: u64,
+    /// Entries dropped because a newer segment shadowed them.
+    pub shadowed_dropped: u64,
+    /// Tombstones dropped.
+    pub tombstones_dropped: u64,
+}
+
+/// A tiered hot/cold key-value store. See the [module docs](self).
+pub struct TieredStore {
+    config: TierConfig,
+    hot: TierStore,
+    cache: BlockCache,
+    /// Cold segments, newest first.
+    cold: RwLock<Vec<ColdSegment>>,
+    /// Entries mid-spill: drained from hot, not yet durable in a manifest
+    /// segment. `None` marks a tombstone. Reads consult this between the
+    /// hot tier and the segments, so a spill in progress is never a window
+    /// where acknowledged data is unreadable. Sorted so the spill writer
+    /// can stream it straight into a segment without a second copy.
+    staging: RwLock<BTreeMap<Vec<u8>, Option<Vec<u8>>>>,
+    /// Serializes spills, flushes, and compactions.
+    maintenance: Mutex<()>,
+    /// The shared trained codec spills reuse (when
+    /// [`TierConfig::reuse_spill_codec`] is on): selected on the first
+    /// spill, refreshed by compaction's retraining pass.
+    spill_codec: Mutex<Option<BlockCodec>>,
+    next_segment_id: AtomicU64,
+    stats: StatCounters,
+    /// Advisory exclusive lock on the store directory, held for the
+    /// store's lifetime (released by the OS on drop or process death).
+    /// Without it, a second open would sweep the first handle's in-flight
+    /// segments as "orphans" and the two would overwrite each other's
+    /// manifest swaps.
+    _dir_lock: std::fs::File,
+}
+
+impl std::fmt::Debug for TieredStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("dir", &self.config.dir)
+            .field("hot_len", &self.hot.len())
+            .field("memory_usage_bytes", &self.memory_usage_bytes())
+            .field("watermark", &self.config.memory_watermark_bytes)
+            .field("segments", &self.segment_count())
+            .finish()
+    }
+}
+
+impl TieredStore {
+    /// Open (or create) a tiered store in `config.dir`. Reloads the
+    /// manifest if one exists, reopening every live segment and sweeping
+    /// crash debris (a stale `MANIFEST.tmp`, orphaned segment files).
+    pub fn open(config: TierConfig) -> Result<TieredStore> {
+        std::fs::create_dir_all(&config.dir)?;
+        // Exclusive advisory lock before reading anything: a second opener
+        // must not sweep this handle's in-flight segments or race its
+        // manifest swaps. The lock dies with the process, so a crash never
+        // wedges the directory.
+        let dir_lock = std::fs::File::create(config.dir.join("LOCK"))?;
+        if let Err(e) = dir_lock.try_lock() {
+            return Err(match e {
+                std::fs::TryLockError::WouldBlock => TierError::DirectoryLocked {
+                    dir: config.dir.clone(),
+                },
+                std::fs::TryLockError::Error(e) => e.into(),
+            });
+        }
+        let manifest = Manifest::load(&config.dir)?.unwrap_or_default();
+        let mut cold = Vec::with_capacity(manifest.segments.len());
+        let mut max_id = 0u64;
+        for entry in &manifest.segments {
+            let reader = SegmentReader::open(config.dir.join(&entry.file_name))?;
+            max_id = max_id.max(entry.id);
+            cold.push(ColdSegment {
+                id: entry.id,
+                file_name: entry.file_name.clone(),
+                reader,
+            });
+        }
+        // Orphaned segments: files from a spill or compaction that died
+        // before (or after) its manifest swap. Unreferenced, so unreachable
+        // — sweep them. Their ids still advance the counter so a new
+        // segment never reuses a swept name.
+        for dir_entry in std::fs::read_dir(&config.dir)? {
+            let dir_entry = dir_entry?;
+            let name = dir_entry.file_name().to_string_lossy().into_owned();
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|rest| rest.strip_suffix(".seg"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                if !manifest.segments.iter().any(|s| s.file_name == name) {
+                    max_id = max_id.max(id);
+                    std::fs::remove_file(dir_entry.path())?;
+                }
+            }
+        }
+        let hot = TierStore::new(config.hot_codec.clone());
+        let cache = BlockCache::new(config.cache_capacity_bytes);
+        Ok(TieredStore {
+            hot,
+            cache,
+            cold: RwLock::new(cold),
+            staging: RwLock::new(BTreeMap::new()),
+            maintenance: Mutex::new(()),
+            spill_codec: Mutex::new(None),
+            next_segment_id: AtomicU64::new(max_id + 1),
+            stats: StatCounters::default(),
+            _dir_lock: dir_lock,
+            config,
+        })
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &TierConfig {
+        &self.config
+    }
+
+    /// The read-through block cache (counters, capacity).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// Hot-tier bytes the watermark governs: stored keys + values +
+    /// tombstones.
+    pub fn memory_usage_bytes(&self) -> u64 {
+        self.hot.memory_usage_bytes() + self.hot.tombstone_bytes()
+    }
+
+    /// Keys resident in the hot tier.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Live cold segments.
+    pub fn segment_count(&self) -> usize {
+        self.cold.read().len()
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> TierStats {
+        let s = &self.stats;
+        TierStats {
+            hot_hits: s.hot_hits.load(Ordering::Relaxed),
+            tombstone_negatives: s.tombstone_negatives.load(Ordering::Relaxed),
+            staging_hits: s.staging_hits.load(Ordering::Relaxed),
+            cold_gets: s.cold_gets.load(Ordering::Relaxed),
+            cold_index_only: s.cold_index_only.load(Ordering::Relaxed),
+            cold_cache_hits: s.cold_cache_hits.load(Ordering::Relaxed),
+            cold_cache_misses: s.cold_cache_misses.load(Ordering::Relaxed),
+            spills: s.spills.load(Ordering::Relaxed),
+            spilled_entries: s.spilled_entries.load(Ordering::Relaxed),
+            compactions: s.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Store a value. Returns the hot-tier stored (encoded) size. May spill
+    /// cold shards if the write pushes memory over the watermark.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> Result<usize> {
+        // Insert and tombstone-clear must be one atomic step: done as two,
+        // a concurrent delete's tombstone can land in between and be
+        // wrongly erased, leaving an older cold value resurrected.
+        let stored = self.hot.set_and_clear_tombstone(key, value);
+        self.maybe_spill()?;
+        Ok(stored)
+    }
+
+    /// Fetch a value, reading through hot memory, the spill staging area,
+    /// the block cache, and finally cold segments (newest first).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if let Some(value) = self.hot.get(key)? {
+            self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(value));
+        }
+        if self.hot.has_tombstone(key) {
+            self.stats
+                .tombstone_negatives
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        if let Some(staged) = self.staging.read().get(key) {
+            self.stats.staging_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(staged.clone());
+        }
+        // A failed spill moves staged entries *up*, back into the hot tier
+        // — against the read direction. Re-check hot (and its tombstones)
+        // after the staging miss, or a racing reader could fall through to
+        // cold and see an older version (or a stale None).
+        if let Some(value) = self.hot.get(key)? {
+            self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(value));
+        }
+        if self.hot.has_tombstone(key) {
+            self.stats
+                .tombstone_negatives
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        self.cold_get(key)
+    }
+
+    /// Delete a key everywhere. Returns whether it existed (hot, staged, or
+    /// cold and not already deleted).
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let mut existed_hot = self.hot.delete(key);
+        let existed_below = if self.hot.has_tombstone(key) {
+            false // already deleted below the hot map
+        } else if let Some(staged) = self.staging.read().get(key) {
+            staged.is_some()
+        } else {
+            // A failed spill can move staged entries back up into the hot
+            // tier between our first delete and the staging miss — delete
+            // again so the restored copy cannot survive, then consult cold
+            // (which may still hold an older, now-shadowable version).
+            existed_hot = self.hot.delete(key) || existed_hot;
+            self.cold_get(key)?.is_some()
+        };
+        if existed_below {
+            // Shadow the cold copy until a spill makes the delete durable.
+            self.hot.record_tombstone(key);
+            // A failed-spill restore racing this delete can re-insert the
+            // drained copy after our staging check but before the
+            // tombstone landed. The tombstone now blocks further
+            // conditional re-inserts, so one tombstone-guarded delete
+            // leaves the key dead — and, unlike a blind delete, spares a
+            // value a concurrent newer SET stored (its atomic
+            // tombstone-clear makes the guard fail).
+            existed_hot = self.hot.delete_if_tombstoned(key) || existed_hot;
+            // Tombstones count toward the watermark, so a delete-heavy
+            // workload must be able to spill them too.
+            self.maybe_spill()?;
+        }
+        Ok(existed_hot || existed_below)
+    }
+
+    /// Cold lookup through the block cache, newest segment first.
+    fn cold_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let cold = self.cold.read();
+        if cold.is_empty() {
+            return Ok(None);
+        }
+        let mut probes = BlockProbes::default();
+        let outcome = self.cold_lookup(&cold, key, &mut probes);
+        if probes.probed == 0 {
+            // Answered by the footer indexes alone (key outside every
+            // block's range) — the cache was never consulted, so this is
+            // neither a cache hit nor a miss.
+            self.stats.cold_index_only.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.cold_gets.fetch_add(1, Ordering::Relaxed);
+            if probes.missed {
+                self.stats.cold_cache_misses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.cold_cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    fn cold_lookup(
+        &self,
+        cold: &[ColdSegment],
+        key: &[u8],
+        probes: &mut BlockProbes,
+    ) -> Result<Option<Vec<u8>>> {
+        for segment in cold {
+            // Duplicate keys may straddle block borders; newest-wins means
+            // scanning candidates back to front.
+            for block in segment.reader.candidate_blocks_for_key(key)?.rev() {
+                let entries = self.cached_block(segment, block, probes)?;
+                if let Some(stored) = find_last(&entries, key) {
+                    return decode_marked(stored);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Fetch one decoded block, consulting the cache first.
+    fn cached_block(
+        &self,
+        segment: &ColdSegment,
+        block: usize,
+        probes: &mut BlockProbes,
+    ) -> Result<Arc<Vec<Entry>>> {
+        probes.probed += 1;
+        let cache_key = (segment.id, block);
+        if let Some(entries) = self.cache.get(cache_key) {
+            return Ok(entries);
+        }
+        probes.missed = true;
+        let entries = Arc::new(segment.reader.read_block(block)?);
+        self.cache.insert(cache_key, Arc::clone(&entries));
+        Ok(entries)
+    }
+
+    /// Spill if the hot tier crossed the watermark: evict the coldest
+    /// shards (by last-access epoch) into a segment until usage is back at
+    /// the spill target.
+    fn maybe_spill(&self) -> Result<()> {
+        if self.memory_usage_bytes() <= self.config.memory_watermark_bytes {
+            return Ok(());
+        }
+        let _guard = self.maintenance.lock();
+        // Re-check: another thread may have spilled while we waited.
+        while self.memory_usage_bytes() > self.config.memory_watermark_bytes {
+            let victims = self.pick_victims(self.config.spill_target_bytes());
+            if victims.is_empty() {
+                break;
+            }
+            self.spill_shards(&victims)?;
+        }
+        Ok(())
+    }
+
+    /// Spill the `n` coldest non-empty shards right now, watermark or not.
+    /// A no-op when the hot tier is empty.
+    pub fn spill_coldest(&self, n: usize) -> Result<()> {
+        let _guard = self.maintenance.lock();
+        let mut victims = self.shards_coldest_first();
+        victims.truncate(n);
+        if victims.is_empty() {
+            return Ok(());
+        }
+        self.spill_shards(&victims)
+    }
+
+    /// Spill every hot entry and tombstone, making the whole store durable
+    /// (clean-shutdown flush).
+    pub fn flush_all(&self) -> Result<()> {
+        let _guard = self.maintenance.lock();
+        let victims = self.shards_coldest_first();
+        if victims.is_empty() {
+            return Ok(());
+        }
+        self.spill_shards(&victims)
+    }
+
+    /// Non-empty shards ordered coldest (smallest access epoch) first.
+    fn shards_coldest_first(&self) -> Vec<usize> {
+        let mut shards: Vec<(u64, usize)> = (0..self.hot.shard_count())
+            .filter(|&idx| {
+                self.hot.shard_memory_bytes(idx) + self.hot.shard_tombstone_bytes(idx) > 0
+            })
+            .map(|idx| (self.hot.shard_access_epoch(idx), idx))
+            .collect();
+        shards.sort_unstable();
+        shards.into_iter().map(|(_, idx)| idx).collect()
+    }
+
+    /// Coldest shards whose eviction brings usage down to `target_bytes`.
+    fn pick_victims(&self, target_bytes: u64) -> Vec<usize> {
+        let mut victims = Vec::new();
+        let mut projected = self.memory_usage_bytes();
+        for idx in self.shards_coldest_first() {
+            if projected <= target_bytes && !victims.is_empty() {
+                break;
+            }
+            projected = projected.saturating_sub(
+                self.hot.shard_memory_bytes(idx) + self.hot.shard_tombstone_bytes(idx),
+            );
+            victims.push(idx);
+        }
+        victims
+    }
+
+    /// Drain `victims` into one new segment and commit it.
+    ///
+    /// Ordering is what makes this crash-safe: (1) drained entries become
+    /// readable via staging before the shard locks release, (2) the segment
+    /// is written and fsynced, (3) the manifest swaps atomically, (4) the
+    /// reader is published, (5) staging clears. A failure after (1) puts
+    /// the drained data back into the hot tier.
+    fn spill_shards(&self, victims: &[usize]) -> Result<()> {
+        // (1) Drain *into* staging under its write lock: a concurrent
+        // reader that missed the hot tier blocks on staging until the
+        // drain finishes. Staging (a sorted map) is the one and only copy
+        // of the drained data — the segment writer streams straight from
+        // it, so a spill never doubles the memory it is trying to free.
+        let drain_result = {
+            let mut staging = self.staging.write();
+            debug_assert!(staging.is_empty(), "spills are serialized");
+            let mut failure = None;
+            for &idx in victims {
+                match self.hot.take_shard(idx) {
+                    Ok(drain) => {
+                        for key in drain.tombstones {
+                            staging.insert(key, None);
+                        }
+                        for (key, value) in drain.entries {
+                            staging.insert(key, Some(value));
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(staging.len()),
+            }
+        };
+        let staged_count = match drain_result {
+            Ok(count) => count,
+            Err(e) => {
+                self.restore_staging_to_hot();
+                return Err(e.into());
+            }
+        };
+        if staged_count == 0 {
+            return Ok(());
+        }
+
+        // (2) Write and fsync the segment, streaming from staging under a
+        // read guard (concurrent gets still read staging freely).
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let file_name = segment_file_name(id);
+        let path = self.config.dir.join(&file_name);
+        let written = {
+            let staging = self.staging.read();
+            self.write_spill_segment(&path, &staging)
+        };
+        let reader = match written.and_then(|()| SegmentReader::open(&path).map_err(Into::into)) {
+            Ok(reader) => reader,
+            Err(e) => {
+                // Put the data back; the half-written file is debris.
+                self.restore_staging_to_hot();
+                let _ = std::fs::remove_file(&path);
+                return Err(e);
+            }
+        };
+
+        // (3) + (4) Swap the manifest, then publish the reader.
+        {
+            let mut cold = self.cold.write();
+            let mut segments = vec![ManifestEntry {
+                id,
+                file_name: file_name.clone(),
+            }];
+            segments.extend(cold.iter().map(|s| ManifestEntry {
+                id: s.id,
+                file_name: s.file_name.clone(),
+            }));
+            if let Err(e) = (Manifest { segments }).store(&self.config.dir) {
+                drop(cold);
+                self.restore_staging_to_hot();
+                let _ = std::fs::remove_file(&path);
+                return Err(e);
+            }
+            cold.insert(
+                0,
+                ColdSegment {
+                    id,
+                    file_name,
+                    reader,
+                },
+            );
+        }
+
+        // (5) The data is durable and readable from cold; staging retires.
+        self.staging.write().clear();
+        self.stats.spills.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .spilled_entries
+            .fetch_add(staged_count as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The codec spill segments are written with. With codec reuse on,
+    /// select once over sample blocks of the first spill's (marker-encoded)
+    /// data and pin it; otherwise defer to the configured `SegmentConfig`.
+    fn spill_codec_spec(&self, merged: &BTreeMap<Vec<u8>, Option<Vec<u8>>>) -> CodecSpec {
+        if !self.config.reuse_spill_codec {
+            return self.config.segment.codec.clone();
+        }
+        let mut cached = self.spill_codec.lock();
+        if let Some(codec) = cached.as_ref() {
+            return CodecSpec::Pretrained(codec.clone());
+        }
+        // Pass 1: the block boundaries the writer will produce, computed
+        // with the writer's own rule (entry_size_estimate + block_is_full)
+        // so sampling stays aligned with real blocks — the +1 is the
+        // tombstone-marker byte prepended to every stored value.
+        let mut block_starts = vec![0usize];
+        let mut current_bytes = 0usize;
+        let mut current_records = 0usize;
+        for (n, (key, value)) in merged.iter().enumerate() {
+            let stored_len = 1 + value.as_ref().map_or(0, |v| v.len());
+            current_bytes += pbc_archive::entry_size_estimate(key.len(), stored_len);
+            current_records += 1;
+            if self
+                .config
+                .segment
+                .block_is_full(current_records, current_bytes)
+            {
+                block_starts.push(n + 1);
+                current_bytes = 0;
+                current_records = 0;
+            }
+        }
+        if block_starts.len() > 1 && *block_starts.last().expect("non-empty") == merged.len() {
+            block_starts.pop();
+        }
+        // Pass 2: materialize only the sampled blocks, in one walk over
+        // the map (sampled indices are sorted, so each entry belongs to at
+        // most the "current" sampled range).
+        let sampled = pbc_archive::spread_sample_indices(
+            block_starts.len(),
+            self.config.segment.auto_sample_blocks.max(1),
+        );
+        let ranges: Vec<(usize, usize)> = sampled
+            .iter()
+            .map(|&b| {
+                (
+                    block_starts[b],
+                    block_starts.get(b + 1).copied().unwrap_or(merged.len()),
+                )
+            })
+            .collect();
+        let mut sample_blocks: Vec<Vec<Entry>> = ranges.iter().map(|_| Vec::new()).collect();
+        let mut range_idx = 0usize;
+        for (n, (key, value)) in merged.iter().enumerate() {
+            while range_idx < ranges.len() && n >= ranges[range_idx].1 {
+                range_idx += 1;
+            }
+            let Some(&(start, _)) = ranges.get(range_idx) else {
+                break;
+            };
+            if n >= start {
+                let stored = match value {
+                    Some(value) => encode_live(value),
+                    None => encode_tombstone(),
+                };
+                sample_blocks[range_idx].push((key.clone(), stored));
+            }
+        }
+        let sample_refs: Vec<&[Entry]> = sample_blocks.iter().map(|b| b.as_slice()).collect();
+        let codec = select_codec_over_blocks(&sample_refs);
+        *cached = Some(codec.clone());
+        CodecSpec::Pretrained(codec)
+    }
+
+    fn write_spill_segment(
+        &self,
+        path: &std::path::Path,
+        merged: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    ) -> Result<()> {
+        let config = pbc_archive::SegmentConfig {
+            codec: self.spill_codec_spec(merged),
+            ..self.config.segment.clone()
+        };
+        let mut writer = pbc_archive::SegmentWriter::create(path, config)?;
+        for (key, value) in merged {
+            let stored = match value {
+                Some(value) => encode_live(value),
+                None => encode_tombstone(),
+            };
+            writer.append(key, &stored)?;
+        }
+        writer.finish()?;
+        Ok(())
+    }
+
+    /// Undo a failed spill: move staged entries and tombstones back into
+    /// the hot tier. Conditional inserts only — a write or delete
+    /// acknowledged *while* the spill ran is newer than the drained copy
+    /// and must not be clobbered or resurrected.
+    fn restore_staging_to_hot(&self) {
+        let mut staging = self.staging.write();
+        for (key, value) in std::mem::take(&mut *staging) {
+            match value {
+                Some(value) => {
+                    self.hot.set_if_absent(&key, &value);
+                }
+                None => {
+                    self.hot.record_tombstone_if_absent(&key);
+                }
+            }
+        }
+    }
+
+    /// Merge every cold segment into one, dropping shadowed versions and
+    /// tombstones and retraining the block codec on the merged corpus. A
+    /// no-op when fewer than one segment exists.
+    pub fn compact(&self) -> Result<CompactionSummary> {
+        let _guard = self.maintenance.lock();
+        let (outcome, out_id, out_name, out_path) = {
+            let cold = self.cold.read();
+            if cold.is_empty() {
+                return Ok(CompactionSummary {
+                    merged_segments: 0,
+                    live_entries: 0,
+                    shadowed_dropped: 0,
+                    tombstones_dropped: 0,
+                });
+            }
+            let out_id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+            let out_name = segment_file_name(out_id);
+            let out_path = self.config.dir.join(&out_name);
+            let readers: Vec<&SegmentReader> = cold.iter().map(|s| &s.reader).collect();
+            let outcome = match merge_segments(&readers, &out_path, &self.config.segment) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    let _ = std::fs::remove_file(&out_path);
+                    return Err(e);
+                }
+            };
+            (outcome, out_id, out_name, out_path)
+        };
+
+        // Commit: swap the manifest to the merged segment (or to empty when
+        // nothing survived), publish, then sweep the inputs.
+        let new_cold = match &outcome.summary {
+            Some(_) => {
+                let reader = match SegmentReader::open(&out_path) {
+                    Ok(reader) => reader,
+                    Err(e) => {
+                        // Same cleanup as every other error path: the
+                        // merged file is unreachable without a manifest
+                        // entry, don't leave it behind.
+                        let _ = std::fs::remove_file(&out_path);
+                        return Err(e.into());
+                    }
+                };
+                vec![ColdSegment {
+                    id: out_id,
+                    file_name: out_name.clone(),
+                    reader,
+                }]
+            }
+            None => Vec::new(),
+        };
+        let manifest = Manifest {
+            segments: new_cold
+                .iter()
+                .map(|s| ManifestEntry {
+                    id: s.id,
+                    file_name: s.file_name.clone(),
+                })
+                .collect(),
+        };
+        let old = {
+            let mut cold = self.cold.write();
+            if let Err(e) = manifest.store(&self.config.dir) {
+                drop(cold);
+                let _ = std::fs::remove_file(&out_path);
+                return Err(e);
+            }
+            std::mem::replace(&mut *cold, new_cold)
+        };
+        let merged_segments = old.len();
+        for segment in old {
+            self.cache.evict_segment(segment.id);
+            let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
+        }
+        // Compaction retrained on the merged corpus: future spills reuse
+        // the fresher codec.
+        if let Some(codec) = outcome.codec.clone() {
+            *self.spill_codec.lock() = Some(codec);
+        }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(CompactionSummary {
+            merged_segments,
+            live_entries: outcome.live_entries,
+            shadowed_dropped: outcome.shadowed_dropped,
+            tombstones_dropped: outcome.tombstones_dropped,
+        })
+    }
+}
+
+/// Find the value of the **last** entry with `key` in a sorted block.
+fn find_last<'a>(entries: &'a [Entry], key: &[u8]) -> Option<&'a [u8]> {
+    let start = entries.partition_point(|(k, _)| k.as_slice() < key);
+    let mut hit = None;
+    for (k, v) in &entries[start..] {
+        if k.as_slice() == key {
+            hit = Some(v.as_slice());
+        } else {
+            break;
+        }
+    }
+    hit
+}

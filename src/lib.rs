@@ -18,6 +18,9 @@
 //!   value compression.
 //! * [`archive`] — a persistent, random-access segment store with parallel
 //!   per-block compression, used for durable snapshots of the store.
+//! * [`tier`] — the tiered hot/cold storage engine: watermark-driven shard
+//!   spilling, a read-through LRU block cache, an atomically-swapped
+//!   manifest, and segment compaction.
 //!
 //! ## Quickstart
 //!
@@ -50,3 +53,4 @@ pub use pbc_datagen as datagen;
 pub use pbc_json as json;
 pub use pbc_logs as logs;
 pub use pbc_store as store;
+pub use pbc_tier as tier;

@@ -1,0 +1,97 @@
+//! Property test: randomized set/get/delete/spill/compact sequences on a
+//! [`TieredStore`] are observationally identical to a `BTreeMap` model.
+//!
+//! Spills and compactions are pure reorganizations — they move data between
+//! tiers and rewrite segments but must never change what any get returns.
+//! The watermark is set tiny so organic spills trigger mid-sequence on top
+//! of the explicit spill/compact ops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pbc::tier::{TierConfig, TieredStore};
+
+fn fresh_dir() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pbc-tier-model-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiered_store_matches_btreemap_model(
+        ops in vec((0u8..8, 0usize..48, 0u32..100_000), 20..160)
+    ) {
+        let dir = fresh_dir();
+        let _guard = TempDir(dir.clone());
+        let store = TieredStore::open(
+            TierConfig::new(&dir)
+                .with_watermark(2 * 1024) // tiny: organic spills mid-sequence
+                .with_cache_capacity(8 * 1024),
+        )
+        .unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for (op, k, v) in ops {
+            let key = format!("key:{k:03}").into_bytes();
+            match op {
+                // Weight sets highest so state actually accumulates.
+                0..=2 => {
+                    let value = format!("value|{k:03}|{v:08}|padding-to-make-spills-happen")
+                        .into_bytes();
+                    store.set(&key, &value).unwrap();
+                    model.insert(key.clone(), value);
+                }
+                3 | 4 => {
+                    let got = store.get(&key).unwrap();
+                    prop_assert_eq!(&got, &model.get(&key).cloned(), "get {:?}", key);
+                }
+                5 => {
+                    let existed = store.delete(&key).unwrap();
+                    prop_assert_eq!(
+                        existed,
+                        model.remove(&key).is_some(),
+                        "delete {:?}",
+                        key
+                    );
+                }
+                6 => store.spill_coldest(1 + k % 3).unwrap(),
+                _ => {
+                    store.compact().unwrap();
+                }
+            }
+            // The just-touched key must agree after every op.
+            prop_assert_eq!(&store.get(&key).unwrap(), &model.get(&key).cloned());
+        }
+
+        // Final sweep: the full keyspace (present and absent keys alike)
+        // is observationally identical.
+        store.flush_all().unwrap();
+        store.compact().unwrap();
+        for k in 0..48usize {
+            let key = format!("key:{k:03}").into_bytes();
+            prop_assert_eq!(
+                &store.get(&key).unwrap(),
+                &model.get(&key).cloned(),
+                "final sweep key {}",
+                k
+            );
+        }
+    }
+}
