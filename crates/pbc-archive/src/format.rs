@@ -11,7 +11,7 @@
 //! +----------------------------------------------------------------------+
 //! | index    | per block: codec id u8 (segment codec or raw fallback),   |
 //! |          | varint record_count, raw_len, file_offset, comp_len,      |
-//! |          | crc32, min_key, max_key                                   |
+//! |          | crc32, min_key, max_key, flagged_count (v2+)              |
 //! +----------------------------------------------------------------------+
 //! | trailer  | index_offset u64 | index_len u32 | index crc32 u32 |      |
 //! | (24 B)   | magic "PBCAREND" (8)                                      |
@@ -22,6 +22,12 @@
 //! incompatible layout changes bump `VERSION`; additive changes (new codec
 //! ids, new `flags` bits) do not. All integers are little-endian or LEB128
 //! varints; keys and blocks are opaque bytes.
+//!
+//! Version history: v1 is the original layout; v2 appends a varint
+//! `flagged_count` to each index entry — a caller-defined per-block record
+//! counter (the tiered store counts tombstones with it), so segment-level
+//! dead-entry statistics are readable from the footer without decoding any
+//! block. v1 files decode with `flagged_count = 0`.
 
 use pbc_codecs::varint;
 
@@ -33,8 +39,11 @@ pub const HEADER_MAGIC: [u8; 8] = *b"PBCARSEG";
 /// Last 8 bytes of every segment file.
 pub const TRAILER_MAGIC: [u8; 8] = *b"PBCAREND";
 
-/// Current (and oldest supported) format version.
-pub const VERSION: u16 = 1;
+/// Current format version. Readers accept any `version <= VERSION`.
+pub const VERSION: u16 = 2;
+
+/// Oldest version whose index entries carry a per-block `flagged_count`.
+pub const VERSION_FLAGGED_COUNTS: u16 = 2;
 
 /// Byte length of the fixed-size trailer.
 pub const TRAILER_LEN: usize = 24;
@@ -163,6 +172,12 @@ pub struct BlockMeta {
     pub min_key: Vec<u8>,
     /// Largest record key in the block.
     pub max_key: Vec<u8>,
+    /// Caller-defined per-block record counter (v2+): the segment writer
+    /// increments it for records appended via
+    /// [`crate::SegmentWriter::append_flagged`]. The tiered store flags
+    /// tombstones, making per-segment dead-entry counts readable straight
+    /// from the footer. Always `0` when decoding v1 files.
+    pub flagged_count: u64,
 }
 
 impl BlockMeta {
@@ -177,9 +192,10 @@ impl BlockMeta {
         out.extend_from_slice(&self.min_key);
         varint::write_usize(out, self.max_key.len());
         out.extend_from_slice(&self.max_key);
+        varint::write_u64(out, self.flagged_count);
     }
 
-    fn decode(input: &[u8], pos: usize) -> Result<(BlockMeta, usize)> {
+    fn decode(input: &[u8], pos: usize, version: u16) -> Result<(BlockMeta, usize)> {
         let truncated = |_| ArchiveError::Truncated {
             context: "block index",
         };
@@ -194,9 +210,21 @@ impl BlockMeta {
         let (crc, pos) = varint::read_u64(input, pos).map_err(truncated)?;
         let (min_key, pos) = read_bytes(input, pos)?;
         let (max_key, pos) = read_bytes(input, pos)?;
+        let (flagged_count, pos) = if version >= VERSION_FLAGGED_COUNTS {
+            varint::read_u64(input, pos).map_err(truncated)?
+        } else {
+            (0, pos)
+        };
         if crc > u32::MAX as u64 {
             return Err(ArchiveError::Corrupt {
                 context: format!("block crc field {crc:#x} exceeds 32 bits"),
+            });
+        }
+        if flagged_count > record_count {
+            return Err(ArchiveError::Corrupt {
+                context: format!(
+                    "block claims {flagged_count} flagged records out of {record_count}"
+                ),
             });
         }
         Ok((
@@ -209,6 +237,7 @@ impl BlockMeta {
                 crc: crc as u32,
                 min_key,
                 max_key,
+                flagged_count,
             },
             pos,
         ))
@@ -228,7 +257,8 @@ fn read_bytes(input: &[u8], pos: usize) -> Result<(Vec<u8>, usize)> {
     Ok((input[pos..end].to_vec(), end))
 }
 
-/// Serialize the block index (without the trailer).
+/// Serialize the block index (without the trailer). Always writes the
+/// current-version layout ([`VERSION`]).
 pub fn encode_index(blocks: &[BlockMeta]) -> Vec<u8> {
     let mut out = Vec::new();
     varint::write_usize(&mut out, blocks.len());
@@ -238,8 +268,9 @@ pub fn encode_index(blocks: &[BlockMeta]) -> Vec<u8> {
     out
 }
 
-/// Parse the block index from its serialized bytes.
-pub fn decode_index(input: &[u8]) -> Result<Vec<BlockMeta>> {
+/// Parse the block index from its serialized bytes, interpreting entries
+/// under the layout of `version` (the file's header version).
+pub fn decode_index(input: &[u8], version: u16) -> Result<Vec<BlockMeta>> {
     let (count, mut pos) = varint::read_usize(input, 0).map_err(|_| ArchiveError::Truncated {
         context: "block index",
     })?;
@@ -252,7 +283,7 @@ pub fn decode_index(input: &[u8]) -> Result<Vec<BlockMeta>> {
     }
     let mut blocks = Vec::with_capacity(count);
     for _ in 0..count {
-        let (meta, next) = BlockMeta::decode(input, pos)?;
+        let (meta, next) = BlockMeta::decode(input, pos, version)?;
         pos = next;
         blocks.push(meta);
     }
@@ -388,6 +419,7 @@ mod tests {
                 crc: 0xdead_beef,
                 min_key: b"user:0001".to_vec(),
                 max_key: b"user:0999".to_vec(),
+                flagged_count: 17,
             },
             BlockMeta {
                 codec_id: 0,
@@ -398,10 +430,55 @@ mod tests {
                 crc: 7,
                 min_key: Vec::new(),
                 max_key: Vec::new(),
+                flagged_count: 0,
             },
         ];
         let bytes = encode_index(&blocks);
-        assert_eq!(decode_index(&bytes).unwrap(), blocks);
+        assert_eq!(decode_index(&bytes, VERSION).unwrap(), blocks);
+    }
+
+    #[test]
+    fn v1_index_decodes_with_zero_flagged_counts() {
+        // A v1 entry is the v2 layout minus the trailing flagged varint.
+        let v2 = BlockMeta {
+            codec_id: 3,
+            record_count: 12,
+            raw_len: 600,
+            file_offset: 32,
+            comp_len: 200,
+            crc: 9,
+            min_key: b"a".to_vec(),
+            max_key: b"z".to_vec(),
+            flagged_count: 0,
+        };
+        let mut v1_bytes = Vec::new();
+        varint::write_usize(&mut v1_bytes, 1);
+        v2.encode(&mut v1_bytes);
+        v1_bytes.pop(); // strip the flagged_count varint (value 0 = 1 byte)
+        let decoded = decode_index(&v1_bytes, 1).unwrap();
+        assert_eq!(decoded, vec![v2]);
+    }
+
+    #[test]
+    fn index_rejects_flagged_count_above_record_count() {
+        let mut bytes = Vec::new();
+        varint::write_usize(&mut bytes, 1);
+        BlockMeta {
+            codec_id: 1,
+            record_count: 2,
+            raw_len: 10,
+            file_offset: 32,
+            comp_len: 10,
+            crc: 1,
+            min_key: vec![b'k'],
+            max_key: vec![b'k'],
+            flagged_count: 3,
+        }
+        .encode(&mut bytes);
+        assert!(matches!(
+            decode_index(&bytes, VERSION),
+            Err(ArchiveError::Corrupt { .. })
+        ));
     }
 
     #[test]
@@ -415,13 +492,14 @@ mod tests {
             crc: 1,
             min_key: vec![b'k'],
             max_key: vec![b'k'],
+            flagged_count: 1,
         }];
         let bytes = encode_index(&blocks);
-        assert!(decode_index(&bytes[..bytes.len() - 2]).is_err());
+        assert!(decode_index(&bytes[..bytes.len() - 2], VERSION).is_err());
         let mut padded = bytes.clone();
         padded.push(0);
         assert!(matches!(
-            decode_index(&padded),
+            decode_index(&padded, VERSION),
             Err(ArchiveError::Corrupt { .. })
         ));
     }

@@ -139,6 +139,42 @@ mod tests {
     }
 
     #[test]
+    fn flagged_counts_survive_the_footer_across_worker_counts() {
+        let records = keyed_records(2_400);
+        for workers in [1usize, 4] {
+            let (path, _guard) = temp_segment("flagged");
+            let mut writer =
+                SegmentWriter::create(&path, SegmentConfig::default().with_workers(workers))
+                    .unwrap();
+            let mut flagged = 0u64;
+            for (i, (key, value)) in records.iter().enumerate() {
+                if i % 7 == 0 {
+                    writer.append_flagged(key, value).unwrap();
+                    flagged += 1;
+                } else {
+                    writer.append(key, value).unwrap();
+                }
+            }
+            let summary = writer.finish().unwrap();
+            assert_eq!(summary.flagged_count, flagged);
+
+            let reader = SegmentReader::open(&path).unwrap();
+            assert_eq!(reader.flagged_count(), flagged, "workers={workers}");
+            let per_block: u64 = (0..reader.block_count())
+                .map(|b| reader.block_flagged_count(b))
+                .sum();
+            assert_eq!(per_block, flagged);
+            // Flagging changes nothing about the stored records.
+            assert_eq!(reader.get_entry(0).unwrap(), records[0]);
+            assert_eq!(reader.min_key().unwrap(), records[0].0.as_slice());
+            assert_eq!(
+                reader.max_key().unwrap(),
+                records.last().unwrap().0.as_slice()
+            );
+        }
+    }
+
+    #[test]
     fn scan_streams_every_entry_in_order() {
         let (path, _guard) = temp_segment("scan");
         let records = keyed_records(700);

@@ -96,7 +96,7 @@ impl SegmentReader {
                 computed,
             });
         }
-        let blocks = decode_index(&index_bytes)?;
+        let blocks = decode_index(&index_bytes, header.version)?;
 
         // Validate block geometry against the file before trusting offsets.
         let mut starts = Vec::with_capacity(blocks.len());
@@ -136,6 +136,39 @@ impl SegmentReader {
     /// Total records across all blocks.
     pub fn record_count(&self) -> u64 {
         self.record_count
+    }
+
+    /// Total flagged records across all blocks (see
+    /// [`crate::SegmentWriter::append_flagged`]) — always 0 for v1 files,
+    /// which predate per-block flagged counts.
+    pub fn flagged_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.flagged_count).sum()
+    }
+
+    /// Flagged records in block `block`.
+    pub fn block_flagged_count(&self, block: usize) -> u64 {
+        self.blocks.get(block).map_or(0, |b| b.flagged_count)
+    }
+
+    /// Smallest key across all blocks (`None` for an empty segment).
+    /// Footer-only: no block is decoded.
+    pub fn min_key(&self) -> Option<&[u8]> {
+        self.blocks.iter().map(|b| b.min_key.as_slice()).min()
+    }
+
+    /// Largest key across all blocks (`None` for an empty segment).
+    pub fn max_key(&self) -> Option<&[u8]> {
+        self.blocks.iter().map(|b| b.max_key.as_slice()).max()
+    }
+
+    /// Total serialized (uncompressed) payload bytes across all blocks.
+    pub fn raw_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.raw_len).sum()
+    }
+
+    /// Total compressed block bytes (excluding header/index).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.comp_len).sum()
     }
 
     /// Number of blocks.

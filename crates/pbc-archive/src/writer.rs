@@ -110,6 +110,9 @@ pub struct SegmentSummary {
     pub compressed_bytes: u64,
     /// Name of the codec the segment committed to.
     pub codec: &'static str,
+    /// Records appended via [`SegmentWriter::append_flagged`] (tombstones,
+    /// for the tiered store).
+    pub flagged_count: u64,
 }
 
 impl SegmentSummary {
@@ -133,15 +136,18 @@ struct CompressedBlock {
 }
 
 /// Everything the index needs to know about a block besides its file
-/// position, computed from the raw entries before compression.
+/// position. Most of it is computed from the raw entries before
+/// compression; `flagged_count` is carried in by the writer (it is not
+/// derivable from the entry bytes).
 struct BlockEntryMeta {
     record_count: u64,
     raw_len: u64,
     min_key: Vec<u8>,
     max_key: Vec<u8>,
+    flagged_count: u64,
 }
 
-fn block_entry_meta(entries: &[Entry]) -> BlockEntryMeta {
+fn block_entry_meta(entries: &[Entry], flagged_count: u64) -> BlockEntryMeta {
     let mut min_key: Option<&[u8]> = None;
     let mut max_key: Option<&[u8]> = None;
     for (key, _) in entries {
@@ -157,11 +163,20 @@ fn block_entry_meta(entries: &[Entry]) -> BlockEntryMeta {
         raw_len: serialized_len(entries) as u64,
         min_key: min_key.unwrap_or_default().to_vec(),
         max_key: max_key.unwrap_or_default().to_vec(),
+        flagged_count,
     }
 }
 
-fn compress_one(codec: &BlockCodec, entries: Vec<Entry>) -> CompressedBlock {
-    let entries_meta = block_entry_meta(&entries);
+/// A closed block on its way to compression: its entries plus the count of
+/// flagged records among them.
+struct BlockJob {
+    entries: Vec<Entry>,
+    flagged: u64,
+}
+
+fn compress_one(codec: &BlockCodec, job: BlockJob) -> CompressedBlock {
+    let BlockJob { entries, flagged } = job;
+    let entries_meta = block_entry_meta(&entries, flagged);
     let bytes = codec.compress_block(&entries);
     // Per-block raw fallback: when the segment codec expands this block
     // (data drifted away from what the first block trained on), store the
@@ -195,14 +210,14 @@ pub fn spread_sample_indices(n: usize, k: usize) -> Vec<usize> {
 }
 
 struct Pool {
-    work_tx: Option<SyncSender<(u64, Vec<Entry>)>>,
+    work_tx: Option<SyncSender<(u64, BlockJob)>>,
     result_rx: Receiver<(u64, CompressedBlock)>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl Pool {
     fn spawn(codec: Arc<BlockCodec>, workers: usize) -> Pool {
-        let (work_tx, work_rx) = mpsc::sync_channel::<(u64, Vec<Entry>)>(workers * 2);
+        let (work_tx, work_rx) = mpsc::sync_channel::<(u64, BlockJob)>(workers * 2);
         let (result_tx, result_rx) = mpsc::channel();
         let work_rx = Arc::new(Mutex::new(work_rx));
         let handles = (0..workers)
@@ -215,13 +230,10 @@ impl Pool {
                     .spawn(move || loop {
                         let job = work_rx.lock().expect("worker queue poisoned").recv();
                         match job {
-                            Ok((seq, entries)) => {
+                            Ok((seq, block)) => {
                                 // A send error means the writer is gone; just
                                 // stop, it can no longer use the result.
-                                if result_tx
-                                    .send((seq, compress_one(&codec, entries)))
-                                    .is_err()
-                                {
+                                if result_tx.send((seq, compress_one(&codec, block))).is_err() {
                                     return;
                                 }
                             }
@@ -266,9 +278,11 @@ pub struct SegmentWriter {
     pool: Option<Pool>,
     current: Vec<Entry>,
     current_bytes: usize,
+    /// Flagged records in the current (open) block.
+    current_flagged: u64,
     /// Closed blocks held back while [`CodecSpec::Auto`] waits for its
     /// sampling window to fill (see [`SegmentConfig::auto_sample_window`]).
-    pending: Vec<Vec<Entry>>,
+    pending: Vec<BlockJob>,
     sorted: bool,
     last_key: Vec<u8>,
     offset: u64,
@@ -282,6 +296,7 @@ pub struct SegmentWriter {
     raw_bytes: u64,
     compressed_bytes: u64,
     record_count: u64,
+    flagged_count: u64,
 }
 
 struct SeqBlock {
@@ -323,6 +338,7 @@ impl SegmentWriter {
             pool: None,
             current: Vec::new(),
             current_bytes: 0,
+            current_flagged: 0,
             pending: Vec::new(),
             sorted: true,
             last_key: Vec::new(),
@@ -334,12 +350,26 @@ impl SegmentWriter {
             raw_bytes: 0,
             compressed_bytes: 0,
             record_count: 0,
+            flagged_count: 0,
         })
     }
 
     /// Append a keyed record. Keys appended in non-decreasing order keep the
     /// segment key-searchable via [`crate::SegmentReader::get`].
     pub fn append(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.append_inner(key, value, false)
+    }
+
+    /// Append a keyed record and count it in the block's `flagged_count`
+    /// (surfaced per block and per segment through the footer index). The
+    /// flag changes nothing about how the record is stored or read back;
+    /// callers define its meaning — the tiered store flags tombstones so
+    /// dead-entry ratios are readable without decoding blocks.
+    pub fn append_flagged(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.append_inner(key, value, true)
+    }
+
+    fn append_inner(&mut self, key: &[u8], value: &[u8], flagged: bool) -> Result<()> {
         if self.sorted && self.record_count > 0 && key < self.last_key.as_slice() {
             self.sorted = false;
         }
@@ -348,6 +378,10 @@ impl SegmentWriter {
         self.current_bytes += entry_size_estimate(key.len(), value.len());
         self.current.push((key.to_vec(), value.to_vec()));
         self.record_count += 1;
+        if flagged {
+            self.current_flagged += 1;
+            self.flagged_count += 1;
+        }
         if self
             .config
             .block_is_full(self.current.len(), self.current_bytes)
@@ -380,24 +414,27 @@ impl SegmentWriter {
         if self.current.is_empty() {
             return Ok(());
         }
-        let entries = std::mem::take(&mut self.current);
+        let job = BlockJob {
+            entries: std::mem::take(&mut self.current),
+            flagged: std::mem::take(&mut self.current_flagged),
+        };
         self.current_bytes = 0;
         if self.codec.is_none() {
             if matches!(self.config.codec, CodecSpec::Auto) {
-                self.pending.push(entries);
+                self.pending.push(job);
                 if self.pending.len() >= self.config.auto_sample_window.max(1) {
                     self.commit_pending()?;
                 }
                 return Ok(());
             }
-            self.commit_codec(build_codec(&self.config.codec, &entries))?;
+            self.commit_codec(build_codec(&self.config.codec, &job.entries))?;
         }
-        self.dispatch_block(entries)
+        self.dispatch_block(job)
     }
 
     /// Hand a closed block to the worker pool (or compress it inline) once a
     /// codec is committed.
-    fn dispatch_block(&mut self, entries: Vec<Entry>) -> Result<()> {
+    fn dispatch_block(&mut self, job: BlockJob) -> Result<()> {
         let codec = Arc::clone(
             self.codec
                 .as_ref()
@@ -415,11 +452,11 @@ impl SegmentWriter {
                 .work_tx
                 .as_ref()
                 .expect("work channel open while writing")
-                .send((seq, entries))
+                .send((seq, job))
                 .expect("compression workers alive while writer holds the pool");
             self.drain_results(false)?;
         } else {
-            let block = compress_one(&codec, entries);
+            let block = compress_one(&codec, job);
             self.write_block(seq, block)?;
         }
         Ok(())
@@ -432,11 +469,14 @@ impl SegmentWriter {
     fn commit_pending(&mut self) -> Result<()> {
         let pending = std::mem::take(&mut self.pending);
         let samples = spread_sample_indices(pending.len(), self.config.auto_sample_blocks.max(1));
-        let sample_blocks: Vec<&[Entry]> = samples.iter().map(|&i| pending[i].as_slice()).collect();
+        let sample_blocks: Vec<&[Entry]> = samples
+            .iter()
+            .map(|&i| pending[i].entries.as_slice())
+            .collect();
         let codec = crate::codec::select_codec_over_blocks(&sample_blocks);
         self.commit_codec(codec)?;
-        for block in pending {
-            self.dispatch_block(block)?;
+        for job in pending {
+            self.dispatch_block(job)?;
         }
         Ok(())
     }
@@ -539,6 +579,7 @@ impl SegmentWriter {
             crc: crc32(&bytes),
             min_key: entries_meta.min_key,
             max_key: entries_meta.max_key,
+            flagged_count: entries_meta.flagged_count,
         });
         self.offset += bytes.len() as u64;
         self.raw_bytes += entries_meta.raw_len;
@@ -579,6 +620,7 @@ impl SegmentWriter {
             raw_bytes: self.raw_bytes,
             compressed_bytes: self.compressed_bytes,
             codec: self.codec.as_ref().expect("codec committed above").name(),
+            flagged_count: self.flagged_count,
         })
     }
 }

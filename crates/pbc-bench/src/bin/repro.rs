@@ -6,7 +6,7 @@
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -69,8 +69,22 @@ fn main() {
         .iter()
         .flat_map(|e| match e.as_str() {
             "all" => vec![
-                "table2", "table3", "fig5", "table4", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-                "table5", "table6", "table7", "table8", "archive", "tier",
+                "table2",
+                "table3",
+                "fig5",
+                "table4",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9a",
+                "fig9b",
+                "table5",
+                "table6",
+                "table7",
+                "table8",
+                "archive",
+                "tier",
+                "compaction",
             ]
             .into_iter()
             .map(String::from)
@@ -92,7 +106,7 @@ fn print_usage() {
     println!(
         "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b archive tier all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction all quick"
     );
 }
 
@@ -254,6 +268,10 @@ fn run_experiment(name: &str, scale: f64) {
         }
         "archive" => println!("{}", pbc_bench::archive::archive_throughput(scale).render()),
         "tier" => println!("{}", pbc_bench::tier::tier_throughput(scale).render()),
+        "compaction" => println!(
+            "{}",
+            pbc_bench::compaction::compaction_throughput(scale).render()
+        ),
         other => die(&format!("unknown experiment '{other}'")),
     }
     eprintln!(

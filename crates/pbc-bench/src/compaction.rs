@@ -1,0 +1,258 @@
+//! Compaction experiment: write-path behavior with background compaction
+//! on vs. off, plus the stall profile of the write path.
+//!
+//! The tiered store's original `compact()` was a stop-the-world merge of
+//! every segment; the compaction subsystem replaces it with bounded
+//! background jobs. This experiment answers the two questions that change
+//! raises: **does the write path keep its throughput while jobs run
+//! underneath**, and **what does steady state look like** (segment count,
+//! dead-entry ratio) when compaction is driven by thresholds alone? A
+//! per-set latency histogram makes write stalls visible: with compaction
+//! off the tail comes from spills only; with it on, any extra tail would
+//! be compaction interference — the subsystem's whole point is that there
+//! is none.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use pbc_datagen::Dataset;
+use pbc_tier::{PlannerConfig, TierConfig, TieredStore};
+
+use crate::data::corpus;
+use crate::report::Table;
+
+/// A throwaway store directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempDir(std::env::temp_dir().join(format!(
+            "pbc-bench-compaction-{}-{tag}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Upper bounds (in microseconds) of the set-latency histogram buckets;
+/// the final bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 5] = [10, 100, 1_000, 10_000, u64::MAX];
+
+/// One mode's measurements (background compaction on or off).
+#[derive(Debug, Clone)]
+pub struct CompactionRow {
+    /// "background on" / "background off".
+    pub mode: &'static str,
+    /// Write ops (sets + deletes) per second over the ingest phase.
+    pub writes_per_sec: f64,
+    /// Set-latency histogram, bucketed per [`LATENCY_BUCKETS_US`].
+    pub latency_histogram: [u64; 5],
+    /// Worst single write during ingest, in microseconds.
+    pub max_write_us: u64,
+    /// Live segments once the store settles.
+    pub segments: usize,
+    /// Cold tombstones / cold records once the store settles.
+    pub dead_ratio: f64,
+    /// Compaction jobs that ran.
+    pub compaction_jobs: u64,
+}
+
+/// Everything the compaction experiment reports.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// Records ingested per mode.
+    pub records: usize,
+    /// Deletes issued per mode.
+    pub deletes: usize,
+    /// The planner's segment-count trigger used for the run.
+    pub max_segments: usize,
+    /// The planner's dead-ratio trigger used for the run.
+    pub max_dead_ratio: f64,
+    /// Per-mode rows (off first).
+    pub rows: Vec<CompactionRow>,
+}
+
+fn bucket_of(us: u64) -> usize {
+    LATENCY_BUCKETS_US
+        .iter()
+        .position(|&bound| us < bound)
+        .unwrap_or(LATENCY_BUCKETS_US.len() - 1)
+}
+
+/// Ingest `records` with interleaved deletes, timing every write.
+fn run_mode(
+    records: &[Vec<u8>],
+    background: bool,
+    planner: &PlannerConfig,
+    watermark: u64,
+) -> CompactionRow {
+    let dir = TempDir::new(if background { "on" } else { "off" });
+    let store = TieredStore::open(
+        TierConfig::new(&dir.0)
+            .with_watermark(watermark)
+            .with_planner(planner.clone())
+            .with_background_compaction(background)
+            .with_maintenance_tick(Duration::from_millis(5)),
+    )
+    .expect("open compaction bench store");
+
+    let mut histogram = [0u64; 5];
+    let mut max_write_us = 0u64;
+    let mut writes = 0u64;
+    let started = Instant::now();
+    for (i, value) in records.iter().enumerate() {
+        let key = format!("cmp:{i:08}").into_bytes();
+        let t = Instant::now();
+        store.set(&key, value).expect("bench set");
+        let us = t.elapsed().as_micros() as u64;
+        histogram[bucket_of(us)] += 1;
+        max_write_us = max_write_us.max(us);
+        writes += 1;
+        if i % 4 == 3 {
+            // Delete a key from the first half of what's been written —
+            // old enough to have spilled, so the delete leaves a cold
+            // tombstone and the dead-entry ratio actually climbs.
+            let dead = format!("cmp:{:08}", i / 2).into_bytes();
+            let t = Instant::now();
+            store.delete(&dead).expect("bench delete");
+            let us = t.elapsed().as_micros() as u64;
+            histogram[bucket_of(us)] += 1;
+            max_write_us = max_write_us.max(us);
+            writes += 1;
+        }
+    }
+    let ingest_secs = started.elapsed().as_secs_f64();
+
+    // Let the background store settle into steady state (the off store is
+    // already as settled as it will ever get).
+    if background {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let stats = store.stats();
+            if (store.segment_count() <= planner.max_segments
+                && stats.cold_dead_ratio() < planner.max_dead_ratio)
+                || Instant::now() >= deadline
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let stats = store.stats();
+    CompactionRow {
+        mode: if background {
+            "background on"
+        } else {
+            "background off"
+        },
+        writes_per_sec: writes as f64 / ingest_secs.max(1e-9),
+        latency_histogram: histogram,
+        max_write_us,
+        segments: store.segment_count(),
+        dead_ratio: stats.cold_dead_ratio(),
+        compaction_jobs: stats.compactions,
+    }
+}
+
+/// Run the compaction experiment at `scale` (record counts scale
+/// linearly).
+pub fn compaction_experiment(scale: f64) -> CompactionReport {
+    let records = corpus(Dataset::Kv2, scale);
+    let n = records.len();
+    // A watermark around a sixteenth of the corpus forces steady spilling
+    // so the planner has well more segments than its trigger to work with
+    // even at smoke scale.
+    let raw_bytes: usize = records.iter().map(|r| r.len() + 14).sum();
+    let watermark = (raw_bytes as u64 / 16).max(4 * 1024);
+    let planner = PlannerConfig {
+        max_segments: 3,
+        max_dead_ratio: 0.25,
+        max_job_segments: 3,
+    };
+
+    let rows = vec![
+        run_mode(&records, false, &planner, watermark),
+        run_mode(&records, true, &planner, watermark),
+    ];
+    CompactionReport {
+        records: n,
+        deletes: n / 4,
+        max_segments: planner.max_segments,
+        max_dead_ratio: planner.max_dead_ratio,
+        rows,
+    }
+}
+
+fn render_histogram(histogram: &[u64; 5]) -> String {
+    let labels = ["<10us", "<100us", "<1ms", "<10ms", ">=10ms"];
+    labels
+        .iter()
+        .zip(histogram)
+        .map(|(label, count)| format!("{label}:{count}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Render the compaction experiment as a report table.
+pub fn compaction_throughput(scale: f64) -> Table {
+    let report = compaction_experiment(scale);
+    let mut table = Table::new(
+        "Compaction: write path with background compaction off vs on (stall histogram)",
+        &[
+            "mode",
+            "writes/s",
+            "max write",
+            "segments",
+            "dead ratio",
+            "jobs",
+            "write-latency histogram",
+        ],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.mode.to_string(),
+            format!("{:.0}", row.writes_per_sec),
+            format!("{:.1}ms", row.max_write_us as f64 / 1_000.0),
+            row.segments.to_string(),
+            format!("{:.3}", row.dead_ratio),
+            row.compaction_jobs.to_string(),
+            render_histogram(&row.latency_histogram),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_experiment_shows_steady_state_only_with_background_on() {
+        let report = compaction_experiment(0.02);
+        assert_eq!(report.rows.len(), 2);
+        let off = &report.rows[0];
+        let on = &report.rows[1];
+        assert_eq!(off.compaction_jobs, 0, "off mode never compacts");
+        assert!(on.compaction_jobs > 0, "on mode must run jobs");
+        assert!(
+            on.segments <= report.max_segments,
+            "background compaction reaches the segment bound, got {}",
+            on.segments
+        );
+        assert!(on.dead_ratio < report.max_dead_ratio);
+        assert!(off.segments > on.segments, "off mode accumulates segments");
+        for row in &report.rows {
+            assert!(row.writes_per_sec > 0.0);
+            let total: u64 = row.latency_histogram.iter().sum();
+            assert!(total > 0, "histogram counts every write");
+        }
+    }
+}

@@ -21,11 +21,13 @@
 //! | Table 8 (production case study) | [`experiments::table8`] |
 //! | Archive ingest/lookups (beyond the paper) | [`archive::archive_throughput`] |
 //! | Tiered-store get latency (beyond the paper) | [`tier::tier_throughput`] |
+//! | Background compaction stalls (beyond the paper) | [`compaction::compaction_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
 
 pub mod archive;
+pub mod compaction;
 pub mod data;
 pub mod experiments;
 pub mod figures;

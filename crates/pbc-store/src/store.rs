@@ -76,6 +76,23 @@ impl ShardDrain {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty() && self.tombstones.is_empty()
     }
+
+    /// Live entries drained.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Tombstones drained.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Total records a spill of this drain writes (live + tombstones) —
+    /// the per-spill metadata the tiered store records in its manifest so
+    /// dead-entry ratios stay observable per segment.
+    pub fn record_count(&self) -> usize {
+        self.entries.len() + self.tombstones.len()
+    }
 }
 
 /// A TierBase-like sharded key-value store with value compression.
@@ -752,11 +769,15 @@ mod tests {
                 assert_eq!(store.shard_of_key(key), idx, "entry from its own shard");
                 assert_eq!(reference.get(key), Some(value), "decoded value intact");
             }
-            total_entries += drain.entries.len();
+            assert_eq!(
+                drain.record_count(),
+                drain.entry_count() + drain.tombstone_count()
+            );
+            total_entries += drain.entry_count();
             if idx == dead_shard {
                 assert_eq!(drain.tombstones, vec![b"take:dead".to_vec()]);
             }
-            total_tombstones += drain.tombstones.len();
+            total_tombstones += drain.tombstone_count();
             assert_eq!(store.shard_len(idx), 0);
             assert_eq!(store.shard_memory_bytes(idx), 0);
         }

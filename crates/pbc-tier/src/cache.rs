@@ -43,6 +43,7 @@ pub struct BlockCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -55,6 +56,7 @@ impl std::fmt::Debug for BlockCache {
             .field("hits", &self.hits.load(Ordering::Relaxed))
             .field("misses", &self.misses.load(Ordering::Relaxed))
             .field("evictions", &self.evictions.load(Ordering::Relaxed))
+            .field("invalidations", &self.invalidations.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -78,6 +80,7 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +112,14 @@ impl BlockCache {
     /// Blocks evicted to make room.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Blocks dropped by [`BlockCache::evict_segment`] because their
+    /// segment was retired by compaction — distinct from capacity
+    /// `evictions`, so cache-pressure and retirement churn stay separately
+    /// observable.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 
     /// Look a block up, refreshing its recency on a hit.
@@ -180,21 +191,32 @@ impl BlockCache {
         }
     }
 
-    /// Drop every cached block of `segment` (the segment was compacted
-    /// away).
-    pub fn evict_segment(&self, segment: u64) {
-        let mut inner = self.inner.lock();
-        let doomed: Vec<BlockKey> = inner
-            .map
-            .keys()
-            .filter(|(seg, _)| *seg == segment)
-            .copied()
-            .collect();
-        for key in doomed {
-            let slot = inner.map.remove(&key).expect("listed above");
-            inner.bytes -= slot.bytes;
-            inner.by_recency.remove(&slot.tick);
+    /// Drop every cached block of `segment` (the segment was retired by
+    /// compaction). Returns how many blocks were dropped. Called on every
+    /// retirement so a retired segment's decoded blocks stop occupying
+    /// budget the moment it leaves the manifest, instead of lingering
+    /// until natural LRU eviction.
+    pub fn evict_segment(&self, segment: u64) -> usize {
+        let dropped = {
+            let mut inner = self.inner.lock();
+            let doomed: Vec<BlockKey> = inner
+                .map
+                .keys()
+                .filter(|(seg, _)| *seg == segment)
+                .copied()
+                .collect();
+            for key in &doomed {
+                let slot = inner.map.remove(key).expect("listed above");
+                inner.bytes -= slot.bytes;
+                inner.by_recency.remove(&slot.tick);
+            }
+            doomed.len()
+        };
+        if dropped > 0 {
+            self.invalidations
+                .fetch_add(dropped as u64, Ordering::Relaxed);
         }
+        dropped
     }
 
     /// Drop everything (counters are kept).
@@ -265,12 +287,15 @@ mod tests {
         cache.insert((1, 0), block(1, 4, 10));
         cache.insert((1, 1), block(2, 4, 10));
         cache.insert((2, 0), block(3, 4, 10));
-        cache.evict_segment(1);
+        assert_eq!(cache.evict_segment(1), 2);
         assert!(cache.get((1, 0)).is_none());
         assert!(cache.get((1, 1)).is_none());
         assert!(cache.get((2, 0)).is_some());
         let survivor = entries_bytes(&block(3, 4, 10));
         assert_eq!(cache.cached_bytes(), survivor);
+        assert_eq!(cache.invalidations(), 2);
+        assert_eq!(cache.evictions(), 0, "retirement is not capacity pressure");
+        assert_eq!(cache.evict_segment(1), 0, "double eviction is a no-op");
     }
 
     #[test]

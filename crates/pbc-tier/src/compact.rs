@@ -1,13 +1,22 @@
-//! Segment compaction: k-way merge with shadow and tombstone elimination.
+//! Segment merging: k-way merge with shadow and tombstone elimination.
 //!
 //! Overlapping segments accumulate as shards spill: a hot key that is
 //! written, spilled, rewritten and spilled again exists in two segments,
 //! and a deleted key leaves a tombstone shadowing an older value.
-//! [`merge_segments`] streams every input segment (newest first) through a
-//! k-way merge that keeps only the newest version of each key, drops
-//! tombstones entirely (after a full merge nothing older remains for them
-//! to shadow), and writes the survivors to a fresh segment whose codec is
-//! retrained on blocks sampled across the merged corpus.
+//! [`merge_segments`] streams the input segments (newest first) through a
+//! k-way merge that keeps only the newest version of each key and writes
+//! the survivors to a fresh segment whose codec is retrained on blocks
+//! sampled across the merged corpus.
+//!
+//! Tombstone handling depends on what lies *below* the inputs. A **full**
+//! merge (or any partial merge whose run includes the oldest live segment)
+//! passes `drop_tombstones = true`: nothing older remains for a tombstone
+//! to shadow, so they are eliminated. A partial merge over a run with
+//! older segments still beneath it must keep its tombstones
+//! (`drop_tombstones = false`) — each one may still be the only thing
+//! standing between a read and a resurrected old version. Kept tombstones
+//! are written via [`SegmentWriter::append_flagged`], so the output's
+//! footer records its dead-entry count for the next planning round.
 
 use std::path::Path;
 
@@ -27,13 +36,17 @@ pub struct MergeOutcome {
     pub live_entries: u64,
     /// Entries dropped because a newer segment shadowed them.
     pub shadowed_dropped: u64,
-    /// Tombstones dropped (each also shadows any older versions).
+    /// Tombstones dropped (only when `drop_tombstones` was set).
     pub tombstones_dropped: u64,
-    /// Writer summary, absent when every key was dead and no output segment
+    /// Tombstones carried into the output segment (partial merges with
+    /// older segments still beneath the run).
+    pub tombstones_kept: u64,
+    /// Writer summary, absent when nothing survived and no output segment
     /// was written.
     pub summary: Option<SegmentSummary>,
-    /// The codec retrained on the merged corpus (absent when the inputs
-    /// were empty) — callers reuse it for subsequent spills.
+    /// The codec retrained on the merged corpus — callers reuse it for
+    /// subsequent spills. Absent when the caller supplied a codec (no
+    /// retraining ran) or the inputs were empty.
     pub codec: Option<BlockCodec>,
 }
 
@@ -79,17 +92,34 @@ fn retrained_codec(readers: &[&SegmentReader], config: &SegmentConfig) -> Result
 /// Merge `readers` (newest first) into a fresh segment at `out_path`.
 ///
 /// Output keys are unique and ascending; values keep their tombstone
-/// marker encoding (all live after the merge). When no live entry
-/// survives, no file is written and `summary` is `None`.
+/// marker encoding. With `drop_tombstones` every surviving record is live;
+/// without it, tombstones survive too (flagged in the output footer).
+/// When nothing survives, no file is written and `summary` is `None`.
+///
+/// `codec` controls training cost: `Some(spec)` writes the output with
+/// that codec and trains nothing (`outcome.codec` stays `None`); `None`
+/// retrains by sampling blocks across all inputs and reports the trained
+/// codec for the caller to reuse. Retraining runs full candidate
+/// selection — seconds of CPU for PBC pattern extraction — so callers
+/// reserve it for large, stable runs and reuse a shared codec for small
+/// incremental jobs, where the per-block raw fallback bounds any drift.
 pub fn merge_segments(
     readers: &[&SegmentReader],
     out_path: &Path,
     config: &SegmentConfig,
+    drop_tombstones: bool,
+    codec: Option<CodecSpec>,
 ) -> Result<MergeOutcome> {
-    let codec_spec = retrained_codec(readers, config)?;
-    let retrained = match &codec_spec {
-        CodecSpec::Pretrained(codec) => Some(codec.clone()),
-        _ => None,
+    let (codec_spec, retrained) = match codec {
+        Some(spec) => (spec, None),
+        None => {
+            let spec = retrained_codec(readers, config)?;
+            let trained = match &spec {
+                CodecSpec::Pretrained(codec) => Some(codec.clone()),
+                _ => None,
+            };
+            (spec, trained)
+        }
     };
     let mut sources: Vec<MergeSource<'_>> = readers
         .iter()
@@ -107,6 +137,7 @@ pub fn merge_segments(
         live_entries: 0,
         shadowed_dropped: 0,
         tombstones_dropped: 0,
+        tombstones_kept: 0,
         summary: None,
         codec: retrained,
     };
@@ -132,7 +163,8 @@ pub fn merge_segments(
             }
         }
         let value = winner.expect("min key came from some source");
-        if is_tombstone(&value) {
+        let tombstone = is_tombstone(&value);
+        if tombstone && drop_tombstones {
             outcome.tombstones_dropped += 1;
             continue;
         }
@@ -146,8 +178,13 @@ pub fn merge_segments(
                 },
             )?),
         };
-        writer.append(&min_key, &value)?;
-        outcome.live_entries += 1;
+        if tombstone {
+            writer.append_flagged(&min_key, &value)?;
+            outcome.tombstones_kept += 1;
+        } else {
+            writer.append(&min_key, &value)?;
+            outcome.live_entries += 1;
+        }
     }
     if let Some(writer) = writer {
         outcome.summary = Some(writer.finish()?);

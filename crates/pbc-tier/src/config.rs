@@ -1,9 +1,12 @@
 //! Tuning knobs for the tiered store.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use pbc_archive::SegmentConfig;
 use pbc_store::ValueCodec;
+
+use crate::planner::PlannerConfig;
 
 /// Configuration for a [`crate::TieredStore`].
 ///
@@ -36,6 +39,24 @@ pub struct TierConfig {
     /// retrains on the merged corpus and refreshes the shared codec; the
     /// per-block raw fallback bounds any drift in between.
     pub reuse_spill_codec: bool,
+    /// Trigger thresholds (segment count, dead-entry ratio) and the
+    /// per-job input bound for the compaction planner. Used by both the
+    /// background maintenance thread and explicit
+    /// [`crate::TieredStore::run_pending_compactions`] calls.
+    pub planner: PlannerConfig,
+    /// Spawn a background maintenance thread that runs planner jobs
+    /// whenever a trigger threshold is crossed, so segments compact
+    /// incrementally while reads and spills continue. Off by default:
+    /// without it compaction runs only via explicit [`compact`] /
+    /// [`run_pending_compactions`] calls, which keeps single-threaded
+    /// workloads deterministic.
+    ///
+    /// [`compact`]: crate::TieredStore::compact
+    /// [`run_pending_compactions`]: crate::TieredStore::run_pending_compactions
+    pub background_compaction: bool,
+    /// How often the maintenance thread re-checks the trigger thresholds
+    /// when idle (it is also woken eagerly after every spill).
+    pub maintenance_tick: Duration,
 }
 
 impl TierConfig {
@@ -50,6 +71,9 @@ impl TierConfig {
             segment: SegmentConfig::default(),
             hot_codec: ValueCodec::None,
             reuse_spill_codec: true,
+            planner: PlannerConfig::default(),
+            background_compaction: false,
+            maintenance_tick: Duration::from_millis(20),
         }
     }
 
@@ -87,6 +111,24 @@ impl TierConfig {
     /// docs).
     pub fn with_reuse_spill_codec(mut self, reuse: bool) -> Self {
         self.reuse_spill_codec = reuse;
+        self
+    }
+
+    /// Set the compaction planner's thresholds and job bound.
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Enable or disable the background maintenance thread.
+    pub fn with_background_compaction(mut self, enabled: bool) -> Self {
+        self.background_compaction = enabled;
+        self
+    }
+
+    /// Set the maintenance thread's idle re-check interval.
+    pub fn with_maintenance_tick(mut self, tick: Duration) -> Self {
+        self.maintenance_tick = tick;
         self
     }
 

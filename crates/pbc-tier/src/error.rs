@@ -20,6 +20,14 @@ pub enum TierError {
         /// Description of the inconsistency.
         context: String,
     },
+    /// A manifest commit tried to write a generation at or below the one
+    /// already on disk — history must only move forward.
+    StaleGeneration {
+        /// The generation the commit carried.
+        found: u64,
+        /// The generation already committed on disk.
+        current: u64,
+    },
     /// Another process (or another open handle) holds the store directory.
     DirectoryLocked {
         /// The directory that could not be locked.
@@ -40,6 +48,12 @@ impl fmt::Display for TierError {
             TierError::Archive(e) => write!(f, "cold segment failed: {e}"),
             TierError::ManifestCorrupt { context } => {
                 write!(f, "manifest corrupt: {context}")
+            }
+            TierError::StaleGeneration { found, current } => {
+                write!(
+                    f,
+                    "stale manifest generation {found} (disk already at {current})"
+                )
             }
             TierError::DirectoryLocked { dir } => {
                 write!(

@@ -35,11 +35,21 @@
 //!   and the byte-bounded LRU [`BlockCache`] to the segments, newest first,
 //!   so overwrites and tombstones always shadow older spilled state.
 //! * **Crash safety**: durable state is the [`Manifest`] plus the segments
-//!   it names; segments are fsynced before the atomic manifest swap, and
-//!   reopen sweeps debris (stale `MANIFEST.tmp`, orphaned segments).
-//! * **Compaction**: [`TieredStore::compact`] k-way-merges every segment,
-//!   drops shadowed versions and tombstones, and retrains the block codec
-//!   on samples spread across the merged corpus.
+//!   it names, committed under a monotonically increasing **generation**;
+//!   segments are fsynced before the atomic manifest swap, and reopen
+//!   lands on exactly one consistent generation, sweeping debris (a stale
+//!   `MANIFEST.tmp`, orphaned or retired segment files).
+//! * **Compaction**: a [`planner::CompactionPlanner`] scores live segments
+//!   by key-range overlap, dead-entry ratio, and size, and emits bounded
+//!   jobs (merge k ≤ N adjacent segments into one, leaving the rest
+//!   untouched). Jobs run on a background maintenance thread
+//!   ([`TierConfig::background_compaction`]) or synchronously via
+//!   [`TieredStore::run_pending_compactions`]. Jobs that rewrite the
+//!   majority of cold records retrain the block codec on samples of their
+//!   merged run and refresh the shared spill codec; smaller incremental
+//!   jobs reuse it, with the per-block raw fallback bounding drift.
+//!   [`TieredStore::compact`] remains as the full stop-the-world merge
+//!   for offline reorganization.
 //!
 //! ## Example
 //!
@@ -67,14 +77,17 @@ pub mod cache;
 pub mod compact;
 pub mod config;
 pub mod error;
+mod maintenance;
 pub mod manifest;
+pub mod planner;
 pub mod store;
 
 pub use cache::{BlockCache, BlockKey};
 pub use compact::MergeOutcome;
 pub use config::TierConfig;
 pub use error::{Result, TierError};
-pub use manifest::{Manifest, ManifestEntry};
+pub use manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
+pub use planner::{CompactionJob, CompactionPlanner, PlannerConfig, SegmentStats};
 pub use store::{CompactionSummary, TierStats, TieredStore};
 
 #[cfg(test)]

@@ -1,13 +1,28 @@
-//! The manifest: which segments are live, swapped atomically.
+//! The manifest: which segments are live, swapped atomically, stamped
+//! with a monotonically increasing **generation**.
 //!
 //! A tiered store's durable state is the set of segment files plus this one
 //! small file naming them (newest first). Updates never touch the live
 //! manifest in place: the new contents are written to `MANIFEST.tmp`,
 //! fsynced, and renamed over `MANIFEST` — a single atomic step on POSIX
-//! filesystems. A crash mid-spill therefore leaves either the old manifest
+//! filesystems. A crash mid-commit therefore leaves either the old manifest
 //! (the half-written segment is orphaned and swept on reopen) or the new
 //! one (the segment is fully durable); acknowledged data is never lost.
-//! A leftover `MANIFEST.tmp` is crash debris and is deleted on load.
+//!
+//! Every committed manifest carries a generation one greater than its
+//! predecessor's. The rename is the commit point, so a leftover
+//! `MANIFEST.tmp` — even one that parses cleanly with a *higher*
+//! generation than the live file — is an uncommitted, stale generation and
+//! is rejected (deleted) on load. Partial compactions lean on this: a job
+//! commits "retire {a,b}, add {c}" as one generation bump, and reopen
+//! after a crash lands on exactly one consistent generation, sweeping
+//! whichever segment files that generation does not name.
+//!
+//! Since v2 each segment line also records per-segment statistics (record
+//! count, tombstone count, file bytes, key range) so the compaction
+//! planner can score segments without opening them. v1 manifests (no
+//! generation line, no stats) still load; callers backfill stats from the
+//! segment footers.
 
 use std::fs;
 use std::io::Write;
@@ -22,7 +37,23 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 /// Scratch name the next manifest is staged under before the rename.
 pub const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
 
-const MAGIC_LINE: &str = "pbc-tier-manifest v1";
+const MAGIC_LINE_V1: &str = "pbc-tier-manifest v1";
+const MAGIC_LINE_V2: &str = "pbc-tier-manifest v2";
+
+/// Per-segment statistics recorded at commit time (spill or compaction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentStatsRecord {
+    /// Records stored in the segment (live entries + tombstones).
+    pub records: u64,
+    /// Tombstone records among them.
+    pub tombstones: u64,
+    /// Segment file size in bytes.
+    pub bytes: u64,
+    /// Smallest record key (empty for an empty segment).
+    pub min_key: Vec<u8>,
+    /// Largest record key.
+    pub max_key: Vec<u8>,
+}
 
 /// One live segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,14 +62,49 @@ pub struct ManifestEntry {
     pub id: u64,
     /// File name relative to the store directory.
     pub file_name: String,
+    /// Per-segment stats; `None` only when loaded from a v1 manifest
+    /// (callers backfill from the segment footer).
+    pub stats: Option<SegmentStatsRecord>,
 }
 
-/// The ordered set of live segments, newest first.
+/// The ordered set of live segments, newest first, plus the generation
+/// this set was committed under.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
+    /// Commit counter: each manifest swap writes `generation + 1`. A fresh
+    /// directory starts at 0; v1 manifests load as generation 0.
+    pub generation: u64,
     /// Live segments, newest first. Lookups scan in this order so newer
     /// segments shadow older ones.
     pub segments: Vec<ManifestEntry>,
+}
+
+/// Lowercase hex of `bytes`; `-` stands for the empty byte string so the
+/// field never collapses to nothing in the space-separated line format.
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    // Work on bytes, not char boundaries: a (CRC-valid but hand-edited)
+    // manifest may put multi-byte UTF-8 in a key field, and slicing a
+    // `str` mid-character would panic — corruption must stay a typed
+    // error.
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibble = |b: u8| (b as char).to_digit(16);
+    bytes
+        .chunks_exact(2)
+        .map(|pair| Some((nibble(pair[0])? * 16 + nibble(pair[1])?) as u8))
+        .collect()
 }
 
 impl Manifest {
@@ -47,13 +113,24 @@ impl Manifest {
         dir.join(MANIFEST_NAME)
     }
 
-    /// Serialize: magic line, one `segment <id> <file>` line each, then a
-    /// CRC line over everything above it.
+    /// Serialize: magic line, generation line, one `segment` line each,
+    /// then a CRC line over everything above it.
     fn encode(&self) -> String {
-        let mut body = String::from(MAGIC_LINE);
+        let mut body = String::from(MAGIC_LINE_V2);
         body.push('\n');
+        body.push_str(&format!("generation {}\n", self.generation));
         for entry in &self.segments {
-            body.push_str(&format!("segment {} {}\n", entry.id, entry.file_name));
+            let stats = entry.stats.clone().unwrap_or_default();
+            body.push_str(&format!(
+                "segment {} {} {} {} {} {} {}\n",
+                entry.id,
+                entry.file_name,
+                stats.records,
+                stats.tombstones,
+                stats.bytes,
+                hex_encode(&stats.min_key),
+                hex_encode(&stats.max_key),
+            ));
         }
         let crc = crc32(body.as_bytes());
         body.push_str(&format!("crc {crc:08x}\n"));
@@ -76,35 +153,76 @@ impl Manifest {
                 "crc mismatch: stored {stored:08x}, computed {computed:08x}"
             )));
         }
-        let mut lines = body.lines();
-        if lines.next() != Some(MAGIC_LINE) {
-            return Err(corrupt("bad magic line".into()));
-        }
+        let mut lines = body.lines().peekable();
+        let v2 = match lines.next() {
+            Some(MAGIC_LINE_V1) => false,
+            Some(MAGIC_LINE_V2) => true,
+            _ => return Err(corrupt("bad magic line".into())),
+        };
+        let generation = if v2 {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt("missing generation line".into()))?;
+            line.strip_prefix("generation ")
+                .and_then(|g| g.parse::<u64>().ok())
+                .ok_or_else(|| corrupt(format!("bad generation line {line:?}")))?
+        } else {
+            0
+        };
         let mut segments = Vec::new();
         for line in lines {
-            let mut parts = line.split(' ');
-            match (parts.next(), parts.next(), parts.next(), parts.next()) {
-                (Some("segment"), Some(id), Some(file_name), None) => {
-                    let id = id
-                        .parse::<u64>()
-                        .map_err(|_| corrupt(format!("bad segment id in {line:?}")))?;
-                    if file_name.is_empty() || file_name.contains(['/', '\\']) {
-                        return Err(corrupt(format!("bad segment file name in {line:?}")));
+            let parts: Vec<&str> = line.split(' ').collect();
+            let (id, file_name, stats) = match parts.as_slice() {
+                ["segment", id, file_name] if !v2 => (*id, *file_name, None),
+                ["segment", id, file_name, records, tombstones, bytes, min_key, max_key] if v2 => {
+                    let parse = |field: &str| -> Result<u64> {
+                        field
+                            .parse::<u64>()
+                            .map_err(|_| corrupt(format!("bad stats field in {line:?}")))
+                    };
+                    let stats = SegmentStatsRecord {
+                        records: parse(records)?,
+                        tombstones: parse(tombstones)?,
+                        bytes: parse(bytes)?,
+                        min_key: hex_decode(min_key)
+                            .ok_or_else(|| corrupt(format!("bad min key in {line:?}")))?,
+                        max_key: hex_decode(max_key)
+                            .ok_or_else(|| corrupt(format!("bad max key in {line:?}")))?,
+                    };
+                    if stats.tombstones > stats.records {
+                        return Err(corrupt(format!(
+                            "segment claims more tombstones than records in {line:?}"
+                        )));
                     }
-                    segments.push(ManifestEntry {
-                        id,
-                        file_name: file_name.to_string(),
-                    });
+                    (*id, *file_name, Some(stats))
                 }
                 _ => return Err(corrupt(format!("unrecognized line {line:?}"))),
+            };
+            let id = id
+                .parse::<u64>()
+                .map_err(|_| corrupt(format!("bad segment id in {line:?}")))?;
+            if file_name.is_empty() || file_name.contains(['/', '\\']) {
+                return Err(corrupt(format!("bad segment file name in {line:?}")));
             }
+            segments.push(ManifestEntry {
+                id,
+                file_name: file_name.to_string(),
+                stats,
+            });
         }
-        Ok(Manifest { segments })
+        Ok(Manifest {
+            generation,
+            segments,
+        })
     }
 
     /// Load the manifest from `dir`. Returns `Ok(None)` when none exists
-    /// (a fresh directory). A leftover `MANIFEST.tmp` — crash debris from
-    /// an interrupted swap — is removed.
+    /// (a fresh directory).
+    ///
+    /// A leftover `MANIFEST.tmp` is rejected and removed regardless of its
+    /// contents: the rename is the commit point, so even a tmp that parses
+    /// cleanly with a generation above the live manifest's is an
+    /// uncommitted — hence stale — generation, never adopted.
     pub fn load(dir: &Path) -> Result<Option<Manifest>> {
         let tmp = dir.join(MANIFEST_TMP_NAME);
         if tmp.exists() {
@@ -146,6 +264,23 @@ impl Manifest {
         let _ = fs::File::open(dir).and_then(|d| d.sync_all());
         Ok(())
     }
+
+    /// Like [`Manifest::store`], but first verifies this manifest's
+    /// generation strictly exceeds the one on disk. The directory `LOCK`
+    /// already makes concurrent writers impossible; this check turns a
+    /// same-process logic bug (two handles, a missed bump) into a typed
+    /// [`TierError::StaleGeneration`] instead of silent history rewind.
+    pub fn store_checked(&self, dir: &Path) -> Result<()> {
+        if let Some(current) = Self::load(dir)? {
+            if current.generation >= self.generation {
+                return Err(TierError::StaleGeneration {
+                    found: self.generation,
+                    current: current.generation,
+                });
+            }
+        }
+        self.store(dir)
+    }
 }
 
 #[cfg(test)]
@@ -167,28 +302,74 @@ mod tests {
         }
     }
 
+    fn stats(records: u64, tombstones: u64) -> SegmentStatsRecord {
+        SegmentStatsRecord {
+            records,
+            tombstones,
+            bytes: 4_096,
+            min_key: b"user:000001".to_vec(),
+            max_key: b"user:099999".to_vec(),
+        }
+    }
+
     fn sample() -> Manifest {
         Manifest {
+            generation: 12,
             segments: vec![
                 ManifestEntry {
                     id: 7,
                     file_name: "seg-000007.seg".into(),
+                    stats: Some(stats(900, 45)),
                 },
                 ManifestEntry {
                     id: 3,
                     file_name: "seg-000003.seg".into(),
+                    stats: Some(stats(1_200, 0)),
                 },
             ],
         }
     }
 
     #[test]
-    fn roundtrips_and_preserves_order() {
+    fn roundtrips_generation_stats_and_order() {
         let (dir, _guard) = temp_dir("roundtrip");
         sample().store(&dir).unwrap();
         let loaded = Manifest::load(&dir).unwrap().unwrap();
         assert_eq!(loaded, sample());
+        assert_eq!(loaded.generation, 12);
         assert_eq!(loaded.segments[0].id, 7, "newest first");
+        let s = loaded.segments[0].stats.as_ref().unwrap();
+        assert_eq!((s.records, s.tombstones), (900, 45));
+    }
+
+    #[test]
+    fn empty_keys_roundtrip() {
+        let (dir, _guard) = temp_dir("empty-keys");
+        let manifest = Manifest {
+            generation: 1,
+            segments: vec![ManifestEntry {
+                id: 1,
+                file_name: "seg-000001.seg".into(),
+                stats: Some(SegmentStatsRecord::default()),
+            }],
+        };
+        manifest.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap(), manifest);
+    }
+
+    #[test]
+    fn v1_manifests_still_load_as_generation_zero_without_stats() {
+        let (dir, _guard) = temp_dir("v1");
+        let mut body = String::from("pbc-tier-manifest v1\n");
+        body.push_str("segment 7 seg-000007.seg\n");
+        body.push_str("segment 3 seg-000003.seg\n");
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        fs::write(Manifest::path_in(&dir), body).unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.generation, 0);
+        assert_eq!(loaded.segments.len(), 2);
+        assert!(loaded.segments.iter().all(|s| s.stats.is_none()));
     }
 
     #[test]
@@ -210,6 +391,67 @@ mod tests {
     }
 
     #[test]
+    fn a_valid_tmp_with_a_higher_generation_is_still_rejected() {
+        // The rename is the commit point: a fully written MANIFEST.tmp from
+        // a crash just before the rename is an uncommitted generation, not
+        // the newest state — reopen must reject it, not adopt it.
+        let (dir, _guard) = temp_dir("future-tmp");
+        sample().store(&dir).unwrap();
+        let uncommitted = Manifest {
+            generation: sample().generation + 1,
+            segments: Vec::new(),
+        };
+        fs::write(dir.join(MANIFEST_TMP_NAME), uncommitted.encode()).unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, sample(), "live manifest wins");
+        assert!(!dir.join(MANIFEST_TMP_NAME).exists(), "stale tmp swept");
+    }
+
+    #[test]
+    fn store_checked_rejects_stale_generations() {
+        let (dir, _guard) = temp_dir("stale");
+        sample().store(&dir).unwrap();
+        let stale = Manifest {
+            generation: sample().generation, // not strictly greater
+            segments: Vec::new(),
+        };
+        assert!(matches!(
+            stale.store_checked(&dir),
+            Err(TierError::StaleGeneration {
+                found: 12,
+                current: 12
+            })
+        ));
+        let next = Manifest {
+            generation: sample().generation + 1,
+            segments: Vec::new(),
+        };
+        next.store_checked(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap().generation, 13);
+    }
+
+    #[test]
+    fn multibyte_utf8_in_a_key_field_is_a_typed_error_not_a_panic() {
+        // A hand-edited manifest with a recomputed CRC is CRC-valid but
+        // still corrupt; a key field holding multi-byte UTF-8 (even byte
+        // length, so it passes the length check) must not panic the
+        // decoder by slicing mid-character.
+        let (dir, _guard) = temp_dir("utf8-key");
+        let mut body = String::from("pbc-tier-manifest v2\n");
+        body.push_str("generation 1\n");
+        // "€a" is 4 bytes — even, so it passes the length check and the
+        // first 2-byte chunk would split the 3-byte '€' mid-character.
+        body.push_str("segment 1 seg-000001.seg 10 0 100 \u{20AC}a cd\n");
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        fs::write(Manifest::path_in(&dir), body).unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(TierError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
     fn corruption_is_a_typed_error() {
         let (dir, _guard) = temp_dir("corrupt");
         sample().store(&dir).unwrap();
@@ -224,7 +466,7 @@ mod tests {
             Err(TierError::ManifestCorrupt { .. })
         ));
         // Truncation too.
-        fs::write(&path, b"pbc-tier-manifest v1\n").unwrap();
+        fs::write(&path, b"pbc-tier-manifest v2\n").unwrap();
         assert!(matches!(
             Manifest::load(&dir),
             Err(TierError::ManifestCorrupt { .. })
@@ -236,9 +478,11 @@ mod tests {
         let (dir, _guard) = temp_dir("swap");
         sample().store(&dir).unwrap();
         let newer = Manifest {
+            generation: 13,
             segments: vec![ManifestEntry {
                 id: 9,
                 file_name: "seg-000009.seg".into(),
+                stats: Some(stats(2_000, 10)),
             }],
         };
         newer.store(&dir).unwrap();

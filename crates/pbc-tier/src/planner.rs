@@ -1,0 +1,413 @@
+//! The compaction planner: scores live segments and emits bounded jobs.
+//!
+//! The store's original `compact()` was a stop-the-world k-way merge of
+//! *every* segment — O(total cold data) per call. LSM practice (and the
+//! LeCo-style retraining argument from PAPERS.md: retrain lightweight
+//! codecs on stable, merged runs) says compaction should be leveled and
+//! incremental instead: pick a few adjacent segments whose merge buys the
+//! most — overlapping key ranges (shadowed duplicates to fold), high
+//! tombstone ratios (dead entries to drop), small files (cheap to rewrite,
+//! big relief on segment count) — and leave the rest untouched.
+//!
+//! Candidate jobs are **recency-contiguous runs** of the newest-first
+//! segment list. That restriction is load-bearing for correctness, not a
+//! heuristic: merging a non-contiguous subset `{newest, oldest}` would
+//! surface the oldest segment's version of a key above a middle segment's
+//! newer one once the output takes the newest slot. A contiguous run
+//! merges to one segment that takes the run's position, preserving
+//! shadowing order on both sides.
+//!
+//! Tombstones may only be dropped when the run includes the **oldest**
+//! live segment — otherwise a tombstone still shadows an older version in
+//! a segment outside the run, and dropping it would resurrect that value.
+
+use std::fmt;
+
+/// Statistics for one live segment, newest-first by position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segment id (monotonic; larger = newer).
+    pub id: u64,
+    /// Records in the segment: live entries plus tombstones.
+    pub records: u64,
+    /// Tombstone records among them.
+    pub tombstones: u64,
+    /// Segment file size in bytes.
+    pub bytes: u64,
+    /// Smallest record key.
+    pub min_key: Vec<u8>,
+    /// Largest record key.
+    pub max_key: Vec<u8>,
+}
+
+impl SegmentStats {
+    /// Tombstones as a fraction of records (0 for an empty segment).
+    pub fn dead_ratio(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.tombstones as f64 / self.records as f64
+        }
+    }
+
+    /// Whether two segments' key ranges intersect (empty segments never
+    /// overlap anything).
+    pub fn overlaps(&self, other: &SegmentStats) -> bool {
+        if self.records == 0 || other.records == 0 {
+            return false;
+        }
+        self.min_key <= other.max_key && other.min_key <= self.max_key
+    }
+}
+
+/// Trigger thresholds and job bounds for the [`CompactionPlanner`].
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Plan a job once the live segment count exceeds this.
+    pub max_segments: usize,
+    /// Plan a job once cold tombstones exceed this fraction of cold
+    /// records.
+    pub max_dead_ratio: f64,
+    /// Hard cap on segments merged per job (the "incremental" bound: one
+    /// job rewrites at most this many segments, never the whole store).
+    pub max_job_segments: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_segments: 8,
+            max_dead_ratio: 0.25,
+            max_job_segments: 4,
+        }
+    }
+}
+
+/// One bounded unit of compaction work: merge a recency-contiguous run of
+/// segments into a single output, leaving every other segment untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionJob {
+    /// Ids of the segments to merge, newest first, contiguous in the
+    /// planner's input order.
+    pub inputs: Vec<u64>,
+    /// Whether the run includes the oldest live segment, so tombstones
+    /// have nothing older left to shadow and may be dropped.
+    pub drop_tombstones: bool,
+    /// The planner's score (higher = more urgent); informational.
+    pub score: f64,
+}
+
+impl fmt::Display for CompactionJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "merge {} segment(s) {:?}{}",
+            self.inputs.len(),
+            self.inputs,
+            if self.drop_tombstones {
+                ", dropping tombstones"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Scores contiguous runs of the live segment list and emits the best
+/// bounded [`CompactionJob`]; see the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct CompactionPlanner {
+    config: PlannerConfig,
+}
+
+impl CompactionPlanner {
+    /// A planner with the given thresholds.
+    pub fn new(config: PlannerConfig) -> Self {
+        CompactionPlanner { config }
+    }
+
+    /// The thresholds this planner runs under.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Tombstones across `segments` as a fraction of all records.
+    pub fn total_dead_ratio(segments: &[SegmentStats]) -> f64 {
+        let records: u64 = segments.iter().map(|s| s.records).sum();
+        let tombstones: u64 = segments.iter().map(|s| s.tombstones).sum();
+        if records == 0 {
+            0.0
+        } else {
+            tombstones as f64 / records as f64
+        }
+    }
+
+    /// Whether the current segment set crosses a trigger threshold.
+    pub fn should_compact(&self, segments: &[SegmentStats]) -> bool {
+        if segments.len() > self.config.max_segments {
+            return true;
+        }
+        !segments.is_empty() && Self::total_dead_ratio(segments) > self.config.max_dead_ratio
+    }
+
+    /// Score one candidate run. Benefit grows with the run's dead ratio
+    /// (weighted up when tombstones can actually be dropped), its key-range
+    /// overlap (shadowed duplicates to fold away), and its length (segment
+    /// count relief); benefit is divided by the bytes the job must rewrite,
+    /// so small runs win over equally-dead large ones.
+    fn score(&self, run: &[SegmentStats], includes_oldest: bool) -> f64 {
+        let records: u64 = run.iter().map(|s| s.records).sum();
+        let tombstones: u64 = run.iter().map(|s| s.tombstones).sum();
+        let dead = if records == 0 {
+            0.0
+        } else {
+            tombstones as f64 / records as f64
+        };
+        let dead_weight = if includes_oldest { 2.0 } else { 1.0 };
+        let overlap = if run.len() < 2 {
+            0.0
+        } else {
+            let overlapping = run
+                .windows(2)
+                .filter(|pair| pair[0].overlaps(&pair[1]))
+                .count();
+            overlapping as f64 / (run.len() - 1) as f64
+        };
+        let count_relief = run.len().saturating_sub(1) as f64 * 0.25;
+        let bytes: u64 = run.iter().map(|s| s.bytes).sum();
+        let cost = 1.0 + bytes as f64 / (16.0 * 1024.0 * 1024.0);
+        (dead_weight * dead + overlap + count_relief) / cost
+    }
+
+    /// Pick the best bounded job for `segments` (newest first), or `None`
+    /// when no threshold is crossed or nothing is worth merging.
+    ///
+    /// Every candidate is a contiguous run of 2..=`max_job_segments`
+    /// segments; a run of 1 is considered only for the oldest segment,
+    /// where rewriting it alone still drops its tombstones. Ties prefer
+    /// older runs, so tombstones drain toward — and out of — the tail.
+    /// A `max_job_segments` below 2 is honored as the hard cap it is
+    /// documented to be: only oldest-segment rewrites remain possible, so
+    /// such a planner can drop tombstones but never reduce the segment
+    /// count.
+    pub fn plan(&self, segments: &[SegmentStats]) -> Option<CompactionJob> {
+        if !self.should_compact(segments) {
+            return None;
+        }
+        let max_len = self.config.max_job_segments.min(segments.len());
+        let mut best: Option<(f64, usize, usize)> = None; // (score, start, len)
+        for len in 2..=max_len {
+            for start in 0..=(segments.len() - len) {
+                let run = &segments[start..start + len];
+                let includes_oldest = start + len == segments.len();
+                let score = self.score(run, includes_oldest);
+                // `>=` prefers later (older) starts; longer runs win ties
+                // at the same start because the outer loop grows `len`.
+                if best.is_none_or(|(s, _, _)| score >= s) {
+                    best = Some((score, start, len));
+                }
+            }
+        }
+        // A lone, mostly-dead oldest segment: rewriting just it drops its
+        // tombstones without touching anything else.
+        if let Some(oldest) = segments.last() {
+            if oldest.dead_ratio() > self.config.max_dead_ratio {
+                let run = std::slice::from_ref(oldest);
+                let score = self.score(run, true);
+                if best.is_none_or(|(s, _, _)| score > s) {
+                    best = Some((score, segments.len() - 1, 1));
+                }
+            }
+        }
+        let (score, start, len) = best?;
+        Some(CompactionJob {
+            inputs: segments[start..start + len].iter().map(|s| s.id).collect(),
+            drop_tombstones: start + len == segments.len(),
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Newest-first stats; ids descend with position like the store's list.
+    fn seg(id: u64, records: u64, tombstones: u64, bytes: u64, range: (u8, u8)) -> SegmentStats {
+        SegmentStats {
+            id,
+            records,
+            tombstones,
+            bytes,
+            min_key: vec![b'k', range.0],
+            max_key: vec![b'k', range.1],
+        }
+    }
+
+    #[test]
+    fn no_trigger_no_job() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 4,
+            max_dead_ratio: 0.25,
+            max_job_segments: 3,
+        });
+        let segments = vec![
+            seg(3, 100, 0, 1_000, (0, 50)),
+            seg(2, 100, 5, 1_000, (51, 99)),
+        ];
+        assert!(!planner.should_compact(&segments));
+        assert_eq!(planner.plan(&segments), None);
+    }
+
+    #[test]
+    fn segment_count_trigger_plans_a_bounded_job() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 3,
+            max_dead_ratio: 0.25,
+            max_job_segments: 2,
+        });
+        let segments: Vec<SegmentStats> = (0..6)
+            .map(|i| seg(10 - i as u64, 100, 0, 1_000, (0, 99)))
+            .collect();
+        assert!(planner.should_compact(&segments));
+        let job = planner.plan(&segments).unwrap();
+        assert_eq!(job.inputs.len(), 2, "bounded by max_job_segments");
+        // Ids must be a contiguous run of the input order.
+        let ids: Vec<u64> = segments.iter().map(|s| s.id).collect();
+        let pos = ids.iter().position(|&id| id == job.inputs[0]).unwrap();
+        assert_eq!(&ids[pos..pos + job.inputs.len()], job.inputs.as_slice());
+    }
+
+    #[test]
+    fn dead_ratio_trigger_prefers_the_tombstone_heavy_run() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 100, // never trigger on count
+            max_dead_ratio: 0.2,
+            max_job_segments: 2,
+        });
+        let segments = vec![
+            seg(9, 100, 0, 1_000, (0, 20)),
+            seg(8, 100, 0, 1_000, (21, 40)),
+            seg(7, 100, 80, 1_000, (41, 60)),
+            seg(6, 100, 70, 1_000, (61, 80)),
+        ];
+        let job = planner.plan(&segments).unwrap();
+        assert_eq!(job.inputs, vec![7, 6], "the dead run wins");
+        assert!(job.drop_tombstones, "run reaches the oldest segment");
+    }
+
+    #[test]
+    fn overlap_beats_disjoint_at_equal_deadness() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 2,
+            max_dead_ratio: 0.9,
+            max_job_segments: 2,
+        });
+        // Only segments 9 and 8 overlap; every pair is equally dead. The
+        // newest pair (9,8) must beat the older disjoint pairs despite the
+        // older-run tie preference, because overlap adds score.
+        let segments = vec![
+            seg(9, 100, 0, 1_000, (0, 50)),
+            seg(8, 100, 0, 1_000, (30, 60)),
+            seg(7, 100, 0, 1_000, (70, 80)),
+            seg(6, 100, 0, 1_000, (90, 99)),
+        ];
+        let job = planner.plan(&segments).unwrap();
+        assert_eq!(job.inputs, vec![9, 8], "overlapping run scores higher");
+        assert!(!job.drop_tombstones, "older segments remain below the run");
+    }
+
+    #[test]
+    fn tombstones_only_dropped_when_the_run_includes_the_oldest() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 1,
+            max_dead_ratio: 0.5,
+            max_job_segments: 2,
+        });
+        let segments = vec![
+            seg(5, 100, 40, 1_000, (0, 99)),
+            seg(4, 100, 40, 1_000, (0, 99)),
+            seg(3, 100, 0, 1_000, (0, 99)),
+        ];
+        let job = planner.plan(&segments).unwrap();
+        if job.inputs.contains(&3) {
+            assert!(job.drop_tombstones);
+        } else {
+            assert!(!job.drop_tombstones, "segment 3 still lies below");
+        }
+    }
+
+    #[test]
+    fn a_lone_dead_oldest_segment_gets_a_rewrite_job() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 100,
+            max_dead_ratio: 0.25,
+            max_job_segments: 4,
+        });
+        let segments = vec![seg(2, 100, 90, 500, (0, 99))];
+        let job = planner.plan(&segments).unwrap();
+        assert_eq!(job.inputs, vec![2]);
+        assert!(job.drop_tombstones);
+    }
+
+    #[test]
+    fn smaller_runs_win_at_equal_benefit() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 1,
+            max_dead_ratio: 0.9,
+            max_job_segments: 2,
+        });
+        // Identical overlap/deadness, but the old pair is 100x smaller.
+        let segments = vec![
+            seg(9, 1_000, 0, 8 << 20, (0, 10)),
+            seg(8, 1_000, 0, 8 << 20, (0, 10)),
+            seg(7, 10, 0, 60 << 10, (50, 60)),
+            seg(6, 10, 0, 60 << 10, (50, 60)),
+        ];
+        let job = planner.plan(&segments).unwrap();
+        assert_eq!(job.inputs, vec![7, 6], "cheaper rewrite wins");
+    }
+
+    #[test]
+    fn a_job_cap_below_two_is_still_a_hard_cap() {
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 1,
+            max_dead_ratio: 0.25,
+            max_job_segments: 1,
+        });
+        // Count trigger crossed, but no multi-segment run fits the cap and
+        // the oldest segment has no dead entries: nothing to do.
+        let clean = vec![
+            seg(5, 100, 0, 1_000, (0, 40)),
+            seg(4, 100, 0, 1_000, (41, 99)),
+        ];
+        assert_eq!(planner.plan(&clean), None, "cap of 1 never merges runs");
+        // A dead oldest segment still gets its single-segment rewrite.
+        let dead_tail = vec![
+            seg(5, 100, 0, 1_000, (0, 40)),
+            seg(4, 100, 60, 1_000, (41, 99)),
+        ];
+        let job = planner.plan(&dead_tail).unwrap();
+        assert_eq!(job.inputs, vec![4]);
+        assert!(job.drop_tombstones);
+    }
+
+    #[test]
+    fn empty_input_plans_nothing() {
+        let planner = CompactionPlanner::default();
+        assert!(!planner.should_compact(&[]));
+        assert_eq!(planner.plan(&[]), None);
+    }
+
+    #[test]
+    fn overlap_predicate_handles_empty_segments() {
+        let a = seg(1, 10, 0, 100, (0, 50));
+        let b = seg(2, 10, 0, 100, (40, 90));
+        let c = seg(3, 10, 0, 100, (60, 90));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        let empty = SegmentStats::default();
+        assert!(!a.overlaps(&empty));
+        assert!(!empty.overlaps(&a));
+    }
+}

@@ -7,12 +7,28 @@
 //! spill staging → block cache → cold segments newest-first, so overwrites
 //! and deletes always win over older spilled state.
 //!
+//! ## Ownership of cold data
+//!
+//! The live segment set is published as an immutable snapshot
+//! (`Arc<Vec<Arc<ColdSegment>>>`): readers clone the `Arc` and walk it
+//! without holding any lock, so a compaction job can retire segments
+//! mid-read — the retired readers (and, on unix, their unlinked files)
+//! stay alive until the last in-flight read drops its snapshot. Spills and
+//! compaction jobs run concurrently (separate locks); every change to the
+//! segment set commits through one generation-stamped manifest swap under
+//! a dedicated commit lock, with the set's write lock held only for the
+//! final pointer swap — so readers never wait out a manifest fsync.
+//!
 //! ## Crash safety
 //!
 //! The durable state is the manifest plus the segments it names. Spills
 //! write and fsync the new segment *before* the manifest swap, and the swap
 //! is write-temp + rename; a crash mid-spill leaves the previous manifest
-//! intact and at worst an orphaned half-segment, swept on reopen. Hot
+//! intact and at worst an orphaned half-segment, swept on reopen. A
+//! compaction job commits "retire the run, add the output" as a single
+//! generation bump: a crash before the rename replays as the old
+//! generation plus an orphaned output, a crash after it as the new
+//! generation plus orphaned inputs — reopen sweeps either. Hot
 //! (in-memory) data is acknowledged as volatile until spilled — the same
 //! contract as any memory-tier cache; [`TieredStore::flush_all`] spills
 //! everything for a clean shutdown.
@@ -29,7 +45,9 @@ use crate::cache::BlockCache;
 use crate::compact::merge_segments;
 use crate::config::TierConfig;
 use crate::error::{Result, TierError};
-use crate::manifest::{Manifest, ManifestEntry};
+use crate::maintenance::{maintenance_loop, MaintSignal};
+use crate::manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
+use crate::planner::{CompactionJob, CompactionPlanner, SegmentStats};
 
 /// Marker prefix for a live cold value.
 const MARKER_LIVE: u8 = 0;
@@ -70,12 +88,52 @@ fn segment_file_name(id: u64) -> String {
     format!("seg-{id:06}.seg")
 }
 
-/// One cold segment: its id, reader, and on-disk name.
+/// One cold segment: its id, reader, on-disk name, and the stats the
+/// compaction planner scores it by. Immutable once published; shared
+/// between the live list and any in-flight read snapshots via `Arc`.
 struct ColdSegment {
     id: u64,
     file_name: String,
     reader: SegmentReader,
+    /// Records in the segment (live + tombstones).
+    records: u64,
+    /// Tombstones among them.
+    tombstones: u64,
+    /// Segment file size in bytes.
+    bytes: u64,
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
 }
+
+impl ColdSegment {
+    fn stats(&self) -> SegmentStats {
+        SegmentStats {
+            id: self.id,
+            records: self.records,
+            tombstones: self.tombstones,
+            bytes: self.bytes,
+            min_key: self.min_key.clone(),
+            max_key: self.max_key.clone(),
+        }
+    }
+
+    fn manifest_entry(&self) -> ManifestEntry {
+        ManifestEntry {
+            id: self.id,
+            file_name: self.file_name.clone(),
+            stats: Some(SegmentStatsRecord {
+                records: self.records,
+                tombstones: self.tombstones,
+                bytes: self.bytes,
+                min_key: self.min_key.clone(),
+                max_key: self.max_key.clone(),
+            }),
+        }
+    }
+}
+
+/// An immutable snapshot of the live segment list, newest first.
+type ColdList = Arc<Vec<Arc<ColdSegment>>>;
 
 /// Read-side counters; see [`TieredStore::stats`].
 #[derive(Default)]
@@ -90,6 +148,8 @@ struct StatCounters {
     spills: AtomicU64,
     spilled_entries: AtomicU64,
     compactions: AtomicU64,
+    segments_retired: AtomicU64,
+    background_errors: AtomicU64,
 }
 
 /// What one cold lookup did at the block level.
@@ -101,7 +161,7 @@ struct BlockProbes {
     missed: bool,
 }
 
-/// A snapshot of the store's counters.
+/// A snapshot of the store's counters and cold-tier gauges.
 ///
 /// The cache-accounting invariant: every cold lookup that consulted at
 /// least one block is classified as exactly one of `cold_cache_hits`
@@ -131,11 +191,39 @@ pub struct TierStats {
     pub spills: u64,
     /// Records (entries + tombstones) written by spills.
     pub spilled_entries: u64,
-    /// Compactions completed.
+    /// Compaction jobs completed (bounded background/planned jobs and
+    /// full [`TieredStore::compact`] calls alike).
     pub compactions: u64,
+    /// Segments retired by compaction over the store's lifetime.
+    pub segments_retired: u64,
+    /// Background maintenance passes that surfaced an error (the thread
+    /// keeps running; the next tick retries).
+    pub background_errors: u64,
+    /// Gauge: records currently stored across cold segments (live +
+    /// tombstones), from the per-segment stats recorded at spill time.
+    pub cold_records: u64,
+    /// Gauge: tombstones currently stored across cold segments.
+    pub cold_tombstones: u64,
+    /// Gauge: the manifest generation the current segment set was
+    /// committed under.
+    pub generation: u64,
 }
 
-/// What [`TieredStore::compact`] reports.
+impl TierStats {
+    /// Cold tombstones as a fraction of cold records — the observable
+    /// dead-entry ratio the compaction planner triggers on (shadowed
+    /// duplicates across segments come on top of this lower bound).
+    pub fn cold_dead_ratio(&self) -> f64 {
+        if self.cold_records == 0 {
+            0.0
+        } else {
+            self.cold_tombstones as f64 / self.cold_records as f64
+        }
+    }
+}
+
+/// What a compaction (full [`TieredStore::compact`] or one planned job)
+/// reports.
 #[derive(Debug, Clone)]
 pub struct CompactionSummary {
     /// Segments merged away.
@@ -144,30 +232,66 @@ pub struct CompactionSummary {
     pub live_entries: u64,
     /// Entries dropped because a newer segment shadowed them.
     pub shadowed_dropped: u64,
-    /// Tombstones dropped.
+    /// Tombstones dropped (only when the merged run included the oldest
+    /// segment, so nothing older remained for them to shadow).
     pub tombstones_dropped: u64,
+    /// Tombstones carried into the output (partial jobs with older
+    /// segments still beneath the run).
+    pub tombstones_kept: u64,
 }
 
-/// A tiered hot/cold key-value store. See the [module docs](self).
-pub struct TieredStore {
+impl CompactionSummary {
+    fn empty() -> Self {
+        CompactionSummary {
+            merged_segments: 0,
+            live_entries: 0,
+            shadowed_dropped: 0,
+            tombstones_dropped: 0,
+            tombstones_kept: 0,
+        }
+    }
+}
+
+/// The shared state behind a [`TieredStore`]: everything except the
+/// maintenance thread handle, so the thread and the handle-owning store
+/// can both hold it through an `Arc`.
+pub(crate) struct TierInner {
     config: TierConfig,
     hot: TierStore,
     cache: BlockCache,
-    /// Cold segments, newest first.
-    cold: RwLock<Vec<ColdSegment>>,
+    /// The live segment set, newest first, published as an immutable
+    /// snapshot (see the [module docs](self)).
+    cold: RwLock<ColdList>,
     /// Entries mid-spill: drained from hot, not yet durable in a manifest
     /// segment. `None` marks a tombstone. Reads consult this between the
     /// hot tier and the segments, so a spill in progress is never a window
     /// where acknowledged data is unreadable. Sorted so the spill writer
     /// can stream it straight into a segment without a second copy.
     staging: RwLock<BTreeMap<Vec<u8>, Option<Vec<u8>>>>,
-    /// Serializes spills, flushes, and compactions.
-    maintenance: Mutex<()>,
+    /// Serializes spills and flushes (staging is a single shared area).
+    /// Deliberately *not* shared with `compact_lock`: a running compaction
+    /// job must never stall a watermark spill.
+    spill_lock: Mutex<()>,
+    /// Serializes compaction jobs (background and explicit).
+    compact_lock: Mutex<()>,
+    /// Serializes segment-set commits (spill and job alike): successor
+    /// list construction, the manifest swap (fsync + rename — the slow
+    /// part), and the generation bump all happen under this lock, so the
+    /// `cold` write lock is only ever held for the final pointer swap and
+    /// readers never wait out a manifest fsync. Lock order:
+    /// `commit_lock` before `cold`; nothing takes `commit_lock` while
+    /// holding `cold`.
+    commit_lock: Mutex<()>,
     /// The shared trained codec spills reuse (when
     /// [`TierConfig::reuse_spill_codec`] is on): selected on the first
-    /// spill, refreshed by compaction's retraining pass.
+    /// spill, refreshed by every compaction job's retraining pass.
     spill_codec: Mutex<Option<BlockCodec>>,
     next_segment_id: AtomicU64,
+    /// Generation of the currently committed manifest; every segment-set
+    /// commit writes `generation + 1`.
+    generation: AtomicU64,
+    planner: CompactionPlanner,
+    maint: MaintSignal,
     stats: StatCounters,
     /// Advisory exclusive lock on the store directory, held for the
     /// store's lifetime (released by the OS on drop or process death).
@@ -177,22 +301,46 @@ pub struct TieredStore {
     _dir_lock: std::fs::File,
 }
 
+/// A tiered hot/cold key-value store. See the [module docs](self).
+///
+/// Cloning is deliberately not offered; share a store across threads with
+/// `Arc<TieredStore>`. Dropping the store shuts down and joins the
+/// background maintenance thread (if one was configured).
+pub struct TieredStore {
+    inner: Arc<TierInner>,
+    maintenance: Option<std::thread::JoinHandle<()>>,
+}
+
 impl std::fmt::Debug for TieredStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TieredStore")
-            .field("dir", &self.config.dir)
-            .field("hot_len", &self.hot.len())
+            .field("dir", &self.inner.config.dir)
+            .field("hot_len", &self.inner.hot.len())
             .field("memory_usage_bytes", &self.memory_usage_bytes())
-            .field("watermark", &self.config.memory_watermark_bytes)
+            .field("watermark", &self.inner.config.memory_watermark_bytes)
             .field("segments", &self.segment_count())
+            .field("generation", &self.generation())
+            .field("background", &self.maintenance.is_some())
             .finish()
+    }
+}
+
+impl Drop for TieredStore {
+    fn drop(&mut self) {
+        if let Some(handle) = self.maintenance.take() {
+            self.inner.maint.request_shutdown();
+            let _ = handle.join();
+        }
     }
 }
 
 impl TieredStore {
     /// Open (or create) a tiered store in `config.dir`. Reloads the
     /// manifest if one exists, reopening every live segment and sweeping
-    /// crash debris (a stale `MANIFEST.tmp`, orphaned segment files).
+    /// crash debris (a stale `MANIFEST.tmp`, orphaned segment files from
+    /// interrupted spills or half-committed compaction jobs). Spawns the
+    /// background maintenance thread when
+    /// [`TierConfig::background_compaction`] is set.
     pub fn open(config: TierConfig) -> Result<TieredStore> {
         std::fs::create_dir_all(&config.dir)?;
         // Exclusive advisory lock before reading anything: a second opener
@@ -212,18 +360,38 @@ impl TieredStore {
         let mut cold = Vec::with_capacity(manifest.segments.len());
         let mut max_id = 0u64;
         for entry in &manifest.segments {
-            let reader = SegmentReader::open(config.dir.join(&entry.file_name))?;
+            let path = config.dir.join(&entry.file_name);
+            let reader = SegmentReader::open(&path)?;
             max_id = max_id.max(entry.id);
-            cold.push(ColdSegment {
+            // v2 manifests carry the stats; a v1 manifest (or a v2 line
+            // whose stats got lost) is backfilled from the segment footer.
+            // v1 *segments* predate flagged counts, so their tombstone
+            // count reads as 0 — the planner undercounts dead entries for
+            // them until a compaction rewrites the segment.
+            let stats = entry.stats.clone().unwrap_or_else(|| SegmentStatsRecord {
+                records: reader.record_count(),
+                tombstones: reader.flagged_count(),
+                bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                min_key: reader.min_key().unwrap_or_default().to_vec(),
+                max_key: reader.max_key().unwrap_or_default().to_vec(),
+            });
+            cold.push(Arc::new(ColdSegment {
                 id: entry.id,
                 file_name: entry.file_name.clone(),
                 reader,
-            });
+                records: stats.records,
+                tombstones: stats.tombstones,
+                bytes: stats.bytes,
+                min_key: stats.min_key,
+                max_key: stats.max_key,
+            }));
         }
         // Orphaned segments: files from a spill or compaction that died
-        // before (or after) its manifest swap. Unreferenced, so unreachable
-        // — sweep them. Their ids still advance the counter so a new
-        // segment never reuses a swept name.
+        // before (or after) its manifest swap — the output of an
+        // uncommitted job, or the retired inputs of a committed one.
+        // Unreferenced by the loaded generation, so unreachable — sweep
+        // them. Their ids still advance the counter so a new segment never
+        // reuses a swept name.
         for dir_entry in std::fs::read_dir(&config.dir)? {
             let dir_entry = dir_entry?;
             let name = dir_entry.file_name().to_string_lossy().into_owned();
@@ -240,49 +408,92 @@ impl TieredStore {
         }
         let hot = TierStore::new(config.hot_codec.clone());
         let cache = BlockCache::new(config.cache_capacity_bytes);
-        Ok(TieredStore {
+        let planner = CompactionPlanner::new(config.planner.clone());
+        let background = config.background_compaction;
+        let inner = Arc::new(TierInner {
             hot,
             cache,
-            cold: RwLock::new(cold),
+            cold: RwLock::new(Arc::new(cold)),
             staging: RwLock::new(BTreeMap::new()),
-            maintenance: Mutex::new(()),
+            spill_lock: Mutex::new(()),
+            compact_lock: Mutex::new(()),
+            commit_lock: Mutex::new(()),
             spill_codec: Mutex::new(None),
             next_segment_id: AtomicU64::new(max_id + 1),
+            generation: AtomicU64::new(manifest.generation),
+            planner,
+            maint: MaintSignal::new(),
             stats: StatCounters::default(),
             _dir_lock: dir_lock,
             config,
-        })
+        });
+        let maintenance = if background {
+            let thread_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("pbc-tier-maintenance".into())
+                    .spawn(move || maintenance_loop(thread_inner))
+                    .map_err(TierError::Io)?,
+            )
+        } else {
+            None
+        };
+        Ok(TieredStore { inner, maintenance })
     }
 
     /// The configuration this store was opened with.
     pub fn config(&self) -> &TierConfig {
-        &self.config
+        &self.inner.config
     }
 
     /// The read-through block cache (counters, capacity).
     pub fn cache(&self) -> &BlockCache {
-        &self.cache
+        &self.inner.cache
     }
 
     /// Hot-tier bytes the watermark governs: stored keys + values +
     /// tombstones.
     pub fn memory_usage_bytes(&self) -> u64 {
-        self.hot.memory_usage_bytes() + self.hot.tombstone_bytes()
+        self.inner.memory_usage_bytes()
     }
 
     /// Keys resident in the hot tier.
     pub fn hot_len(&self) -> usize {
-        self.hot.len()
+        self.inner.hot.len()
     }
 
     /// Live cold segments.
     pub fn segment_count(&self) -> usize {
-        self.cold.read().len()
+        self.inner.cold.read().len()
     }
 
-    /// A snapshot of the store's counters.
+    /// The manifest generation the current segment set was committed
+    /// under.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Relaxed)
+    }
+
+    /// Per-segment statistics, newest first — what the compaction planner
+    /// scores.
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.inner.segment_stats()
+    }
+
+    /// A snapshot of the store's counters and cold-tier gauges.
     pub fn stats(&self) -> TierStats {
-        let s = &self.stats;
+        let inner = &self.inner;
+        let s = &inner.stats;
+        // Generation is read under the same lock as the gauges: commits
+        // store it together with the list swap, so the pair is always
+        // consistent.
+        let (cold_records, cold_tombstones, generation) = {
+            let cold = inner.cold.read();
+            (
+                cold.iter().map(|seg| seg.records).sum(),
+                cold.iter().map(|seg| seg.tombstones).sum(),
+                inner.generation.load(Ordering::Relaxed),
+            )
+        };
         TierStats {
             hot_hits: s.hot_hits.load(Ordering::Relaxed),
             tombstone_negatives: s.tombstone_negatives.load(Ordering::Relaxed),
@@ -294,12 +505,99 @@ impl TieredStore {
             spills: s.spills.load(Ordering::Relaxed),
             spilled_entries: s.spilled_entries.load(Ordering::Relaxed),
             compactions: s.compactions.load(Ordering::Relaxed),
+            segments_retired: s.segments_retired.load(Ordering::Relaxed),
+            background_errors: s.background_errors.load(Ordering::Relaxed),
+            cold_records,
+            cold_tombstones,
+            generation,
         }
     }
 
     /// Store a value. Returns the hot-tier stored (encoded) size. May spill
     /// cold shards if the write pushes memory over the watermark.
     pub fn set(&self, key: &[u8], value: &[u8]) -> Result<usize> {
+        self.inner.set(key, value)
+    }
+
+    /// Fetch a value, reading through hot memory, the spill staging area,
+    /// the block cache, and finally cold segments (newest first).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    /// Delete a key everywhere. Returns whether it existed (hot, staged, or
+    /// cold and not already deleted).
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.inner.delete(key)
+    }
+
+    /// Spill the `n` coldest non-empty shards right now, watermark or not.
+    /// A no-op when the hot tier is empty.
+    pub fn spill_coldest(&self, n: usize) -> Result<()> {
+        self.inner.spill_coldest(n)
+    }
+
+    /// Spill every hot entry and tombstone, making the whole store durable
+    /// (clean-shutdown flush).
+    pub fn flush_all(&self) -> Result<()> {
+        self.inner.flush_all()
+    }
+
+    /// Run planner-selected compaction jobs until no trigger threshold is
+    /// crossed (or a job goes stale). Returns the number of jobs run. This
+    /// is the synchronous twin of the background maintenance thread —
+    /// useful with background compaction off, and for deterministic tests.
+    pub fn run_pending_compactions(&self) -> Result<usize> {
+        self.inner.run_pending_compactions()
+    }
+
+    /// Stop the background thread from *starting* new compaction jobs (an
+    /// in-flight job still finishes). Pairs with
+    /// [`TieredStore::resume_compaction`]; calls nest.
+    pub fn pause_compaction(&self) {
+        self.inner.maint.pause();
+    }
+
+    /// Undo one [`TieredStore::pause_compaction`], waking the maintenance
+    /// thread if this was the outermost pause.
+    pub fn resume_compaction(&self) {
+        self.inner.maint.resume();
+    }
+
+    /// Merge **every** cold segment into one, dropping shadowed versions
+    /// and tombstones and retraining the block codec on the merged corpus.
+    /// The stop-the-world ancestor of the planner's bounded jobs; still
+    /// the right call for offline reorganizations (benchmarks, clean
+    /// shutdown into a single segment).
+    pub fn compact(&self) -> Result<CompactionSummary> {
+        self.inner.compact()
+    }
+}
+
+impl TierInner {
+    pub(crate) fn config(&self) -> &TierConfig {
+        &self.config
+    }
+
+    pub(crate) fn maint_signal(&self) -> &MaintSignal {
+        &self.maint
+    }
+
+    fn memory_usage_bytes(&self) -> u64 {
+        self.hot.memory_usage_bytes() + self.hot.tombstone_bytes()
+    }
+
+    /// Snapshot the live segment list (one `Arc` clone; no lock held
+    /// afterwards).
+    fn cold_snapshot(&self) -> ColdList {
+        Arc::clone(&self.cold.read())
+    }
+
+    fn segment_stats(&self) -> Vec<SegmentStats> {
+        self.cold_snapshot().iter().map(|s| s.stats()).collect()
+    }
+
+    fn set(&self, key: &[u8], value: &[u8]) -> Result<usize> {
         // Insert and tombstone-clear must be one atomic step: done as two,
         // a concurrent delete's tombstone can land in between and be
         // wrongly erased, leaving an older cold value resurrected.
@@ -308,9 +606,7 @@ impl TieredStore {
         Ok(stored)
     }
 
-    /// Fetch a value, reading through hot memory, the spill staging area,
-    /// the block cache, and finally cold segments (newest first).
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         if let Some(value) = self.hot.get(key)? {
             self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(value));
@@ -342,9 +638,7 @@ impl TieredStore {
         self.cold_get(key)
     }
 
-    /// Delete a key everywhere. Returns whether it existed (hot, staged, or
-    /// cold and not already deleted).
-    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+    fn delete(&self, key: &[u8]) -> Result<bool> {
         let mut existed_hot = self.hot.delete(key);
         let existed_below = if self.hot.has_tombstone(key) {
             false // already deleted below the hot map
@@ -376,9 +670,13 @@ impl TieredStore {
         Ok(existed_hot || existed_below)
     }
 
-    /// Cold lookup through the block cache, newest segment first.
+    /// Cold lookup through the block cache, newest segment first, over a
+    /// lock-free snapshot of the segment set (concurrent compaction may
+    /// retire segments out from under us; our snapshot keeps their readers
+    /// alive and answers identically, since a merged output is
+    /// observationally equal to its inputs).
     fn cold_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let cold = self.cold.read();
+        let cold = self.cold_snapshot();
         if cold.is_empty() {
             return Ok(None);
         }
@@ -402,7 +700,7 @@ impl TieredStore {
 
     fn cold_lookup(
         &self,
-        cold: &[ColdSegment],
+        cold: &[Arc<ColdSegment>],
         key: &[u8],
         probes: &mut BlockProbes,
     ) -> Result<Option<Vec<u8>>> {
@@ -444,7 +742,7 @@ impl TieredStore {
         if self.memory_usage_bytes() <= self.config.memory_watermark_bytes {
             return Ok(());
         }
-        let _guard = self.maintenance.lock();
+        let _guard = self.spill_lock.lock();
         // Re-check: another thread may have spilled while we waited.
         while self.memory_usage_bytes() > self.config.memory_watermark_bytes {
             let victims = self.pick_victims(self.config.spill_target_bytes());
@@ -456,10 +754,8 @@ impl TieredStore {
         Ok(())
     }
 
-    /// Spill the `n` coldest non-empty shards right now, watermark or not.
-    /// A no-op when the hot tier is empty.
-    pub fn spill_coldest(&self, n: usize) -> Result<()> {
-        let _guard = self.maintenance.lock();
+    fn spill_coldest(&self, n: usize) -> Result<()> {
+        let _guard = self.spill_lock.lock();
         let mut victims = self.shards_coldest_first();
         victims.truncate(n);
         if victims.is_empty() {
@@ -468,10 +764,8 @@ impl TieredStore {
         self.spill_shards(&victims)
     }
 
-    /// Spill every hot entry and tombstone, making the whole store durable
-    /// (clean-shutdown flush).
-    pub fn flush_all(&self) -> Result<()> {
-        let _guard = self.maintenance.lock();
+    fn flush_all(&self) -> Result<()> {
+        let _guard = self.spill_lock.lock();
         let victims = self.shards_coldest_first();
         if victims.is_empty() {
             return Ok(());
@@ -511,9 +805,9 @@ impl TieredStore {
     ///
     /// Ordering is what makes this crash-safe: (1) drained entries become
     /// readable via staging before the shard locks release, (2) the segment
-    /// is written and fsynced, (3) the manifest swaps atomically, (4) the
-    /// reader is published, (5) staging clears. A failure after (1) puts
-    /// the drained data back into the hot tier.
+    /// is written and fsynced, (3) the manifest swaps atomically under the
+    /// next generation, (4) the reader is published, (5) staging clears. A
+    /// failure after (1) puts the drained data back into the hot tier.
     fn spill_shards(&self, victims: &[usize]) -> Result<()> {
         // (1) Drain *into* staging under its write lock: a concurrent
         // reader that missed the hot tier blocks on staging until the
@@ -524,9 +818,15 @@ impl TieredStore {
             let mut staging = self.staging.write();
             debug_assert!(staging.is_empty(), "spills are serialized");
             let mut failure = None;
+            // Tombstones are counted as the drains hand them over (this
+            // is the spill's per-segment metadata); shards partition the
+            // keyspace and a key is never both stored and tombstoned, so
+            // the sum matches what staging ends up holding.
+            let mut tombstones = 0u64;
             for &idx in victims {
                 match self.hot.take_shard(idx) {
                     Ok(drain) => {
+                        tombstones += drain.tombstone_count() as u64;
                         for key in drain.tombstones {
                             staging.insert(key, None);
                         }
@@ -540,13 +840,18 @@ impl TieredStore {
                     }
                 }
             }
+            debug_assert_eq!(
+                tombstones,
+                staging.values().filter(|v| v.is_none()).count() as u64,
+                "drain counts agree with staged contents"
+            );
             match failure {
                 Some(e) => Err(e),
-                None => Ok(staging.len()),
+                None => Ok((staging.len(), tombstones)),
             }
         };
-        let staged_count = match drain_result {
-            Ok(count) => count,
+        let (staged_count, tombstones) = match drain_result {
+            Ok(counts) => counts,
             Err(e) => {
                 self.restore_staging_to_hot();
                 return Err(e.into());
@@ -557,13 +862,16 @@ impl TieredStore {
         }
 
         // (2) Write and fsync the segment, streaming from staging under a
-        // read guard (concurrent gets still read staging freely).
+        // read guard (concurrent gets still read staging freely). The
+        // spill's key range is read off the sorted map's ends.
         let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
         let file_name = segment_file_name(id);
         let path = self.config.dir.join(&file_name);
-        let written = {
+        let (written, min_key, max_key) = {
             let staging = self.staging.read();
-            self.write_spill_segment(&path, &staging)
+            let min_key = staging.keys().next().cloned().unwrap_or_default();
+            let max_key = staging.keys().next_back().cloned().unwrap_or_default();
+            (self.write_spill_segment(&path, &staging), min_key, max_key)
         };
         let reader = match written.and_then(|()| SegmentReader::open(&path).map_err(Into::into)) {
             Ok(reader) => reader,
@@ -574,32 +882,39 @@ impl TieredStore {
                 return Err(e);
             }
         };
+        let segment = Arc::new(ColdSegment {
+            id,
+            file_name,
+            reader,
+            records: staged_count as u64,
+            tombstones,
+            bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+            min_key,
+            max_key,
+        });
 
-        // (3) + (4) Swap the manifest, then publish the reader.
+        // (3) + (4) Swap the manifest under the next generation, then
+        // publish the new segment list. The commit lock (not the cold
+        // write lock) covers the slow manifest fsync; the successor list
+        // cannot go stale in between because every segment-set mutation
+        // commits under this same lock.
         {
+            let _commit = self.commit_lock.lock();
+            let current = self.cold_snapshot();
+            let mut list: Vec<Arc<ColdSegment>> = Vec::with_capacity(current.len() + 1);
+            list.push(Arc::clone(&segment));
+            list.extend(current.iter().cloned());
+            let generation = match self.commit_list(&list) {
+                Ok(generation) => generation,
+                Err(e) => {
+                    self.restore_staging_to_hot();
+                    let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
+                    return Err(e);
+                }
+            };
             let mut cold = self.cold.write();
-            let mut segments = vec![ManifestEntry {
-                id,
-                file_name: file_name.clone(),
-            }];
-            segments.extend(cold.iter().map(|s| ManifestEntry {
-                id: s.id,
-                file_name: s.file_name.clone(),
-            }));
-            if let Err(e) = (Manifest { segments }).store(&self.config.dir) {
-                drop(cold);
-                self.restore_staging_to_hot();
-                let _ = std::fs::remove_file(&path);
-                return Err(e);
-            }
-            cold.insert(
-                0,
-                ColdSegment {
-                    id,
-                    file_name,
-                    reader,
-                },
-            );
+            *cold = Arc::new(list);
+            self.generation.store(generation, Ordering::Relaxed);
         }
 
         // (5) The data is durable and readable from cold; staging retires.
@@ -608,7 +923,27 @@ impl TieredStore {
         self.stats
             .spilled_entries
             .fetch_add(staged_count as u64, Ordering::Relaxed);
+        // A new segment may have crossed a planner threshold — let the
+        // maintenance thread check without waiting for its tick.
+        self.maint.notify();
         Ok(())
+    }
+
+    /// Write the manifest for `list` under the next generation and return
+    /// that generation. Callers must hold `commit_lock` (it serializes
+    /// generation bumps and successor-list construction) and store the
+    /// returned generation into `self.generation` **under the `cold`
+    /// write lock, together with the list swap** — so any reader holding
+    /// `cold.read()` sees a generation that matches the segment set it is
+    /// looking at.
+    fn commit_list(&self, list: &[Arc<ColdSegment>]) -> Result<u64> {
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let manifest = Manifest {
+            generation,
+            segments: list.iter().map(|s| s.manifest_entry()).collect(),
+        };
+        manifest.store_checked(&self.config.dir)?;
+        Ok(generation)
     }
 
     /// The codec spill segments are written with. With codec reuse on,
@@ -696,11 +1031,12 @@ impl TieredStore {
         };
         let mut writer = pbc_archive::SegmentWriter::create(path, config)?;
         for (key, value) in merged {
-            let stored = match value {
-                Some(value) => encode_live(value),
-                None => encode_tombstone(),
-            };
-            writer.append(key, &stored)?;
+            match value {
+                Some(value) => writer.append(key, &encode_live(value))?,
+                // Flagged, so the footer (and from it the planner) can
+                // count this segment's dead entries without decoding.
+                None => writer.append_flagged(key, &encode_tombstone())?,
+            }
         }
         writer.finish()?;
         Ok(())
@@ -724,93 +1060,218 @@ impl TieredStore {
         }
     }
 
-    /// Merge every cold segment into one, dropping shadowed versions and
-    /// tombstones and retraining the block codec on the merged corpus. A
-    /// no-op when fewer than one segment exists.
-    pub fn compact(&self) -> Result<CompactionSummary> {
-        let _guard = self.maintenance.lock();
-        let (outcome, out_id, out_name, out_path) = {
-            let cold = self.cold.read();
-            if cold.is_empty() {
-                return Ok(CompactionSummary {
-                    merged_segments: 0,
-                    live_entries: 0,
-                    shadowed_dropped: 0,
-                    tombstones_dropped: 0,
-                });
+    /// One background maintenance pass: run planned jobs until no trigger
+    /// remains or shutdown/pause intervenes. Returns `false` when a job
+    /// errored (counted; the maintenance loop backs off before retrying).
+    pub(crate) fn background_pass(&self) -> bool {
+        while !self.maint.is_shutdown() && !self.maint.is_paused() {
+            let Some(job) = self.planner.plan(&self.segment_stats()) else {
+                return true;
+            };
+            match self.run_job(&job) {
+                Ok(Some(_)) => continue,
+                Ok(None) => return true, // raced an explicit compact; replan next tick
+                Err(_) => {
+                    self.stats.background_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
             }
-            let out_id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
-            let out_name = segment_file_name(out_id);
-            let out_path = self.config.dir.join(&out_name);
-            let readers: Vec<&SegmentReader> = cold.iter().map(|s| &s.reader).collect();
-            let outcome = match merge_segments(&readers, &out_path, &self.config.segment) {
-                Ok(outcome) => outcome,
+        }
+        true
+    }
+
+    /// Run one planned job (serialized with other compactions). Returns
+    /// `Ok(None)` when the job went stale — its inputs are no longer a
+    /// contiguous run of the live list — which is not an error: the caller
+    /// simply replans against current stats.
+    fn run_job(&self, job: &CompactionJob) -> Result<Option<CompactionSummary>> {
+        let _guard = self.compact_lock.lock();
+        self.run_job_locked(&job.inputs, job.drop_tombstones)
+    }
+
+    fn run_pending_compactions(&self) -> Result<usize> {
+        let mut jobs = 0usize;
+        // Every job shrinks the segment count or zeroes the oldest run's
+        // tombstones, so planning converges; the cap is a backstop against
+        // planner bugs, not a tuning knob.
+        while jobs < 1_000 {
+            let Some(job) = self.planner.plan(&self.segment_stats()) else {
+                break;
+            };
+            if self.run_job(&job)?.is_none() {
+                break;
+            }
+            jobs += 1;
+        }
+        Ok(jobs)
+    }
+
+    fn compact(&self) -> Result<CompactionSummary> {
+        let _guard = self.compact_lock.lock();
+        let inputs: Vec<u64> = self.cold_snapshot().iter().map(|s| s.id).collect();
+        if inputs.is_empty() {
+            return Ok(CompactionSummary::empty());
+        }
+        // The full set is trivially a contiguous run including the oldest;
+        // it cannot go stale under the compact lock (spills only prepend).
+        Ok(self
+            .run_job_locked(&inputs, true)?
+            .unwrap_or_else(CompactionSummary::empty))
+    }
+
+    /// Merge the contiguous run `inputs` (newest first) into one output
+    /// segment and commit "retire the run, add the output" as a single
+    /// generation bump. Caller must hold `compact_lock`.
+    fn run_job_locked(
+        &self,
+        inputs: &[u64],
+        drop_tombstones: bool,
+    ) -> Result<Option<CompactionSummary>> {
+        let snapshot = self.cold_snapshot();
+        let Some(run) = locate_run(&snapshot, inputs) else {
+            return Ok(None);
+        };
+        // Dropping tombstones is only sound when nothing older remains
+        // below the run; re-validate against the *current* list rather
+        // than trusting the (possibly stale) plan.
+        let includes_oldest = run.start + inputs.len() == snapshot.len();
+        let drop_tombstones = drop_tombstones && includes_oldest;
+
+        let out_id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let out_name = segment_file_name(out_id);
+        let out_path = self.config.dir.join(&out_name);
+        let run_segments = &snapshot[run.clone()];
+        let readers: Vec<&SegmentReader> = run_segments.iter().map(|s| &s.reader).collect();
+        // Retraining policy (the LeCo flow: retrain lightweight codecs on
+        // stable, merged runs): full candidate selection costs seconds of
+        // CPU, so only jobs rewriting the majority of cold records — big,
+        // stable runs that are representative of the corpus — retrain and
+        // refresh the shared spill codec. Small incremental jobs reuse the
+        // shared codec; their per-block raw fallback bounds any drift
+        // until the next big merge retrains.
+        let run_records: u64 = run_segments.iter().map(|s| s.records).sum();
+        let total_records: u64 = snapshot.iter().map(|s| s.records).sum();
+        let reuse = self
+            .spill_codec
+            .lock()
+            .clone()
+            .filter(|_| self.config.reuse_spill_codec && run_records * 2 < total_records);
+        let outcome = match merge_segments(
+            &readers,
+            &out_path,
+            &self.config.segment,
+            drop_tombstones,
+            reuse.map(CodecSpec::Pretrained),
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                let _ = std::fs::remove_file(&out_path);
+                return Err(e);
+            }
+        };
+        let replacement = match &outcome.summary {
+            Some(summary) => {
+                let reader = match SegmentReader::open(&out_path) {
+                    Ok(reader) => reader,
+                    Err(e) => {
+                        // The merged file is unreachable without a manifest
+                        // entry; don't leave it behind.
+                        let _ = std::fs::remove_file(&out_path);
+                        return Err(e.into());
+                    }
+                };
+                Some(Arc::new(ColdSegment {
+                    id: out_id,
+                    min_key: reader.min_key().unwrap_or_default().to_vec(),
+                    max_key: reader.max_key().unwrap_or_default().to_vec(),
+                    reader,
+                    records: summary.record_count,
+                    tombstones: outcome.tombstones_kept,
+                    bytes: std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0),
+                    file_name: out_name,
+                }))
+            }
+            None => None,
+        };
+
+        // Commit: rebuild the list with the run replaced by the output (a
+        // concurrent spill may have prepended segments since our snapshot;
+        // relocate the run in the *current* list — under the compact lock
+        // it can only have shifted, not changed membership or order). The
+        // commit lock covers the slow manifest fsync and keeps the
+        // successor list from going stale; the cold write lock is held
+        // only for the pointer swap, so readers never wait on the fsync.
+        let retired: Vec<Arc<ColdSegment>> = {
+            let _commit = self.commit_lock.lock();
+            let current = self.cold_snapshot();
+            let Some(run) = locate_run(&current, inputs) else {
+                let _ = std::fs::remove_file(&out_path);
+                return Ok(None);
+            };
+            let mut list: Vec<Arc<ColdSegment>> =
+                Vec::with_capacity(current.len() + 1 - inputs.len());
+            list.extend(current[..run.start].iter().cloned());
+            list.extend(replacement.iter().cloned());
+            list.extend(current[run.end..].iter().cloned());
+            let generation = match self.commit_list(&list) {
+                Ok(generation) => generation,
                 Err(e) => {
                     let _ = std::fs::remove_file(&out_path);
                     return Err(e);
                 }
             };
-            (outcome, out_id, out_name, out_path)
+            {
+                let mut cold = self.cold.write();
+                *cold = Arc::new(list);
+                self.generation.store(generation, Ordering::Relaxed);
+            }
+            current[run.clone()].to_vec()
         };
 
-        // Commit: swap the manifest to the merged segment (or to empty when
-        // nothing survived), publish, then sweep the inputs.
-        let new_cold = match &outcome.summary {
-            Some(_) => {
-                let reader = match SegmentReader::open(&out_path) {
-                    Ok(reader) => reader,
-                    Err(e) => {
-                        // Same cleanup as every other error path: the
-                        // merged file is unreachable without a manifest
-                        // entry, don't leave it behind.
-                        let _ = std::fs::remove_file(&out_path);
-                        return Err(e.into());
-                    }
-                };
-                vec![ColdSegment {
-                    id: out_id,
-                    file_name: out_name.clone(),
-                    reader,
-                }]
-            }
-            None => Vec::new(),
-        };
-        let manifest = Manifest {
-            segments: new_cold
-                .iter()
-                .map(|s| ManifestEntry {
-                    id: s.id,
-                    file_name: s.file_name.clone(),
-                })
-                .collect(),
-        };
-        let old = {
-            let mut cold = self.cold.write();
-            if let Err(e) = manifest.store(&self.config.dir) {
-                drop(cold);
-                let _ = std::fs::remove_file(&out_path);
-                return Err(e);
-            }
-            std::mem::replace(&mut *cold, new_cold)
-        };
-        let merged_segments = old.len();
-        for segment in old {
+        // The run is retired: invalidate its cached blocks and unlink its
+        // files. In-flight reads over older snapshots still hold the
+        // readers (open fds), so they finish correctly; retired segment
+        // ids are never reused, so a late cache insert under a retired id
+        // can serve no future lookup and simply ages out by LRU.
+        for segment in &retired {
             self.cache.evict_segment(segment.id);
             let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
         }
-        // Compaction retrained on the merged corpus: future spills reuse
-        // the fresher codec.
+        self.stats
+            .segments_retired
+            .fetch_add(retired.len() as u64, Ordering::Relaxed);
+        // This job retrained on its merged run: future spills reuse the
+        // fresher codec (per job, not per full rewrite).
         if let Some(codec) = outcome.codec.clone() {
             *self.spill_codec.lock() = Some(codec);
         }
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
-        Ok(CompactionSummary {
-            merged_segments,
+        Ok(Some(CompactionSummary {
+            merged_segments: retired.len(),
             live_entries: outcome.live_entries,
             shadowed_dropped: outcome.shadowed_dropped,
             tombstones_dropped: outcome.tombstones_dropped,
-        })
+            tombstones_kept: outcome.tombstones_kept,
+        }))
     }
+}
+
+/// Find `inputs` as a contiguous newest-first run of `list`; `None` when
+/// any input is missing or out of order (the plan went stale).
+fn locate_run(list: &[Arc<ColdSegment>], inputs: &[u64]) -> Option<std::ops::Range<usize>> {
+    if inputs.is_empty() {
+        return None;
+    }
+    let start = list.iter().position(|s| s.id == inputs[0])?;
+    let end = start + inputs.len();
+    if end > list.len() {
+        return None;
+    }
+    list[start..end]
+        .iter()
+        .zip(inputs)
+        .all(|(s, &id)| s.id == id)
+        .then_some(start..end)
 }
 
 /// Find the value of the **last** entry with `key` in a sorted block.

@@ -1,18 +1,24 @@
 //! Tiered hot/cold storage walkthrough: watermark-driven spilling,
-//! read-through gets, overwrite/delete shadowing, compaction, and crash
-//! recovery via the manifest.
+//! read-through gets, overwrite/delete shadowing, incremental (planned)
+//! and full compaction, and crash recovery via the generation-stamped
+//! manifest.
 //!
 //! Run with: `cargo run --release --example tiered_store`
 
 use pbc::archive::SegmentConfig;
-use pbc::tier::{TierConfig, TieredStore};
+use pbc::tier::{PlannerConfig, TierConfig, TieredStore};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("pbc-example-tier-{}", std::process::id()));
     let config = TierConfig::new(&dir)
         .with_watermark(256 * 1024) // tiny on purpose: watch it spill
         .with_cache_capacity(512 * 1024)
-        .with_segment_config(SegmentConfig::default());
+        .with_segment_config(SegmentConfig::default())
+        .with_planner(PlannerConfig {
+            max_segments: 4,      // compact once more than 4 segments are live
+            max_dead_ratio: 0.25, // ... or tombstones pass a quarter of cold records
+            max_job_segments: 3,  // each job merges at most 3 adjacent segments
+        });
     let store = TieredStore::open(config.clone()).expect("open tiered store");
 
     // 1. Ingest more session records than the watermark allows in RAM.
@@ -65,11 +71,26 @@ fn main() {
     assert_eq!(store.get(b"user:000003").expect("get"), None);
     println!("overwrite and tombstone shadow the spilled versions");
 
-    // 4. Compaction folds every segment into one, dropping dead versions.
+    // 4a. Incremental compaction: the planner scores segments by overlap,
+    // dead-entry ratio, and size, then merges bounded adjacent runs —
+    // never the whole store. (A background thread does the same when
+    // opened with `.with_background_compaction(true)`.)
     store.flush_all().expect("flush");
+    let before = store.segment_count();
+    let jobs = store
+        .run_pending_compactions()
+        .expect("planned compaction jobs");
+    println!(
+        "planner ran {jobs} bounded job(s): {before} -> {} segments (generation {})",
+        store.segment_count(),
+        store.generation(),
+    );
+
+    // 4b. Full compaction folds everything into one segment, dropping
+    // every dead version — the offline reorganization path.
     let summary = store.compact().expect("compact");
     println!(
-        "compacted {} segments -> 1: {} live entries, {} shadowed + {} tombstones dropped",
+        "full compact of {} segment(s): {} live entries, {} shadowed + {} tombstones dropped",
         summary.merged_segments,
         summary.live_entries,
         summary.shadowed_dropped,

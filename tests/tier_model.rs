@@ -1,10 +1,13 @@
 //! Property test: randomized set/get/delete/spill/compact sequences on a
 //! [`TieredStore`] are observationally identical to a `BTreeMap` model.
 //!
-//! Spills and compactions are pure reorganizations — they move data between
-//! tiers and rewrite segments but must never change what any get returns.
-//! The watermark is set tiny so organic spills trigger mid-sequence on top
-//! of the explicit spill/compact ops.
+//! Spills and compactions — full merges and planner-selected *partial*
+//! jobs alike — are pure reorganizations: they move data between tiers and
+//! rewrite segments but must never change what any get returns. The
+//! watermark is set tiny so organic spills trigger mid-sequence on top of
+//! the explicit spill/compact ops, and the planner thresholds are set low
+//! so partial compaction jobs actually run between the interleaved writes
+//! and deletes. The manifest generation must only ever move forward.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use pbc::tier::{TierConfig, TieredStore};
+use pbc::tier::{PlannerConfig, TierConfig, TieredStore};
 
 fn fresh_dir() -> std::path::PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -36,17 +39,23 @@ proptest! {
 
     #[test]
     fn tiered_store_matches_btreemap_model(
-        ops in vec((0u8..8, 0usize..48, 0u32..100_000), 20..160)
+        ops in vec((0u8..9, 0usize..48, 0u32..100_000), 20..160)
     ) {
         let dir = fresh_dir();
         let _guard = TempDir(dir.clone());
         let store = TieredStore::open(
             TierConfig::new(&dir)
                 .with_watermark(2 * 1024) // tiny: organic spills mid-sequence
-                .with_cache_capacity(8 * 1024),
+                .with_cache_capacity(8 * 1024)
+                .with_planner(PlannerConfig {
+                    max_segments: 2,      // partial jobs trigger quickly...
+                    max_dead_ratio: 0.2,  // ...on deletes too
+                    max_job_segments: 3,  // but stay bounded (k <= 3)
+                }),
         )
         .unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut last_generation = store.generation();
 
         for (op, k, v) in ops {
             let key = format!("key:{k:03}").into_bytes();
@@ -72,17 +81,41 @@ proptest! {
                     );
                 }
                 6 => store.spill_coldest(1 + k % 3).unwrap(),
+                7 => {
+                    // Planner-selected partial jobs: merge bounded runs,
+                    // leave the rest untouched.
+                    store.run_pending_compactions().unwrap();
+                }
                 _ => {
                     store.compact().unwrap();
                 }
             }
             // The just-touched key must agree after every op.
             prop_assert_eq!(&store.get(&key).unwrap(), &model.get(&key).cloned());
+            let generation = store.generation();
+            prop_assert!(
+                generation >= last_generation,
+                "generation moved backwards: {} -> {}",
+                last_generation,
+                generation
+            );
+            last_generation = generation;
         }
 
         // Final sweep: the full keyspace (present and absent keys alike)
-        // is observationally identical.
+        // is observationally identical, through partial jobs and a full
+        // compact.
         store.flush_all().unwrap();
+        store.run_pending_compactions().unwrap();
+        for k in 0..48usize {
+            let key = format!("key:{k:03}").into_bytes();
+            prop_assert_eq!(
+                &store.get(&key).unwrap(),
+                &model.get(&key).cloned(),
+                "after partial compactions, key {}",
+                k
+            );
+        }
         store.compact().unwrap();
         for k in 0..48usize {
             let key = format!("key:{k:03}").into_bytes();

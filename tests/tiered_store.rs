@@ -111,12 +111,25 @@ fn tiered_store_acceptance() {
         assert_eq!(existed, reference.remove(&key(i)).is_some(), "delete {i}");
     }
 
-    // --- Compact. ---
+    // --- Compact. Every spill committed a manifest generation; the full
+    // compact commits one more, and the per-segment stats recorded at
+    // spill time make the dead entries observable beforehand. ---
     let segments_before = store.segment_count();
     assert!(segments_before >= 3);
+    let stats_before = store.stats();
+    assert!(stats_before.cold_records > 0, "spill stats recorded");
+    let generation_before = store.generation();
+    assert!(generation_before > 0);
     let summary = store.compact().unwrap();
     assert_eq!(summary.merged_segments, segments_before);
     assert_eq!(store.segment_count(), 1);
+    assert_eq!(store.generation(), generation_before + 1, "one commit");
+    let stats_after = store.stats();
+    assert_eq!(
+        stats_after.cold_tombstones, 0,
+        "a full compact drops every tombstone"
+    );
+    assert_eq!(stats_after.cold_dead_ratio(), 0.0);
 
     // --- 5k random gets: hot (fresh overwrites), cold-uncached (first
     // touch after compaction emptied nothing from hot but the cache lost
@@ -150,6 +163,12 @@ fn tiered_store_acceptance() {
     // --- Crash simulation: make everything durable, then "crash" leaving
     // manifest debris and a half-written segment behind. ---
     store.flush_all().unwrap();
+    // The flush spilled the hot tombstones left by the deletes above; the
+    // per-segment stats recorded at spill time make them observable.
+    assert!(
+        store.stats().cold_tombstones > 0,
+        "spilled deletes counted as cold tombstones"
+    );
     drop(store);
     std::fs::write(dir.join("MANIFEST.tmp"), b"interrupted manifest swap").unwrap();
     std::fs::write(dir.join("seg-099999.seg"), b"torn segment write").unwrap();
@@ -161,6 +180,16 @@ fn tiered_store_acceptance() {
         "orphan swept on reopen"
     );
     assert_eq!(reopened.hot_len(), 0, "reopen starts cold");
+    assert!(
+        reopened.generation() > 0,
+        "reopen resumes the committed generation"
+    );
+    let reopened_stats = reopened.segment_stats();
+    assert!(!reopened_stats.is_empty());
+    assert!(
+        reopened_stats.iter().all(|s| s.records > 0),
+        "per-segment stats reload from the manifest"
+    );
 
     // Zero lost acknowledged writes: every reference entry (and every
     // deletion) is still observable, byte-identical.
