@@ -27,6 +27,8 @@ pub struct SegmentReader {
     /// `starts[b]` = global ordinal of block `b`'s first record.
     starts: Vec<u64>,
     record_count: u64,
+    /// On-disk file size in bytes, captured at open.
+    file_len: u64,
 }
 
 impl std::fmt::Debug for SegmentReader {
@@ -125,6 +127,7 @@ impl SegmentReader {
             blocks,
             starts,
             record_count,
+            file_len,
         })
     }
 
@@ -159,6 +162,13 @@ impl SegmentReader {
     /// Largest key across all blocks (`None` for an empty segment).
     pub fn max_key(&self) -> Option<&[u8]> {
         self.blocks.iter().map(|b| b.max_key.as_slice()).max()
+    }
+
+    /// On-disk file size in bytes, captured when the segment was opened —
+    /// so stat backfills never have to re-stat the file (a transient
+    /// metadata error must not be silently recorded as a 0-byte segment).
+    pub fn file_len(&self) -> u64 {
+        self.file_len
     }
 
     /// Total serialized (uncompressed) payload bytes across all blocks.

@@ -113,6 +113,10 @@ pub struct SegmentSummary {
     /// Records appended via [`SegmentWriter::append_flagged`] (tombstones,
     /// for the tiered store).
     pub flagged_count: u64,
+    /// Total bytes written to the segment file (header + blocks + index +
+    /// trailer) — the authoritative on-disk size, counted by the writer
+    /// itself so callers never have to re-stat a file they just fsynced.
+    pub file_bytes: u64,
 }
 
 impl SegmentSummary {
@@ -621,6 +625,7 @@ impl SegmentWriter {
             compressed_bytes: self.compressed_bytes,
             codec: self.codec.as_ref().expect("codec committed above").name(),
             flagged_count: self.flagged_count,
+            file_bytes: index_offset + index.len() as u64 + trailer.len() as u64,
         })
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -85,6 +85,7 @@ fn main() {
                 "archive",
                 "tier",
                 "compaction",
+                "leveling",
             ]
             .into_iter()
             .map(String::from)
@@ -106,7 +107,7 @@ fn print_usage() {
     println!(
         "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling all quick"
     );
 }
 
@@ -271,6 +272,10 @@ fn run_experiment(name: &str, scale: f64) {
         "compaction" => println!(
             "{}",
             pbc_bench::compaction::compaction_throughput(scale).render()
+        ),
+        "leveling" => println!(
+            "{}",
+            pbc_bench::leveling::leveling_throughput(scale).render()
         ),
         other => die(&format!("unknown experiment '{other}'")),
     }

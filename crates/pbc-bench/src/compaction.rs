@@ -176,6 +176,7 @@ pub fn compaction_experiment(scale: f64) -> CompactionReport {
         max_segments: 3,
         max_dead_ratio: 0.25,
         max_job_segments: 3,
+        ..PlannerConfig::default()
     };
 
     let rows = vec![

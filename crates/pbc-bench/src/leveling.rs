@@ -1,0 +1,338 @@
+//! Leveling experiment: what L1 buys the cold read path, and what
+//! range-reserved concurrency buys the compaction drain.
+//!
+//! Two questions, two phases:
+//!
+//! 1. **Read amplification** — the same corpus is landed in cold storage
+//!    twice: once left as an L0-only pile of recency-ordered spill
+//!    segments (the pre-leveling layout: every cold probe walks segments
+//!    newest-first until it hits), and once drained into sorted,
+//!    non-overlapping L1 partitions (a probe walks the empty L0 and
+//!    binary-searches exactly one partition). The
+//!    `cold_segments_scanned` gauge counts footer consults per probe, so
+//!    the layouts are compared on segments touched, not just wall time.
+//! 2. **Drain concurrency** — an identical backlog of L0 segments
+//!    alternating between disjoint key prefixes is drained by one thread
+//!    and by two threads calling `run_pending_compactions()` in parallel.
+//!    The old single `compact_lock` would serialize them; the key-range
+//!    reservation table lets the disjoint jobs commit concurrently.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pbc_datagen::Dataset;
+use pbc_tier::{PlannerConfig, TierConfig, TieredStore};
+
+use crate::data::corpus;
+use crate::report::Table;
+
+/// A throwaway store directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempDir(std::env::temp_dir().join(format!(
+            "pbc-bench-leveling-{}-{tag}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One cold-read row: a layout and what probing it cost.
+#[derive(Debug, Clone)]
+pub struct LevelingRow {
+    /// "L0 pile" or "L1 leveled".
+    pub layout: &'static str,
+    /// Live L0 segments in the layout.
+    pub l0_segments: usize,
+    /// Live L1 partitions in the layout.
+    pub l1_partitions: usize,
+    /// Segment footers consulted per cold probe, averaged.
+    pub segments_per_probe: f64,
+    /// Random cold gets per second.
+    pub gets_per_sec: f64,
+}
+
+/// Everything the leveling experiment reports.
+#[derive(Debug, Clone)]
+pub struct LevelingReport {
+    /// Records landed cold per layout.
+    pub records: usize,
+    /// Cold probes issued per layout.
+    pub probes: usize,
+    /// Read-path rows (L0 pile first).
+    pub rows: Vec<LevelingRow>,
+    /// Jobs run while draining the backlog serially.
+    pub serial_jobs: usize,
+    /// Wall-clock seconds for the single-threaded drain.
+    pub serial_drain_secs: f64,
+    /// Jobs run (total) while draining with two concurrent callers.
+    pub concurrent_jobs: usize,
+    /// Wall-clock seconds for the two-threaded drain.
+    pub concurrent_drain_secs: f64,
+}
+
+fn probe_keys(count: usize, universe: usize, salt: u64) -> Vec<Vec<u8>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ salt;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let i = (state >> 33) as usize % universe;
+            format!("lvl:{i:08}").into_bytes()
+        })
+        .collect()
+}
+
+/// Land `records` cold as a pile of L0 spill segments (no compaction).
+fn build_l0_pile(dir: &std::path::Path, records: &[Vec<u8>], segments: usize) -> TieredStore {
+    let store = TieredStore::open(
+        TierConfig::new(dir)
+            .with_watermark(u64::MAX)
+            .with_cache_capacity(0) // measure the layout, not the cache
+            .with_planner(PlannerConfig {
+                max_segments: usize::MAX, // leveling off: nothing promotes
+                ..PlannerConfig::default()
+            }),
+    )
+    .expect("open leveling store");
+    let per_segment = records.len().div_ceil(segments);
+    for (i, value) in records.iter().enumerate() {
+        store
+            .set(format!("lvl:{i:08}").as_bytes(), value)
+            .expect("leveling set");
+        if (i + 1) % per_segment == 0 {
+            store.flush_all().expect("flush");
+        }
+    }
+    store.flush_all().expect("flush");
+    store
+}
+
+fn measure_cold_probes(store: &TieredStore, keys: &[Vec<u8>]) -> (f64, f64) {
+    let before = store.stats();
+    let started = Instant::now();
+    let mut found = 0usize;
+    for key in keys {
+        found += usize::from(store.get(key).expect("leveling get").is_some());
+    }
+    let secs = started.elapsed().as_secs_f64();
+    assert!(found > 0, "probe keys must exist");
+    let after = store.stats();
+    let scanned = after.cold_segments_scanned - before.cold_segments_scanned;
+    (
+        scanned as f64 / keys.len() as f64,
+        keys.len() as f64 / secs.max(1e-9),
+    )
+}
+
+/// Seed a backlog of L0 segments alternating between two disjoint key
+/// prefixes, then drain it with `threads` concurrent callers. Returns
+/// (jobs run, wall seconds).
+fn drain_backlog(tag: &str, records: &[Vec<u8>], threads: usize) -> (usize, f64) {
+    let dir = TempDir::new(tag);
+    let store = Arc::new(
+        TieredStore::open(
+            TierConfig::new(&dir.0)
+                .with_watermark(u64::MAX)
+                .with_planner(PlannerConfig {
+                    max_segments: 1,
+                    max_job_segments: 2,
+                    target_partition_bytes: 256 * 1024,
+                    ..PlannerConfig::default()
+                }),
+        )
+        .expect("open drain store"),
+    );
+    let half = records.len() / 2;
+    let batches = 6usize;
+    let per_batch = half.div_ceil(batches).max(1);
+    // Interleave spills between the two prefixes so disjoint-range jobs
+    // are always available to both drain threads.
+    for batch in 0..batches {
+        for (prefix, offset) in [("a", 0usize), ("b", half)] {
+            let start = batch * per_batch;
+            let end = (start + per_batch).min(half);
+            for i in start..end {
+                store
+                    .set(
+                        format!("{prefix}:{i:08}").as_bytes(),
+                        &records[(offset + i) % records.len()],
+                    )
+                    .expect("drain set");
+            }
+            store.flush_all().expect("drain flush");
+        }
+    }
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            // Lost reservation races replan internally, so one call per
+            // thread drains everything the planner is willing to run.
+            std::thread::spawn(move || store.run_pending_compactions().expect("drain jobs"))
+        })
+        .collect();
+    let jobs: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("drain thread"))
+        .sum();
+    let secs = started.elapsed().as_secs_f64();
+    // L1 partition-count pressure gates lone spills behind a full
+    // max_job_segments batch, so up to one L0 segment may stay behind.
+    assert!(store.l0_segment_count() < 2, "backlog drained");
+    (jobs, secs)
+}
+
+/// Run the leveling experiment at `scale` (record counts scale linearly).
+pub fn leveling_experiment(scale: f64) -> LevelingReport {
+    let records = corpus(Dataset::Kv2, scale);
+    let n = records.len();
+    let probes = (n / 2).clamp(200, 5_000);
+    let segments = 12usize;
+    let raw_bytes: usize = records.iter().map(|r| r.len() + 14).sum();
+
+    // Phase 1a: the pre-leveling layout — an L0 pile.
+    let pile_dir = TempDir::new("pile");
+    let pile = build_l0_pile(&pile_dir.0, &records, segments);
+    let keys = probe_keys(probes, n, 17);
+    let (pile_scanned, pile_gets) = measure_cold_probes(&pile, &keys);
+    let pile_row = LevelingRow {
+        layout: "L0 pile",
+        l0_segments: pile.l0_segment_count(),
+        l1_partitions: pile.l1_partition_count(),
+        segments_per_probe: pile_scanned,
+        gets_per_sec: pile_gets,
+    };
+    drop(pile);
+    drop(pile_dir);
+
+    // Phase 1b: the same corpus drained into L1 partitions small enough
+    // that the binary search is real (several partitions, not one).
+    let leveled_dir = TempDir::new("leveled");
+    let leveled = build_l0_pile(&leveled_dir.0, &records, segments);
+    {
+        // Re-open semantics not needed; just drain in place with leveling
+        // thresholds via an explicit full compact at a small partition
+        // size — the planner path is exercised separately in phase 2.
+        drop(leveled);
+        let store = TieredStore::open(
+            TierConfig::new(&leveled_dir.0)
+                .with_watermark(u64::MAX)
+                .with_cache_capacity(0)
+                .with_target_partition_bytes((raw_bytes as u64 / 8).max(64 * 1024)),
+        )
+        .expect("reopen leveled store");
+        store.run_pending_compactions().expect("drain");
+        // Default thresholds may leave a few L0 segments; finish the
+        // layout with a full compact so the comparison is pure L1.
+        store.compact().expect("compact");
+        let (leveled_scanned, leveled_gets) = measure_cold_probes(&store, &keys);
+        let leveled_row = LevelingRow {
+            layout: "L1 leveled",
+            l0_segments: store.l0_segment_count(),
+            l1_partitions: store.l1_partition_count(),
+            segments_per_probe: leveled_scanned,
+            gets_per_sec: leveled_gets,
+        };
+
+        // Phase 2: serial vs concurrent drain of an identical backlog.
+        let (serial_jobs, serial_drain_secs) = drain_backlog("serial", &records, 1);
+        let (concurrent_jobs, concurrent_drain_secs) = drain_backlog("concurrent", &records, 2);
+
+        LevelingReport {
+            records: n,
+            probes,
+            rows: vec![pile_row, leveled_row],
+            serial_jobs,
+            serial_drain_secs,
+            concurrent_jobs,
+            concurrent_drain_secs,
+        }
+    }
+}
+
+/// Render the leveling experiment as a report table.
+pub fn leveling_throughput(scale: f64) -> Table {
+    let report = leveling_experiment(scale);
+    let mut table = Table::new(
+        "Leveling: cold-read amplification by layout + serial vs concurrent drain",
+        &["layout", "L0", "L1", "segments/probe", "gets/s", "notes"],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.layout.to_string(),
+            row.l0_segments.to_string(),
+            row.l1_partitions.to_string(),
+            format!("{:.2}", row.segments_per_probe),
+            format!("{:.0}", row.gets_per_sec),
+            format!("{} records, {} probes", report.records, report.probes),
+        ]);
+    }
+    table.push_row(vec![
+        "drain x1".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{} jobs in {:.2}s",
+            report.serial_jobs, report.serial_drain_secs
+        ),
+    ]);
+    table.push_row(vec![
+        "drain x2".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{} jobs in {:.2}s (range-reserved concurrent commits)",
+            report.concurrent_jobs, report.concurrent_drain_secs
+        ),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leveling_cuts_cold_read_amplification() {
+        let report = leveling_experiment(0.02);
+        assert_eq!(report.rows.len(), 2);
+        let pile = &report.rows[0];
+        let leveled = &report.rows[1];
+        assert!(
+            pile.l0_segments >= 4,
+            "the pile layout keeps many L0 segments"
+        );
+        assert_eq!(leveled.l0_segments, 0, "the leveled layout drained L0");
+        assert!(leveled.l1_partitions >= 1);
+        assert!(
+            leveled.segments_per_probe < pile.segments_per_probe,
+            "leveled probes touch fewer segments: {} vs {}",
+            leveled.segments_per_probe,
+            pile.segments_per_probe
+        );
+        assert!(
+            leveled.segments_per_probe <= 1.0 + 1e-9,
+            "an L1 probe consults at most one partition, got {}",
+            leveled.segments_per_probe
+        );
+        assert!(report.serial_jobs >= 2 && report.concurrent_jobs >= 2);
+        assert!(report.serial_drain_secs > 0.0 && report.concurrent_drain_secs > 0.0);
+    }
+}

@@ -22,6 +22,7 @@
 //! | Archive ingest/lookups (beyond the paper) | [`archive::archive_throughput`] |
 //! | Tiered-store get latency (beyond the paper) | [`tier::tier_throughput`] |
 //! | Background compaction stalls (beyond the paper) | [`compaction::compaction_throughput`] |
+//! | L0/L1 leveling + concurrent drain (beyond the paper) | [`leveling::leveling_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
@@ -31,6 +32,7 @@ pub mod compaction;
 pub mod data;
 pub mod experiments;
 pub mod figures;
+pub mod leveling;
 pub mod measure;
 pub mod report;
 pub mod tier;

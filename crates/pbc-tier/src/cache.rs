@@ -197,12 +197,20 @@ impl BlockCache {
     /// budget the moment it leaves the manifest, instead of lingering
     /// until natural LRU eviction.
     pub fn evict_segment(&self, segment: u64) -> usize {
+        self.evict_segments(std::slice::from_ref(&segment))
+    }
+
+    /// Drop every cached block of all of `segments` in one pass under the
+    /// lock — a compaction job retires its whole input set (an L0 run plus
+    /// the L1 partitions it pulled in) at a single commit, so its cache
+    /// invalidation is one sweep, not one per segment.
+    pub fn evict_segments(&self, segments: &[u64]) -> usize {
         let dropped = {
             let mut inner = self.inner.lock();
             let doomed: Vec<BlockKey> = inner
                 .map
                 .keys()
-                .filter(|(seg, _)| *seg == segment)
+                .filter(|(seg, _)| segments.contains(seg))
                 .copied()
                 .collect();
             for key in &doomed {
@@ -296,6 +304,19 @@ mod tests {
         assert_eq!(cache.invalidations(), 2);
         assert_eq!(cache.evictions(), 0, "retirement is not capacity pressure");
         assert_eq!(cache.evict_segment(1), 0, "double eviction is a no-op");
+    }
+
+    #[test]
+    fn batch_eviction_drops_every_listed_segment_in_one_pass() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert((1, 0), block(1, 4, 10));
+        cache.insert((2, 0), block(2, 4, 10));
+        cache.insert((3, 0), block(3, 4, 10));
+        assert_eq!(cache.evict_segments(&[1, 3]), 2);
+        assert!(cache.get((1, 0)).is_none());
+        assert!(cache.get((2, 0)).is_some(), "unlisted segment survives");
+        assert!(cache.get((3, 0)).is_none());
+        assert_eq!(cache.invalidations(), 2);
     }
 
     #[test]

@@ -1,49 +1,71 @@
-//! Segment merging: k-way merge with shadow and tombstone elimination.
+//! Segment merging: k-way merge with shadow and tombstone elimination,
+//! split into sorted, non-overlapping output partitions.
 //!
 //! Overlapping segments accumulate as shards spill: a hot key that is
 //! written, spilled, rewritten and spilled again exists in two segments,
 //! and a deleted key leaves a tombstone shadowing an older value.
 //! [`merge_segments`] streams the input segments (newest first) through a
 //! k-way merge that keeps only the newest version of each key and writes
-//! the survivors to a fresh segment whose codec is retrained on blocks
-//! sampled across the merged corpus.
+//! the survivors to fresh segments. With `split_bytes` set, the sorted
+//! output stream rolls to a new file whenever the current one's estimated
+//! serialized payload reaches the boundary — producing the pairwise
+//! non-overlapping L1 partitions true leveling needs. Output files are
+//! allocated lazily through the `next_output` callback, so ids are only
+//! burned for partitions that actually materialize; on error every file
+//! this merge created is removed before returning.
 //!
-//! Tombstone handling depends on what lies *below* the inputs. A **full**
-//! merge (or any partial merge whose run includes the oldest live segment)
-//! passes `drop_tombstones = true`: nothing older remains for a tombstone
-//! to shadow, so they are eliminated. A partial merge over a run with
-//! older segments still beneath it must keep its tombstones
+//! Tombstone handling depends on what lies *below* the inputs. A leveled
+//! job includes every segment that could hold an older version of its
+//! keys, so it passes `drop_tombstones = true` and the output is
+//! tombstone-free (L1 never stores tombstones). A merge over a run with
+//! older data still beneath it must keep its tombstones
 //! (`drop_tombstones = false`) — each one may still be the only thing
 //! standing between a read and a resurrected old version. Kept tombstones
-//! are written via [`SegmentWriter::append_flagged`], so the output's
+//! are written via [`SegmentWriter::append_flagged`], so each output's
 //! footer records its dead-entry count for the next planning round.
 
-use std::path::Path;
+use std::path::PathBuf;
 
 use pbc_archive::reader::Scan;
 use pbc_archive::{
-    select_codec_over_blocks, spread_sample_indices, BlockCodec, CodecSpec, Entry, SegmentConfig,
-    SegmentReader, SegmentSummary, SegmentWriter,
+    entry_size_estimate, select_codec_over_blocks, spread_sample_indices, BlockCodec, CodecSpec,
+    Entry, SegmentConfig, SegmentReader, SegmentSummary, SegmentWriter,
 };
 
 use crate::error::Result;
 use crate::store::is_tombstone;
 
+/// One materialized output partition of a merge.
+#[derive(Debug, Clone)]
+pub struct MergeOutput {
+    /// Segment id the `next_output` callback allocated for this partition.
+    pub id: u64,
+    /// File name relative to the store directory.
+    pub file_name: String,
+    /// Full path the partition was written to.
+    pub path: PathBuf,
+    /// Writer summary (record counts, byte totals, codec).
+    pub summary: SegmentSummary,
+    /// Tombstones carried into this partition (0 whenever
+    /// `drop_tombstones` was set).
+    pub tombstones_kept: u64,
+}
+
 /// What a merge pass produced.
 #[derive(Debug, Clone)]
 pub struct MergeOutcome {
-    /// Live entries written to the output segment.
+    /// Live entries written across all output partitions.
     pub live_entries: u64,
     /// Entries dropped because a newer segment shadowed them.
     pub shadowed_dropped: u64,
     /// Tombstones dropped (only when `drop_tombstones` was set).
     pub tombstones_dropped: u64,
-    /// Tombstones carried into the output segment (partial merges with
-    /// older segments still beneath the run).
+    /// Tombstones carried into the outputs.
     pub tombstones_kept: u64,
-    /// Writer summary, absent when nothing survived and no output segment
-    /// was written.
-    pub summary: Option<SegmentSummary>,
+    /// Output partitions, ascending by key range (the merge emits keys in
+    /// sorted order, so consecutive outputs cover disjoint, increasing
+    /// ranges). Empty when nothing survived.
+    pub outputs: Vec<MergeOutput>,
     /// The codec retrained on the merged corpus — callers reuse it for
     /// subsequent spills. Absent when the caller supplied a codec (no
     /// retraining ran) or the inputs were empty.
@@ -61,6 +83,18 @@ impl MergeSource<'_> {
         self.current = self.scan.next().transpose()?;
         Ok(())
     }
+}
+
+/// An output partition currently being written.
+struct OpenOutput {
+    id: u64,
+    file_name: String,
+    path: PathBuf,
+    writer: SegmentWriter,
+    tombstones_kept: u64,
+    /// Estimated serialized payload written so far (the writer's own
+    /// per-entry estimate, so the split boundary tracks real blocks).
+    estimated_bytes: u64,
 }
 
 /// Train a codec for the merged output by sampling up to
@@ -89,14 +123,19 @@ fn retrained_codec(readers: &[&SegmentReader], config: &SegmentConfig) -> Result
     Ok(CodecSpec::Pretrained(select_codec_over_blocks(&refs)))
 }
 
-/// Merge `readers` (newest first) into a fresh segment at `out_path`.
+/// Merge `readers` (newest first) into fresh segments allocated by
+/// `next_output`.
 ///
-/// Output keys are unique and ascending; values keep their tombstone
-/// marker encoding. With `drop_tombstones` every surviving record is live;
-/// without it, tombstones survive too (flagged in the output footer).
-/// When nothing survives, no file is written and `summary` is `None`.
+/// Output keys are unique and ascending across the whole output sequence;
+/// values keep their tombstone marker encoding. With `drop_tombstones`
+/// every surviving record is live; without it, tombstones survive too
+/// (flagged in the output footers). When nothing survives, no file is
+/// written and `outputs` is empty.
 ///
-/// `codec` controls training cost: `Some(spec)` writes the output with
+/// `split_bytes` bounds each output partition's estimated serialized
+/// payload; `None` writes a single output regardless of size.
+///
+/// `codec` controls training cost: `Some(spec)` writes the outputs with
 /// that codec and trains nothing (`outcome.codec` stays `None`); `None`
 /// retrains by sampling blocks across all inputs and reports the trained
 /// codec for the caller to reuse. Retraining runs full candidate
@@ -105,10 +144,50 @@ fn retrained_codec(readers: &[&SegmentReader], config: &SegmentConfig) -> Result
 /// incremental jobs, where the per-block raw fallback bounds any drift.
 pub fn merge_segments(
     readers: &[&SegmentReader],
-    out_path: &Path,
     config: &SegmentConfig,
     drop_tombstones: bool,
     codec: Option<CodecSpec>,
+    split_bytes: Option<u64>,
+    next_output: &mut dyn FnMut() -> (u64, String, PathBuf),
+) -> Result<MergeOutcome> {
+    let mut outputs: Vec<MergeOutput> = Vec::new();
+    let mut open: Option<OpenOutput> = None;
+    let result = merge_into(
+        readers,
+        config,
+        drop_tombstones,
+        codec,
+        split_bytes,
+        next_output,
+        &mut outputs,
+        &mut open,
+    );
+    match result {
+        Ok(outcome) => Ok(outcome),
+        Err(e) => {
+            // Every file this merge created is unreachable (no manifest
+            // names it); remove them all so a failed job leaves no debris.
+            for output in &outputs {
+                let _ = std::fs::remove_file(&output.path);
+            }
+            if let Some(open) = open {
+                let _ = std::fs::remove_file(&open.path);
+            }
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_into(
+    readers: &[&SegmentReader],
+    config: &SegmentConfig,
+    drop_tombstones: bool,
+    codec: Option<CodecSpec>,
+    split_bytes: Option<u64>,
+    next_output: &mut dyn FnMut() -> (u64, String, PathBuf),
+    outputs: &mut Vec<MergeOutput>,
+    open: &mut Option<OpenOutput>,
 ) -> Result<MergeOutcome> {
     let (codec_spec, retrained) = match codec {
         Some(spec) => (spec, None),
@@ -132,13 +211,12 @@ pub fn merge_segments(
         source.advance()?;
     }
 
-    let mut writer: Option<SegmentWriter> = None;
     let mut outcome = MergeOutcome {
         live_entries: 0,
         shadowed_dropped: 0,
         tombstones_dropped: 0,
         tombstones_kept: 0,
-        summary: None,
+        outputs: Vec::new(),
         codec: retrained,
     };
     // Each round: smallest key still pending; the newest source holding it
@@ -168,26 +246,74 @@ pub fn merge_segments(
             outcome.tombstones_dropped += 1;
             continue;
         }
-        let writer = match writer.as_mut() {
-            Some(writer) => writer,
-            None => writer.insert(SegmentWriter::create(
-                out_path,
-                SegmentConfig {
-                    codec: codec_spec.clone(),
-                    ..config.clone()
-                },
-            )?),
+        // Roll to a new partition once the boundary is reached; the key
+        // stream is sorted, so consecutive outputs cover disjoint ranges.
+        if let (Some(limit), Some(current)) = (split_bytes, open.as_mut()) {
+            if current.estimated_bytes >= limit {
+                let finished = open.take().expect("checked above");
+                outputs.push(finish_or_remove(finished)?);
+            }
+        }
+        let current = match open.as_mut() {
+            Some(current) => current,
+            None => {
+                let (id, file_name, path) = next_output();
+                let writer = SegmentWriter::create(
+                    &path,
+                    SegmentConfig {
+                        codec: codec_spec.clone(),
+                        ..config.clone()
+                    },
+                )?;
+                open.insert(OpenOutput {
+                    id,
+                    file_name,
+                    path,
+                    writer,
+                    tombstones_kept: 0,
+                    estimated_bytes: 0,
+                })
+            }
         };
+        current.estimated_bytes += entry_size_estimate(min_key.len(), value.len()) as u64;
         if tombstone {
-            writer.append_flagged(&min_key, &value)?;
+            current.writer.append_flagged(&min_key, &value)?;
+            current.tombstones_kept += 1;
             outcome.tombstones_kept += 1;
         } else {
-            writer.append(&min_key, &value)?;
+            current.writer.append(&min_key, &value)?;
             outcome.live_entries += 1;
         }
     }
-    if let Some(writer) = writer {
-        outcome.summary = Some(writer.finish()?);
+    if let Some(finished) = open.take() {
+        outputs.push(finish_or_remove(finished)?);
     }
+    outcome.outputs = std::mem::take(outputs);
     Ok(outcome)
+}
+
+/// Finish one output partition; a finish failure removes the partial file
+/// (its `OpenOutput` is consumed, so the outer cleanup cannot see it).
+fn finish_or_remove(open: OpenOutput) -> Result<MergeOutput> {
+    let OpenOutput {
+        id,
+        file_name,
+        path,
+        writer,
+        tombstones_kept,
+        ..
+    } = open;
+    match writer.finish() {
+        Ok(summary) => Ok(MergeOutput {
+            id,
+            file_name,
+            path,
+            summary,
+            tombstones_kept,
+        }),
+        Err(e) => {
+            let _ = std::fs::remove_file(&path);
+            Err(e.into())
+        }
+    }
 }

@@ -39,10 +39,10 @@ pub struct TierConfig {
     /// retrains on the merged corpus and refreshes the shared codec; the
     /// per-block raw fallback bounds any drift in between.
     pub reuse_spill_codec: bool,
-    /// Trigger thresholds (segment count, dead-entry ratio) and the
-    /// per-job input bound for the compaction planner. Used by both the
-    /// background maintenance thread and explicit
-    /// [`crate::TieredStore::run_pending_compactions`] calls.
+    /// Trigger thresholds (segment count, dead-entry ratio), the per-job
+    /// L0 input bound, and the L1 partition split size for the compaction
+    /// planner. Used by both the background maintenance thread and
+    /// explicit [`crate::TieredStore::run_pending_compactions`] calls.
     pub planner: PlannerConfig,
     /// Spawn a background maintenance thread that runs planner jobs
     /// whenever a trigger threshold is crossed, so segments compact
@@ -117,6 +117,15 @@ impl TierConfig {
     /// Set the compaction planner's thresholds and job bound.
     pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
         self.planner = planner;
+        self
+    }
+
+    /// Set the L1 partition split boundary: compaction outputs roll to a
+    /// new sorted, non-overlapping partition once the current one's
+    /// serialized payload reaches this many bytes (see
+    /// [`PlannerConfig::target_partition_bytes`]).
+    pub fn with_target_partition_bytes(mut self, bytes: u64) -> Self {
+        self.planner.target_partition_bytes = bytes;
         self
     }
 

@@ -23,33 +23,45 @@
 //!        │  bytes)             │  counters
 //!        └──────────┬──────────┘
 //!        ┌──────────▼──────────┐
-//!        │  cold segments      │  newest first; MANIFEST names them,
-//!        │  (pbc-archive)      │  swapped by write-temp + rename
+//!        │  L0 spill segments  │  recency order, may overlap; walked
+//!        │  (pbc-archive)      │  newest first
+//!        └──────────┬──────────┘
+//!        ┌──────────▼──────────┐
+//!        │  L1 partitions      │  sorted, non-overlapping; binary-
+//!        │  (pbc-archive)      │  searched — one partition per key
 //!        └─────────────────────┘
 //! ```
 //!
 //! * **Spilling**: when hot bytes cross [`TierConfig::memory_watermark_bytes`],
 //!   the coldest shards (LRU by last-access epoch) are drained, merged and
-//!   written as one sorted segment, then evicted from RAM.
+//!   written as one sorted L0 segment, then evicted from RAM.
 //! * **Read-through**: `get` falls from hot memory through the staging area
-//!   and the byte-bounded LRU [`BlockCache`] to the segments, newest first,
-//!   so overwrites and tombstones always shadow older spilled state.
-//! * **Crash safety**: durable state is the [`Manifest`] plus the segments
-//!   it names, committed under a monotonically increasing **generation**;
-//!   segments are fsynced before the atomic manifest swap, and reopen
-//!   lands on exactly one consistent generation, sweeping debris (a stale
-//!   `MANIFEST.tmp`, orphaned or retired segment files).
-//! * **Compaction**: a [`planner::CompactionPlanner`] scores live segments
-//!   by key-range overlap, dead-entry ratio, and size, and emits bounded
-//!   jobs (merge k ≤ N adjacent segments into one, leaving the rest
-//!   untouched). Jobs run on a background maintenance thread
-//!   ([`TierConfig::background_compaction`]) or synchronously via
-//!   [`TieredStore::run_pending_compactions`]. Jobs that rewrite the
-//!   majority of cold records retrain the block codec on samples of their
-//!   merged run and refresh the shared spill codec; smaller incremental
-//!   jobs reuse it, with the per-block raw fallback bounding drift.
-//!   [`TieredStore::compact`] remains as the full stop-the-world merge
-//!   for offline reorganization.
+//!   and the byte-bounded LRU [`BlockCache`] to L0 (newest first), then
+//!   binary-searches the one L1 partition covering the key — so overwrites
+//!   and tombstones always shadow older spilled state and worst-case cold
+//!   lookups cost O(L0) + O(log L1), not O(segments).
+//! * **Crash safety**: durable state is the [`Manifest`] (v3: per-segment
+//!   level + stats) plus the segments it names, committed under a
+//!   monotonically increasing **generation**; segments are fsynced before
+//!   the atomic manifest swap, and reopen lands on exactly one consistent
+//!   generation, sweeping debris (a stale `MANIFEST.tmp`, orphaned or
+//!   retired segment files).
+//! * **Leveled compaction**: a [`planner::CompactionPlanner`] emits
+//!   range-selected jobs — promote a bounded L0 run together with exactly
+//!   the L1 partitions its key range intersects, or consolidate small
+//!   adjacent L1 partitions — whose outputs are written back to L1 split
+//!   at [`PlannerConfig::target_partition_bytes`] boundaries. Every job
+//!   includes everything at or below its key range, so every job drops
+//!   tombstones: L1 never stores one. Jobs reserve their key interval in
+//!   a **range-reservation table** instead of a global lock, so jobs over
+//!   disjoint ranges run and commit concurrently — from the background
+//!   maintenance thread ([`TierConfig::background_compaction`]) and any
+//!   number of [`TieredStore::run_pending_compactions`] callers at once.
+//!   Jobs that rewrite the majority of cold records retrain the block
+//!   codec on samples of their merged run and refresh the shared spill
+//!   codec; smaller incremental jobs reuse it, with the per-block raw
+//!   fallback bounding drift. [`TieredStore::compact`] remains as the
+//!   full merge (whole-key-space reservation) for offline reorganization.
 //!
 //! ## Example
 //!
@@ -83,11 +95,13 @@ pub mod planner;
 pub mod store;
 
 pub use cache::{BlockCache, BlockKey};
-pub use compact::MergeOutcome;
+pub use compact::{MergeOutcome, MergeOutput};
 pub use config::TierConfig;
 pub use error::{Result, TierError};
 pub use manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
-pub use planner::{CompactionJob, CompactionPlanner, PlannerConfig, SegmentStats};
+pub use planner::{
+    CompactionJob, CompactionPlanner, KeyRange, PlannerConfig, SegmentStats, LEVEL_L0, LEVEL_L1,
+};
 pub use store::{CompactionSummary, TierStats, TieredStore};
 
 #[cfg(test)]
@@ -258,7 +272,10 @@ mod tests {
         assert_eq!(summary.live_entries, reference.len() as u64);
         assert!(summary.shadowed_dropped > 0);
         assert!(summary.tombstones_dropped > 0);
+        assert_eq!(summary.tombstones_kept, 0, "L1 never stores a tombstone");
         assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.l0_segment_count(), 0, "compact drains L0");
+        assert_eq!(store.l1_partition_count(), 1);
 
         // Observationally identical to the reference after compaction.
         for i in 0..900 {
@@ -303,6 +320,53 @@ mod tests {
     }
 
     #[test]
+    fn compaction_splits_l1_into_sorted_non_overlapping_partitions() {
+        let (dir, _guard) = temp_dir("split");
+        let store = TieredStore::open(
+            small_config(&dir).with_target_partition_bytes(8 * 1024), // force splits
+        )
+        .unwrap();
+        for i in 0..1_200 {
+            store.set(&key(i), &value(i)).unwrap();
+        }
+        store.flush_all().unwrap();
+        let summary = store.compact().unwrap();
+        assert!(
+            summary.output_partitions >= 2,
+            "the split boundary must produce multiple partitions, got {}",
+            summary.output_partitions
+        );
+        assert_eq!(store.l1_partition_count(), summary.output_partitions);
+        let (l0, l1) = store.leveled_stats();
+        assert!(l0.is_empty());
+        for pair in l1.windows(2) {
+            assert!(
+                pair[0].max_key < pair[1].min_key,
+                "L1 partitions sorted and pairwise non-overlapping"
+            );
+        }
+        // Reads binary-search the covering partition; every key answers.
+        for i in (0..1_200).step_by(13) {
+            assert_eq!(
+                store.get(&key(i)).unwrap().as_deref(),
+                Some(value(i).as_slice())
+            );
+        }
+        assert!(store.get(b"user:999999").unwrap().is_none());
+        // Reopen: the leveled layout (manifest v3) survives.
+        drop(store);
+        let reopened = TieredStore::open(small_config(&dir)).unwrap();
+        assert_eq!(reopened.l1_partition_count(), summary.output_partitions);
+        assert_eq!(reopened.l0_segment_count(), 0);
+        for i in (0..1_200).step_by(29) {
+            assert_eq!(
+                reopened.get(&key(i)).unwrap().as_deref(),
+                Some(value(i).as_slice())
+            );
+        }
+    }
+
+    #[test]
     fn second_open_of_a_live_directory_is_refused() {
         let (dir, _guard) = temp_dir("lock");
         let store = TieredStore::open(small_config(&dir)).unwrap();
@@ -332,6 +396,72 @@ mod tests {
         for i in (0..700).step_by(31) {
             let expected = if i == 13 { None } else { Some(value(i)) };
             assert_eq!(store.get(&key(i)).unwrap(), expected, "key {i}");
+        }
+    }
+
+    #[test]
+    fn stats_less_v1_segments_reload_with_real_footer_bounds() {
+        // Regression for the stat-backfill bugs: a v1 manifest carries no
+        // per-segment stats, so reopen derives them from each segment's
+        // footer. The bounds must be the real keys (not empty vectors that
+        // make `SegmentStats::overlaps` under-report every overlap) and
+        // the byte size must be the real file size (not a silent 0 that
+        // corrupts the planner's cost math).
+        let (dir, _guard) = temp_dir("v1-stats");
+        {
+            let store = TieredStore::open(TierConfig::new(&dir)).unwrap();
+            // Two spills over the same key range, so the segments overlap.
+            for i in 0..300 {
+                store.set(&key(i), &value(i)).unwrap();
+            }
+            store.flush_all().unwrap();
+            for i in 0..300 {
+                store.set(&key(i), &value(i + 1)).unwrap();
+            }
+            store.flush_all().unwrap();
+            assert_eq!(store.segment_count(), 2);
+        }
+        // Rewrite the manifest in v1 format: same segments, no stats.
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        let mut body = String::from("pbc-tier-manifest v1\n");
+        for entry in &loaded.segments {
+            body.push_str(&format!("segment {} {}\n", entry.id, entry.file_name));
+        }
+        let crc = pbc_archive::format::crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        std::fs::write(Manifest::path_in(&dir), body).unwrap();
+
+        let store = TieredStore::open(TierConfig::new(&dir)).unwrap();
+        let stats = store.segment_stats();
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert!(s.records > 0, "footer backfill recovers record counts");
+            assert!(!s.min_key.is_empty() && !s.max_key.is_empty());
+            assert_eq!(s.min_key, key(0));
+            assert_eq!(s.max_key, key(299));
+            let on_disk = std::fs::metadata(dir.join(format!("seg-{:06}.seg", s.id)))
+                .unwrap()
+                .len();
+            assert_eq!(s.bytes, on_disk, "backfilled size is the real file size");
+        }
+        assert!(
+            stats[0].overlaps(&stats[1]),
+            "real bounds make the overlap visible to the planner"
+        );
+        // The planner sees the overlap and folds the two segments away.
+        let planner = CompactionPlanner::new(PlannerConfig {
+            max_segments: 1,
+            ..PlannerConfig::default()
+        });
+        let (l0, l1) = store.leveled_stats();
+        let job = planner.plan(&l0, &l1, &[]).unwrap();
+        assert_eq!(job.l0_inputs.len(), 2, "both overlapping segments planned");
+        // And every key still reads back the newer version.
+        for i in (0..300).step_by(17) {
+            assert_eq!(
+                store.get(&key(i)).unwrap().as_deref(),
+                Some(value(i + 1).as_slice())
+            );
         }
     }
 

@@ -8,7 +8,12 @@
 //! threshold is crossed, and runs the planned jobs one bounded merge at a
 //! time — reads and spills continue throughout, because jobs operate on a
 //! snapshot of the segment set and commit through the same
-//! generation-stamped manifest swap as everything else.
+//! generation-stamped manifest swap as everything else. Jobs reserve
+//! their key range rather than holding a global compaction lock, so the
+//! thread composes with concurrent
+//! [`crate::TieredStore::run_pending_compactions`] callers: work over
+//! disjoint key ranges runs and commits in parallel, and a plan that
+//! loses the reservation race is simply replanned on the next pass.
 //!
 //! Lifecycle: [`MaintSignal::request_shutdown`] (called from the store's
 //! `Drop`) wakes the thread and makes it exit after at most one in-flight

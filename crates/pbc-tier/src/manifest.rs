@@ -1,28 +1,34 @@
-//! The manifest: which segments are live, swapped atomically, stamped
-//! with a monotonically increasing **generation**.
+//! The manifest: which segments are live, on which level, swapped
+//! atomically, stamped with a monotonically increasing **generation**.
 //!
 //! A tiered store's durable state is the set of segment files plus this one
-//! small file naming them (newest first). Updates never touch the live
-//! manifest in place: the new contents are written to `MANIFEST.tmp`,
-//! fsynced, and renamed over `MANIFEST` — a single atomic step on POSIX
-//! filesystems. A crash mid-commit therefore leaves either the old manifest
-//! (the half-written segment is orphaned and swept on reopen) or the new
-//! one (the segment is fully durable); acknowledged data is never lost.
+//! small file naming them. Updates never touch the live manifest in place:
+//! the new contents are written to `MANIFEST.tmp`, fsynced, and renamed
+//! over `MANIFEST` — a single atomic step on POSIX filesystems. A crash
+//! mid-commit therefore leaves either the old manifest (the half-written
+//! segment is orphaned and swept on reopen) or the new one (the segment is
+//! fully durable); acknowledged data is never lost. A commit that *fails*
+//! (not crashes) sweeps its own `MANIFEST.tmp` before returning, so failed
+//! spills and jobs leave no debris for reopen to find.
 //!
 //! Every committed manifest carries a generation one greater than its
 //! predecessor's. The rename is the commit point, so a leftover
 //! `MANIFEST.tmp` — even one that parses cleanly with a *higher*
 //! generation than the live file — is an uncommitted, stale generation and
 //! is rejected (deleted) on load. Partial compactions lean on this: a job
-//! commits "retire {a,b}, add {c}" as one generation bump, and reopen
+//! commits "retire inputs, add outputs" as one generation bump, and reopen
 //! after a crash lands on exactly one consistent generation, sweeping
 //! whichever segment files that generation does not name.
 //!
-//! Since v2 each segment line also records per-segment statistics (record
-//! count, tombstone count, file bytes, key range) so the compaction
-//! planner can score segments without opening them. v1 manifests (no
-//! generation line, no stats) still load; callers backfill stats from the
-//! segment footers.
+//! Format history:
+//! * **v1** — magic + segment lines (`segment <id> <file>`), CRC. No
+//!   generation, no stats; loads as generation 0, all segments L0.
+//! * **v2** — adds the generation line and per-segment stats (records,
+//!   tombstones, bytes, key range). Loads with every segment on L0.
+//! * **v3** — adds the **level** field (0 = recency-ordered L0 spill
+//!   segment, 1 = sorted non-overlapping L1 partition) between the file
+//!   name and the stats. L0 entries are listed newest first, then L1
+//!   entries ascending by key range.
 
 use std::fs;
 use std::io::Write;
@@ -31,6 +37,7 @@ use std::path::{Path, PathBuf};
 use pbc_archive::format::crc32;
 
 use crate::error::{Result, TierError};
+use crate::planner::{LEVEL_L0, LEVEL_L1};
 
 /// File name of the live manifest inside the store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
@@ -39,6 +46,7 @@ pub const MANIFEST_TMP_NAME: &str = "MANIFEST.tmp";
 
 const MAGIC_LINE_V1: &str = "pbc-tier-manifest v1";
 const MAGIC_LINE_V2: &str = "pbc-tier-manifest v2";
+const MAGIC_LINE_V3: &str = "pbc-tier-manifest v3";
 
 /// Per-segment statistics recorded at commit time (spill or compaction).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -62,20 +70,24 @@ pub struct ManifestEntry {
     pub id: u64,
     /// File name relative to the store directory.
     pub file_name: String,
+    /// Which level the segment lives on: [`LEVEL_L0`] (recency-ordered
+    /// spill segment) or [`LEVEL_L1`] (sorted, non-overlapping partition).
+    /// v1/v2 manifests load with every segment on L0.
+    pub level: u8,
     /// Per-segment stats; `None` only when loaded from a v1 manifest
     /// (callers backfill from the segment footer).
     pub stats: Option<SegmentStatsRecord>,
 }
 
-/// The ordered set of live segments, newest first, plus the generation
-/// this set was committed under.
+/// The ordered set of live segments plus the generation this set was
+/// committed under. L0 entries come first, newest first; L1 entries
+/// follow, ascending by key range.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     /// Commit counter: each manifest swap writes `generation + 1`. A fresh
     /// directory starts at 0; v1 manifests load as generation 0.
     pub generation: u64,
-    /// Live segments, newest first. Lookups scan in this order so newer
-    /// segments shadow older ones.
+    /// Live segments: L0 newest first, then L1 ascending.
     pub segments: Vec<ManifestEntry>,
 }
 
@@ -116,15 +128,16 @@ impl Manifest {
     /// Serialize: magic line, generation line, one `segment` line each,
     /// then a CRC line over everything above it.
     fn encode(&self) -> String {
-        let mut body = String::from(MAGIC_LINE_V2);
+        let mut body = String::from(MAGIC_LINE_V3);
         body.push('\n');
         body.push_str(&format!("generation {}\n", self.generation));
         for entry in &self.segments {
             let stats = entry.stats.clone().unwrap_or_default();
             body.push_str(&format!(
-                "segment {} {} {} {} {} {} {}\n",
+                "segment {} {} {} {} {} {} {} {}\n",
                 entry.id,
                 entry.file_name,
+                entry.level,
                 stats.records,
                 stats.tombstones,
                 stats.bytes,
@@ -154,12 +167,13 @@ impl Manifest {
             )));
         }
         let mut lines = body.lines().peekable();
-        let v2 = match lines.next() {
-            Some(MAGIC_LINE_V1) => false,
-            Some(MAGIC_LINE_V2) => true,
+        let version = match lines.next() {
+            Some(MAGIC_LINE_V1) => 1u8,
+            Some(MAGIC_LINE_V2) => 2,
+            Some(MAGIC_LINE_V3) => 3,
             _ => return Err(corrupt("bad magic line".into())),
         };
-        let generation = if v2 {
+        let generation = if version >= 2 {
             let line = lines
                 .next()
                 .ok_or_else(|| corrupt("missing generation line".into()))?;
@@ -172,14 +186,13 @@ impl Manifest {
         let mut segments = Vec::new();
         for line in lines {
             let parts: Vec<&str> = line.split(' ').collect();
-            let (id, file_name, stats) = match parts.as_slice() {
-                ["segment", id, file_name] if !v2 => (*id, *file_name, None),
-                ["segment", id, file_name, records, tombstones, bytes, min_key, max_key] if v2 => {
-                    let parse = |field: &str| -> Result<u64> {
-                        field
-                            .parse::<u64>()
-                            .map_err(|_| corrupt(format!("bad stats field in {line:?}")))
-                    };
+            let parse = |field: &str| -> Result<u64> {
+                field
+                    .parse::<u64>()
+                    .map_err(|_| corrupt(format!("bad stats field in {line:?}")))
+            };
+            let parse_stats =
+                |records, tombstones, bytes, min_key, max_key| -> Result<SegmentStatsRecord> {
                     let stats = SegmentStatsRecord {
                         records: parse(records)?,
                         tombstones: parse(tombstones)?,
@@ -194,7 +207,30 @@ impl Manifest {
                             "segment claims more tombstones than records in {line:?}"
                         )));
                     }
-                    (*id, *file_name, Some(stats))
+                    Ok(stats)
+                };
+            let (id, file_name, level, stats) = match (version, parts.as_slice()) {
+                (1, ["segment", id, file_name]) => (*id, *file_name, LEVEL_L0, None),
+                (2, ["segment", id, file_name, records, tombstones, bytes, min_key, max_key]) => (
+                    *id,
+                    *file_name,
+                    LEVEL_L0,
+                    Some(parse_stats(records, tombstones, bytes, min_key, max_key)?),
+                ),
+                (
+                    3,
+                    ["segment", id, file_name, level, records, tombstones, bytes, min_key, max_key],
+                ) => {
+                    let level = parse(level)?;
+                    if level != u64::from(LEVEL_L0) && level != u64::from(LEVEL_L1) {
+                        return Err(corrupt(format!("bad level in {line:?}")));
+                    }
+                    (
+                        *id,
+                        *file_name,
+                        level as u8,
+                        Some(parse_stats(records, tombstones, bytes, min_key, max_key)?),
+                    )
                 }
                 _ => return Err(corrupt(format!("unrecognized line {line:?}"))),
             };
@@ -207,6 +243,7 @@ impl Manifest {
             segments.push(ManifestEntry {
                 id,
                 file_name: file_name.to_string(),
+                level,
                 stats,
             });
         }
@@ -245,21 +282,33 @@ impl Manifest {
     ///
     /// The rename is the commit point: `Err` means the swap did **not**
     /// happen and the old manifest is still live, so callers may safely
-    /// clean up the segment the new manifest would have named. The
-    /// directory fsync after the rename is therefore best-effort — if it
-    /// fails, the swap has still happened in-process (at worst a crash
-    /// before the rename reaches disk replays as the ordinary
-    /// old-manifest + orphan-segment recovery); surfacing it as an error
-    /// would make callers delete a segment the on-disk manifest already
-    /// references.
+    /// clean up the segment the new manifest would have named. A failed
+    /// commit also sweeps its own `MANIFEST.tmp` before returning —
+    /// without that, the debris of a failed (not crashed) commit would
+    /// linger until the next reopen. The directory fsync after the rename
+    /// is best-effort — if it fails, the swap has still happened
+    /// in-process (at worst a crash before the rename reaches disk replays
+    /// as the ordinary old-manifest + orphan-segment recovery); surfacing
+    /// it as an error would make callers delete a segment the on-disk
+    /// manifest already references.
     pub fn store(&self, dir: &Path) -> Result<()> {
         let tmp = dir.join(MANIFEST_TMP_NAME);
-        {
-            let mut file = fs::File::create(&tmp)?;
-            file.write_all(self.encode().as_bytes())?;
-            file.sync_all()?;
+        let write_and_rename = || -> Result<()> {
+            {
+                let mut file = fs::File::create(&tmp)?;
+                file.write_all(self.encode().as_bytes())?;
+                file.sync_all()?;
+            }
+            fs::rename(&tmp, Self::path_in(dir))?;
+            Ok(())
+        };
+        if let Err(e) = write_and_rename() {
+            // The rename did not happen; the tmp is this failed commit's
+            // own debris. Best-effort sweep — reopen would remove it too,
+            // but a long-lived store should not accumulate it meanwhile.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
         }
-        fs::rename(&tmp, Self::path_in(dir))?;
         #[cfg(unix)]
         let _ = fs::File::open(dir).and_then(|d| d.sync_all());
         Ok(())
@@ -319,11 +368,13 @@ mod tests {
                 ManifestEntry {
                     id: 7,
                     file_name: "seg-000007.seg".into(),
+                    level: LEVEL_L0,
                     stats: Some(stats(900, 45)),
                 },
                 ManifestEntry {
                     id: 3,
                     file_name: "seg-000003.seg".into(),
+                    level: LEVEL_L1,
                     stats: Some(stats(1_200, 0)),
                 },
             ],
@@ -331,13 +382,15 @@ mod tests {
     }
 
     #[test]
-    fn roundtrips_generation_stats_and_order() {
+    fn roundtrips_generation_levels_stats_and_order() {
         let (dir, _guard) = temp_dir("roundtrip");
         sample().store(&dir).unwrap();
         let loaded = Manifest::load(&dir).unwrap().unwrap();
         assert_eq!(loaded, sample());
         assert_eq!(loaded.generation, 12);
-        assert_eq!(loaded.segments[0].id, 7, "newest first");
+        assert_eq!(loaded.segments[0].id, 7, "L0 first");
+        assert_eq!(loaded.segments[0].level, LEVEL_L0);
+        assert_eq!(loaded.segments[1].level, LEVEL_L1);
         let s = loaded.segments[0].stats.as_ref().unwrap();
         assert_eq!((s.records, s.tombstones), (900, 45));
     }
@@ -350,6 +403,7 @@ mod tests {
             segments: vec![ManifestEntry {
                 id: 1,
                 file_name: "seg-000001.seg".into(),
+                level: LEVEL_L0,
                 stats: Some(SegmentStatsRecord::default()),
             }],
         };
@@ -358,7 +412,7 @@ mod tests {
     }
 
     #[test]
-    fn v1_manifests_still_load_as_generation_zero_without_stats() {
+    fn v1_manifests_still_load_as_generation_zero_l0_without_stats() {
         let (dir, _guard) = temp_dir("v1");
         let mut body = String::from("pbc-tier-manifest v1\n");
         body.push_str("segment 7 seg-000007.seg\n");
@@ -370,6 +424,44 @@ mod tests {
         assert_eq!(loaded.generation, 0);
         assert_eq!(loaded.segments.len(), 2);
         assert!(loaded.segments.iter().all(|s| s.stats.is_none()));
+        assert!(loaded.segments.iter().all(|s| s.level == LEVEL_L0));
+    }
+
+    #[test]
+    fn v2_manifests_load_with_every_segment_on_l0() {
+        let (dir, _guard) = temp_dir("v2");
+        let mut body = String::from("pbc-tier-manifest v2\n");
+        body.push_str("generation 9\n");
+        body.push_str("segment 7 seg-000007.seg 900 45 4096 61 7a\n");
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        fs::write(Manifest::path_in(&dir), body).unwrap();
+        let loaded = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.generation, 9);
+        assert_eq!(loaded.segments.len(), 1);
+        let entry = &loaded.segments[0];
+        assert_eq!(entry.level, LEVEL_L0, "v2 segments are all L0");
+        let s = entry.stats.as_ref().unwrap();
+        assert_eq!((s.records, s.tombstones, s.bytes), (900, 45, 4096));
+        assert_eq!(
+            (s.min_key.as_slice(), s.max_key.as_slice()),
+            (&b"a"[..], &b"z"[..])
+        );
+    }
+
+    #[test]
+    fn an_unknown_level_is_a_typed_error() {
+        let (dir, _guard) = temp_dir("bad-level");
+        let mut body = String::from("pbc-tier-manifest v3\n");
+        body.push_str("generation 1\n");
+        body.push_str("segment 1 seg-000001.seg 7 10 0 100 61 7a\n");
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        fs::write(Manifest::path_in(&dir), body).unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(TierError::ManifestCorrupt { .. })
+        ));
     }
 
     #[test]
@@ -408,6 +500,23 @@ mod tests {
     }
 
     #[test]
+    fn a_failed_commit_sweeps_its_own_tmp_file() {
+        // Writing into a directory that no longer exists fails before the
+        // rename; no MANIFEST.tmp may linger afterwards (here trivially,
+        // since the directory is gone — the non-trivial case is a rename
+        // failure, simulated by making the target path unusable).
+        let (dir, _guard) = temp_dir("failed-commit");
+        // Make the rename fail: replace the MANIFEST path with a directory.
+        fs::create_dir_all(Manifest::path_in(&dir)).unwrap();
+        let result = sample().store(&dir);
+        assert!(result.is_err(), "rename onto a directory must fail");
+        assert!(
+            !dir.join(MANIFEST_TMP_NAME).exists(),
+            "failed commit swept its tmp file"
+        );
+    }
+
+    #[test]
     fn store_checked_rejects_stale_generations() {
         let (dir, _guard) = temp_dir("stale");
         sample().store(&dir).unwrap();
@@ -437,11 +546,11 @@ mod tests {
         // length, so it passes the length check) must not panic the
         // decoder by slicing mid-character.
         let (dir, _guard) = temp_dir("utf8-key");
-        let mut body = String::from("pbc-tier-manifest v2\n");
+        let mut body = String::from("pbc-tier-manifest v3\n");
         body.push_str("generation 1\n");
         // "€a" is 4 bytes — even, so it passes the length check and the
         // first 2-byte chunk would split the 3-byte '€' mid-character.
-        body.push_str("segment 1 seg-000001.seg 10 0 100 \u{20AC}a cd\n");
+        body.push_str("segment 1 seg-000001.seg 0 10 0 100 \u{20AC}a cd\n");
         let crc = crc32(body.as_bytes());
         body.push_str(&format!("crc {crc:08x}\n"));
         fs::write(Manifest::path_in(&dir), body).unwrap();
@@ -466,7 +575,7 @@ mod tests {
             Err(TierError::ManifestCorrupt { .. })
         ));
         // Truncation too.
-        fs::write(&path, b"pbc-tier-manifest v2\n").unwrap();
+        fs::write(&path, b"pbc-tier-manifest v3\n").unwrap();
         assert!(matches!(
             Manifest::load(&dir),
             Err(TierError::ManifestCorrupt { .. })
@@ -482,6 +591,7 @@ mod tests {
             segments: vec![ManifestEntry {
                 id: 9,
                 file_name: "seg-000009.seg".into(),
+                level: LEVEL_L1,
                 stats: Some(stats(2_000, 10)),
             }],
         };

@@ -1,22 +1,34 @@
-//! The tiered store: hot sharded memory over cold compressed segments.
+//! The tiered store: hot sharded memory over a two-level cold tier.
 //!
 //! Writes land in a hot [`TierStore`]; when its accounted bytes cross the
 //! configured watermark, the coldest shards (by last-access epoch) are
 //! drained, merged, and written to a `pbc-archive` segment, then the
 //! manifest is swapped atomically. Reads go hot → tombstones → in-flight
-//! spill staging → block cache → cold segments newest-first, so overwrites
-//! and deletes always win over older spilled state.
+//! spill staging → block cache → **L0** spill segments newest-first →
+//! the single **L1** partition covering the key, so overwrites and
+//! deletes always win over older spilled state.
+//!
+//! ## Levels
+//!
+//! The cold tier is leveled (see [`crate::planner`]): L0 holds spill
+//! segments in recency order (they may overlap), L1 holds sorted,
+//! pairwise non-overlapping key partitions produced by compaction jobs.
+//! Worst-case cold lookups cost O(L0) + O(log L1) instead of
+//! O(segments).
 //!
 //! ## Ownership of cold data
 //!
 //! The live segment set is published as an immutable snapshot
-//! (`Arc<Vec<Arc<ColdSegment>>>`): readers clone the `Arc` and walk it
-//! without holding any lock, so a compaction job can retire segments
-//! mid-read — the retired readers (and, on unix, their unlinked files)
-//! stay alive until the last in-flight read drops its snapshot. Spills and
-//! compaction jobs run concurrently (separate locks); every change to the
-//! segment set commits through one generation-stamped manifest swap under
-//! a dedicated commit lock, with the set's write lock held only for the
+//! (`Arc<ColdTier>`): readers clone the `Arc` and walk it without holding
+//! any lock, so a compaction job can retire segments mid-read — the
+//! retired readers (and, on unix, their unlinked files) stay alive until
+//! the last in-flight read drops its snapshot. Spills and compaction jobs
+//! run concurrently, and **multiple compaction jobs run concurrently with
+//! each other** when their key ranges are disjoint: instead of one global
+//! compaction lock, each job reserves its key interval in a reservation
+//! table for the duration of the merge. Every change to the segment set
+//! still commits through one generation-stamped manifest swap under a
+//! dedicated commit lock, with the set's write lock held only for the
 //! final pointer swap — so readers never wait out a manifest fsync.
 //!
 //! ## Crash safety
@@ -25,17 +37,18 @@
 //! write and fsync the new segment *before* the manifest swap, and the swap
 //! is write-temp + rename; a crash mid-spill leaves the previous manifest
 //! intact and at worst an orphaned half-segment, swept on reopen. A
-//! compaction job commits "retire the run, add the output" as a single
-//! generation bump: a crash before the rename replays as the old
-//! generation plus an orphaned output, a crash after it as the new
-//! generation plus orphaned inputs — reopen sweeps either. Hot
-//! (in-memory) data is acknowledged as volatile until spilled — the same
-//! contract as any memory-tier cache; [`TieredStore::flush_all`] spills
-//! everything for a clean shutdown.
+//! compaction job commits "retire the inputs, add the output partitions"
+//! as a single generation bump: a crash before the rename replays as the
+//! old generation plus orphaned outputs, a crash after it as the new
+//! generation plus orphaned inputs — reopen sweeps either. A *failed*
+//! (not crashed) commit sweeps its own `MANIFEST.tmp` and output files
+//! immediately. Hot (in-memory) data is acknowledged as volatile until
+//! spilled — the same contract as any memory-tier cache;
+//! [`TieredStore::flush_all`] spills everything for a clean shutdown.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::{Mutex, RwLock};
 use pbc_archive::{select_codec_over_blocks, BlockCodec, CodecSpec, Entry, SegmentReader};
@@ -47,7 +60,9 @@ use crate::config::TierConfig;
 use crate::error::{Result, TierError};
 use crate::maintenance::{maintenance_loop, MaintSignal};
 use crate::manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
-use crate::planner::{CompactionJob, CompactionPlanner, SegmentStats};
+use crate::planner::{
+    CompactionJob, CompactionPlanner, KeyRange, SegmentStats, LEVEL_L0, LEVEL_L1,
+};
 
 /// Marker prefix for a live cold value.
 const MARKER_LIVE: u8 = 0;
@@ -90,7 +105,7 @@ fn segment_file_name(id: u64) -> String {
 
 /// One cold segment: its id, reader, on-disk name, and the stats the
 /// compaction planner scores it by. Immutable once published; shared
-/// between the live list and any in-flight read snapshots via `Arc`.
+/// between the live tier and any in-flight read snapshots via `Arc`.
 struct ColdSegment {
     id: u64,
     file_name: String,
@@ -99,16 +114,19 @@ struct ColdSegment {
     records: u64,
     /// Tombstones among them.
     tombstones: u64,
-    /// Segment file size in bytes.
+    /// Segment file size in bytes, as counted by the writer that produced
+    /// it (or the reader footer geometry on a stats-less reload) — never
+    /// a best-effort re-stat that could silently record 0.
     bytes: u64,
     min_key: Vec<u8>,
     max_key: Vec<u8>,
 }
 
 impl ColdSegment {
-    fn stats(&self) -> SegmentStats {
+    fn stats(&self, level: u8) -> SegmentStats {
         SegmentStats {
             id: self.id,
+            level,
             records: self.records,
             tombstones: self.tombstones,
             bytes: self.bytes,
@@ -117,10 +135,11 @@ impl ColdSegment {
         }
     }
 
-    fn manifest_entry(&self) -> ManifestEntry {
+    fn manifest_entry(&self, level: u8) -> ManifestEntry {
         ManifestEntry {
             id: self.id,
             file_name: self.file_name.clone(),
+            level,
             stats: Some(SegmentStatsRecord {
                 records: self.records,
                 tombstones: self.tombstones,
@@ -130,10 +149,198 @@ impl ColdSegment {
             }),
         }
     }
+
+    /// This segment's key interval (`None` for an empty segment).
+    fn range(&self) -> Option<KeyRange> {
+        if self.records == 0 {
+            None
+        } else {
+            Some(KeyRange::bounded(
+                self.min_key.clone(),
+                self.max_key.clone(),
+            ))
+        }
+    }
 }
 
-/// An immutable snapshot of the live segment list, newest first.
-type ColdList = Arc<Vec<Arc<ColdSegment>>>;
+/// The immutable two-level cold tier snapshot readers walk.
+struct ColdTier {
+    /// Recency-ordered spill segments, newest first; may overlap.
+    l0: Vec<Arc<ColdSegment>>,
+    /// Sorted, pairwise non-overlapping partitions, ascending by key.
+    l1: Vec<Arc<ColdSegment>>,
+}
+
+impl ColdTier {
+    fn empty() -> Self {
+        ColdTier {
+            l0: Vec::new(),
+            l1: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.l0.len() + self.l1.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.l0.is_empty() && self.l1.is_empty()
+    }
+
+    /// Every segment, L0 first (newest first), then L1 ascending.
+    fn iter(&self) -> impl Iterator<Item = &Arc<ColdSegment>> {
+        self.l0.iter().chain(self.l1.iter())
+    }
+
+    /// The manifest naming this tier, under `generation`.
+    fn manifest(&self, generation: u64) -> Manifest {
+        Manifest {
+            generation,
+            segments: self
+                .l0
+                .iter()
+                .map(|s| s.manifest_entry(LEVEL_L0))
+                .chain(self.l1.iter().map(|s| s.manifest_entry(LEVEL_L1)))
+                .collect(),
+        }
+    }
+
+    /// L1 must stay sorted and pairwise non-overlapping — the invariant
+    /// the binary-searched read path and range-selected jobs rely on.
+    fn check_l1_invariant(&self) -> std::result::Result<(), String> {
+        for pair in self.l1.windows(2) {
+            if pair[0].max_key >= pair[1].min_key {
+                return Err(format!(
+                    "L1 partitions {} and {} overlap or are out of order",
+                    pair[0].id, pair[1].id
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An immutable snapshot of the live cold tier.
+type ColdList = Arc<ColdTier>;
+
+/// In-flight compaction key-range reservations. A job reserves the union
+/// interval of its inputs (and therefore of its outputs) before merging;
+/// jobs with disjoint intervals touch disjoint segments, so they run and
+/// commit concurrently. Built on `std::sync` because releases must wake
+/// blocked full-compaction waiters through a condvar.
+///
+/// A blocking waiter registers its claim as **pending** before it waits:
+/// pending claims conflict with new `try_reserve` calls (so a stream of
+/// background jobs cannot starve a full compaction forever) but a waiter
+/// itself only waits on active reservations and on pending claims with
+/// an *older* ticket — ticket order makes two blocking waiters queue
+/// instead of deadlocking on each other's claims.
+struct ReservationTable {
+    inner: StdMutex<ReservedSet>,
+    released: Condvar,
+}
+
+#[derive(Default)]
+struct ReservedSet {
+    next_ticket: u64,
+    /// Ranges held by running jobs.
+    active: Vec<(u64, KeyRange)>,
+    /// Claims of blocked `reserve_blocking` callers, awaiting their turn.
+    pending: Vec<(u64, KeyRange)>,
+}
+
+impl ReservedSet {
+    /// Whether `range` conflicts as seen by a *new* claim: active
+    /// reservations and every pending claim block it.
+    fn conflicts_any(&self, range: &KeyRange) -> bool {
+        self.active.iter().any(|(_, r)| r.overlaps(range))
+            || self.pending.iter().any(|(_, r)| r.overlaps(range))
+    }
+
+    /// Whether the pending claim `ticket` must keep waiting: active
+    /// reservations, plus pending claims queued before it.
+    fn blocks_pending(&self, ticket: u64, range: &KeyRange) -> bool {
+        self.active.iter().any(|(_, r)| r.overlaps(range))
+            || self
+                .pending
+                .iter()
+                .any(|(t, r)| *t < ticket && r.overlaps(range))
+    }
+
+    fn claim_ticket(&mut self) -> u64 {
+        self.next_ticket += 1;
+        self.next_ticket
+    }
+}
+
+/// RAII release for one reserved range.
+struct ReservationGuard<'a> {
+    table: &'a ReservationTable,
+    ticket: u64,
+}
+
+impl Drop for ReservationGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = self.table.inner.lock().expect("reservation table poisoned");
+        set.active.retain(|(ticket, _)| *ticket != self.ticket);
+        drop(set);
+        self.table.released.notify_all();
+    }
+}
+
+impl ReservationTable {
+    fn new() -> Self {
+        ReservationTable {
+            inner: StdMutex::new(ReservedSet::default()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Reserve `range` if it conflicts with no in-flight reservation and
+    /// no waiting claim (waiters would starve otherwise).
+    fn try_reserve(&self, range: KeyRange) -> Option<ReservationGuard<'_>> {
+        let mut set = self.inner.lock().expect("reservation table poisoned");
+        if set.conflicts_any(&range) {
+            return None;
+        }
+        let ticket = set.claim_ticket();
+        set.active.push((ticket, range));
+        Some(ReservationGuard {
+            table: self,
+            ticket,
+        })
+    }
+
+    /// Reserve `range`, waiting for conflicting reservations to release
+    /// (used by the full [`TieredStore::compact`], which needs the whole
+    /// key space). The claim is registered immediately, so new
+    /// `try_reserve` calls over the range fail while this caller waits.
+    fn reserve_blocking(&self, range: KeyRange) -> ReservationGuard<'_> {
+        let mut set = self.inner.lock().expect("reservation table poisoned");
+        let ticket = set.claim_ticket();
+        set.pending.push((ticket, range.clone()));
+        while set.blocks_pending(ticket, &range) {
+            set = self.released.wait(set).expect("reservation table poisoned");
+        }
+        set.pending.retain(|(t, _)| *t != ticket);
+        set.active.push((ticket, range));
+        ReservationGuard {
+            table: self,
+            ticket,
+        }
+    }
+
+    /// Every claimed range, active and pending alike (what the planner
+    /// must avoid proposing jobs over).
+    fn snapshot(&self) -> Vec<KeyRange> {
+        let set = self.inner.lock().expect("reservation table poisoned");
+        set.active
+            .iter()
+            .chain(set.pending.iter())
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+}
 
 /// Read-side counters; see [`TieredStore::stats`].
 #[derive(Default)]
@@ -145,6 +352,7 @@ struct StatCounters {
     cold_index_only: AtomicU64,
     cold_cache_hits: AtomicU64,
     cold_cache_misses: AtomicU64,
+    cold_segments_scanned: AtomicU64,
     spills: AtomicU64,
     spilled_entries: AtomicU64,
     compactions: AtomicU64,
@@ -152,9 +360,11 @@ struct StatCounters {
     background_errors: AtomicU64,
 }
 
-/// What one cold lookup did at the block level.
+/// What one cold lookup did at the segment and block level.
 #[derive(Default)]
 struct BlockProbes {
+    /// Segments whose footer indexes were consulted.
+    segments: usize,
     /// Blocks consulted (cache lookups attempted).
     probed: usize,
     /// Whether any consulted block had to be read from disk.
@@ -187,6 +397,11 @@ pub struct TierStats {
     pub cold_cache_hits: u64,
     /// Cold lookups that had to read at least one block from disk.
     pub cold_cache_misses: u64,
+    /// Segments whose footer indexes were consulted across all cold
+    /// lookups — the read-amplification gauge leveling shrinks: an L1
+    /// lookup consults at most one partition, an L0-only layout consults
+    /// every segment until it finds the key.
+    pub cold_segments_scanned: u64,
     /// Spill passes completed.
     pub spills: u64,
     /// Records (entries + tombstones) written by spills.
@@ -202,8 +417,13 @@ pub struct TierStats {
     /// Gauge: records currently stored across cold segments (live +
     /// tombstones), from the per-segment stats recorded at spill time.
     pub cold_records: u64,
-    /// Gauge: tombstones currently stored across cold segments.
+    /// Gauge: tombstones currently stored across cold segments (they only
+    /// ever live in L0 — every job drops them on the way into L1).
     pub cold_tombstones: u64,
+    /// Gauge: live L0 spill segments.
+    pub l0_segments: u64,
+    /// Gauge: live L1 partitions.
+    pub l1_partitions: u64,
     /// Gauge: the manifest generation the current segment set was
     /// committed under.
     pub generation: u64,
@@ -226,17 +446,19 @@ impl TierStats {
 /// reports.
 #[derive(Debug, Clone)]
 pub struct CompactionSummary {
-    /// Segments merged away.
+    /// Segments merged away (L0 inputs + L1 inputs).
     pub merged_segments: usize,
-    /// Live entries surviving into the output segment.
+    /// L1 partitions the job produced.
+    pub output_partitions: usize,
+    /// Live entries surviving into the output partitions.
     pub live_entries: u64,
     /// Entries dropped because a newer segment shadowed them.
     pub shadowed_dropped: u64,
-    /// Tombstones dropped (only when the merged run included the oldest
-    /// segment, so nothing older remained for them to shadow).
+    /// Tombstones dropped (leveled jobs include everything at or below
+    /// their key range, so this is every input tombstone).
     pub tombstones_dropped: u64,
-    /// Tombstones carried into the output (partial jobs with older
-    /// segments still beneath the run).
+    /// Tombstones carried into the output (always 0 for leveled jobs;
+    /// kept for the generic merge path).
     pub tombstones_kept: u64,
 }
 
@@ -244,6 +466,7 @@ impl CompactionSummary {
     fn empty() -> Self {
         CompactionSummary {
             merged_segments: 0,
+            output_partitions: 0,
             live_entries: 0,
             shadowed_dropped: 0,
             tombstones_dropped: 0,
@@ -259,8 +482,8 @@ pub(crate) struct TierInner {
     config: TierConfig,
     hot: TierStore,
     cache: BlockCache,
-    /// The live segment set, newest first, published as an immutable
-    /// snapshot (see the [module docs](self)).
+    /// The live cold tier, published as an immutable snapshot (see the
+    /// [module docs](self)).
     cold: RwLock<ColdList>,
     /// Entries mid-spill: drained from hot, not yet durable in a manifest
     /// segment. `None` marks a tombstone. Reads consult this between the
@@ -269,13 +492,15 @@ pub(crate) struct TierInner {
     /// can stream it straight into a segment without a second copy.
     staging: RwLock<BTreeMap<Vec<u8>, Option<Vec<u8>>>>,
     /// Serializes spills and flushes (staging is a single shared area).
-    /// Deliberately *not* shared with `compact_lock`: a running compaction
-    /// job must never stall a watermark spill.
+    /// Deliberately not shared with the compaction machinery: a running
+    /// compaction job must never stall a watermark spill.
     spill_lock: Mutex<()>,
-    /// Serializes compaction jobs (background and explicit).
-    compact_lock: Mutex<()>,
+    /// In-flight compaction key-range reservations — the replacement for
+    /// the old single `compact_lock`: jobs over disjoint key ranges run
+    /// and commit concurrently; only overlapping work excludes itself.
+    reservations: ReservationTable,
     /// Serializes segment-set commits (spill and job alike): successor
-    /// list construction, the manifest swap (fsync + rename — the slow
+    /// tier construction, the manifest swap (fsync + rename — the slow
     /// part), and the generation bump all happen under this lock, so the
     /// `cold` write lock is only ever held for the final pointer swap and
     /// readers never wait out a manifest fsync. Lock order:
@@ -284,7 +509,7 @@ pub(crate) struct TierInner {
     commit_lock: Mutex<()>,
     /// The shared trained codec spills reuse (when
     /// [`TierConfig::reuse_spill_codec`] is on): selected on the first
-    /// spill, refreshed by every compaction job's retraining pass.
+    /// spill, refreshed by every majority-rewrite compaction job.
     spill_codec: Mutex<Option<BlockCodec>>,
     next_segment_id: AtomicU64,
     /// Generation of the currently committed manifest; every segment-set
@@ -318,7 +543,8 @@ impl std::fmt::Debug for TieredStore {
             .field("hot_len", &self.inner.hot.len())
             .field("memory_usage_bytes", &self.memory_usage_bytes())
             .field("watermark", &self.inner.config.memory_watermark_bytes)
-            .field("segments", &self.segment_count())
+            .field("l0_segments", &self.l0_segment_count())
+            .field("l1_partitions", &self.l1_partition_count())
             .field("generation", &self.generation())
             .field("background", &self.maintenance.is_some())
             .finish()
@@ -338,9 +564,10 @@ impl TieredStore {
     /// Open (or create) a tiered store in `config.dir`. Reloads the
     /// manifest if one exists, reopening every live segment and sweeping
     /// crash debris (a stale `MANIFEST.tmp`, orphaned segment files from
-    /// interrupted spills or half-committed compaction jobs). Spawns the
-    /// background maintenance thread when
-    /// [`TierConfig::background_compaction`] is set.
+    /// interrupted spills or half-committed compaction jobs). v1/v2
+    /// manifests load with every segment on L0. Spawns the background
+    /// maintenance thread when [`TierConfig::background_compaction`] is
+    /// set.
     pub fn open(config: TierConfig) -> Result<TieredStore> {
         std::fs::create_dir_all(&config.dir)?;
         // Exclusive advisory lock before reading anything: a second opener
@@ -357,25 +584,32 @@ impl TieredStore {
             });
         }
         let manifest = Manifest::load(&config.dir)?.unwrap_or_default();
-        let mut cold = Vec::with_capacity(manifest.segments.len());
+        let mut tier = ColdTier::empty();
         let mut max_id = 0u64;
         for entry in &manifest.segments {
             let path = config.dir.join(&entry.file_name);
             let reader = SegmentReader::open(&path)?;
             max_id = max_id.max(entry.id);
-            // v2 manifests carry the stats; a v1 manifest (or a v2 line
-            // whose stats got lost) is backfilled from the segment footer.
-            // v1 *segments* predate flagged counts, so their tombstone
-            // count reads as 0 — the planner undercounts dead entries for
-            // them until a compaction rewrites the segment.
-            let stats = entry.stats.clone().unwrap_or_else(|| SegmentStatsRecord {
-                records: reader.record_count(),
-                tombstones: reader.flagged_count(),
-                bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
-                min_key: reader.min_key().unwrap_or_default().to_vec(),
-                max_key: reader.max_key().unwrap_or_default().to_vec(),
-            });
-            cold.push(Arc::new(ColdSegment {
+            // v2+ manifests carry the stats; a v1 manifest (or a line
+            // whose stats got lost) is backfilled from the segment footer:
+            // real key bounds from the per-block index, the byte size the
+            // reader measured at open — never a best-effort re-stat whose
+            // transient failure would record a 0-byte segment and corrupt
+            // the planner's size math. v1 *segments* predate flagged
+            // counts, so their tombstone count reads as 0 — the planner
+            // undercounts dead entries for them until a compaction
+            // rewrites the segment.
+            let stats = match entry.stats.clone() {
+                Some(stats) => stats,
+                None => SegmentStatsRecord {
+                    records: reader.record_count(),
+                    tombstones: reader.flagged_count(),
+                    bytes: reader.file_len(),
+                    min_key: reader.min_key().unwrap_or_default().to_vec(),
+                    max_key: reader.max_key().unwrap_or_default().to_vec(),
+                },
+            };
+            let segment = Arc::new(ColdSegment {
                 id: entry.id,
                 file_name: entry.file_name.clone(),
                 reader,
@@ -384,7 +618,15 @@ impl TieredStore {
                 bytes: stats.bytes,
                 min_key: stats.min_key,
                 max_key: stats.max_key,
-            }));
+            });
+            if entry.level == LEVEL_L1 {
+                tier.l1.push(segment);
+            } else {
+                tier.l0.push(segment);
+            }
+        }
+        if let Err(context) = tier.check_l1_invariant() {
+            return Err(TierError::ManifestCorrupt { context });
         }
         // Orphaned segments: files from a spill or compaction that died
         // before (or after) its manifest swap — the output of an
@@ -413,10 +655,10 @@ impl TieredStore {
         let inner = Arc::new(TierInner {
             hot,
             cache,
-            cold: RwLock::new(Arc::new(cold)),
+            cold: RwLock::new(Arc::new(tier)),
             staging: RwLock::new(BTreeMap::new()),
             spill_lock: Mutex::new(()),
-            compact_lock: Mutex::new(()),
+            reservations: ReservationTable::new(),
             commit_lock: Mutex::new(()),
             spill_codec: Mutex::new(None),
             next_segment_id: AtomicU64::new(max_id + 1),
@@ -462,9 +704,19 @@ impl TieredStore {
         self.inner.hot.len()
     }
 
-    /// Live cold segments.
+    /// Live cold segments across both levels.
     pub fn segment_count(&self) -> usize {
         self.inner.cold.read().len()
+    }
+
+    /// Live L0 spill segments.
+    pub fn l0_segment_count(&self) -> usize {
+        self.inner.cold.read().l0.len()
+    }
+
+    /// Live L1 partitions.
+    pub fn l1_partition_count(&self) -> usize {
+        self.inner.cold.read().l1.len()
     }
 
     /// The manifest generation the current segment set was committed
@@ -473,10 +725,18 @@ impl TieredStore {
         self.inner.generation.load(Ordering::Relaxed)
     }
 
-    /// Per-segment statistics, newest first — what the compaction planner
-    /// scores.
+    /// Per-segment statistics, L0 newest-first then L1 ascending — what
+    /// the compaction planner scores.
     pub fn segment_stats(&self) -> Vec<SegmentStats> {
-        self.inner.segment_stats()
+        let (mut l0, mut l1) = self.inner.leveled_stats();
+        l0.append(&mut l1);
+        l0
+    }
+
+    /// Per-level statistics: `(L0 newest first, L1 ascending by key)`.
+    /// L1 is always sorted and pairwise non-overlapping.
+    pub fn leveled_stats(&self) -> (Vec<SegmentStats>, Vec<SegmentStats>) {
+        self.inner.leveled_stats()
     }
 
     /// A snapshot of the store's counters and cold-tier gauges.
@@ -484,13 +744,15 @@ impl TieredStore {
         let inner = &self.inner;
         let s = &inner.stats;
         // Generation is read under the same lock as the gauges: commits
-        // store it together with the list swap, so the pair is always
+        // store it together with the tier swap, so the set is always
         // consistent.
-        let (cold_records, cold_tombstones, generation) = {
+        let (cold_records, cold_tombstones, l0_segments, l1_partitions, generation) = {
             let cold = inner.cold.read();
             (
                 cold.iter().map(|seg| seg.records).sum(),
                 cold.iter().map(|seg| seg.tombstones).sum(),
+                cold.l0.len() as u64,
+                cold.l1.len() as u64,
                 inner.generation.load(Ordering::Relaxed),
             )
         };
@@ -502,6 +764,7 @@ impl TieredStore {
             cold_index_only: s.cold_index_only.load(Ordering::Relaxed),
             cold_cache_hits: s.cold_cache_hits.load(Ordering::Relaxed),
             cold_cache_misses: s.cold_cache_misses.load(Ordering::Relaxed),
+            cold_segments_scanned: s.cold_segments_scanned.load(Ordering::Relaxed),
             spills: s.spills.load(Ordering::Relaxed),
             spilled_entries: s.spilled_entries.load(Ordering::Relaxed),
             compactions: s.compactions.load(Ordering::Relaxed),
@@ -509,6 +772,8 @@ impl TieredStore {
             background_errors: s.background_errors.load(Ordering::Relaxed),
             cold_records,
             cold_tombstones,
+            l0_segments,
+            l1_partitions,
             generation,
         }
     }
@@ -520,7 +785,8 @@ impl TieredStore {
     }
 
     /// Fetch a value, reading through hot memory, the spill staging area,
-    /// the block cache, and finally cold segments (newest first).
+    /// the block cache, L0 segments (newest first), and finally the one
+    /// L1 partition covering the key.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.inner.get(key)
     }
@@ -544,9 +810,12 @@ impl TieredStore {
     }
 
     /// Run planner-selected compaction jobs until no trigger threshold is
-    /// crossed (or a job goes stale). Returns the number of jobs run. This
-    /// is the synchronous twin of the background maintenance thread —
-    /// useful with background compaction off, and for deterministic tests.
+    /// crossed. Returns the number of jobs run. This is the synchronous
+    /// twin of the background maintenance thread — useful with background
+    /// compaction off, and for deterministic tests. Safe to call from
+    /// several threads at once: each caller reserves its job's key range,
+    /// so disjoint jobs run and commit concurrently while conflicting
+    /// plans fall to whichever caller reserved first.
     pub fn run_pending_compactions(&self) -> Result<usize> {
         self.inner.run_pending_compactions()
     }
@@ -564,11 +833,11 @@ impl TieredStore {
         self.inner.maint.resume();
     }
 
-    /// Merge **every** cold segment into one, dropping shadowed versions
-    /// and tombstones and retraining the block codec on the merged corpus.
-    /// The stop-the-world ancestor of the planner's bounded jobs; still
-    /// the right call for offline reorganizations (benchmarks, clean
-    /// shutdown into a single segment).
+    /// Merge **every** cold segment into fresh L1 partitions, dropping
+    /// shadowed versions and tombstones and retraining the block codec on
+    /// the merged corpus. Reserves the whole key space, waiting for any
+    /// in-flight jobs to finish. Still the right call for offline
+    /// reorganizations (benchmarks, clean shutdown into a minimal layout).
     pub fn compact(&self) -> Result<CompactionSummary> {
         self.inner.compact()
     }
@@ -587,14 +856,18 @@ impl TierInner {
         self.hot.memory_usage_bytes() + self.hot.tombstone_bytes()
     }
 
-    /// Snapshot the live segment list (one `Arc` clone; no lock held
+    /// Snapshot the live cold tier (one `Arc` clone; no lock held
     /// afterwards).
     fn cold_snapshot(&self) -> ColdList {
         Arc::clone(&self.cold.read())
     }
 
-    fn segment_stats(&self) -> Vec<SegmentStats> {
-        self.cold_snapshot().iter().map(|s| s.stats()).collect()
+    fn leveled_stats(&self) -> (Vec<SegmentStats>, Vec<SegmentStats>) {
+        let cold = self.cold_snapshot();
+        (
+            cold.l0.iter().map(|s| s.stats(LEVEL_L0)).collect(),
+            cold.l1.iter().map(|s| s.stats(LEVEL_L1)).collect(),
+        )
     }
 
     fn set(&self, key: &[u8], value: &[u8]) -> Result<usize> {
@@ -670,11 +943,11 @@ impl TierInner {
         Ok(existed_hot || existed_below)
     }
 
-    /// Cold lookup through the block cache, newest segment first, over a
-    /// lock-free snapshot of the segment set (concurrent compaction may
-    /// retire segments out from under us; our snapshot keeps their readers
-    /// alive and answers identically, since a merged output is
-    /// observationally equal to its inputs).
+    /// Cold lookup through the block cache over a lock-free snapshot of
+    /// the cold tier (concurrent compaction may retire segments out from
+    /// under us; our snapshot keeps their readers alive and answers
+    /// identically, since a merged output is observationally equal to its
+    /// inputs).
     fn cold_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let cold = self.cold_snapshot();
         if cold.is_empty() {
@@ -682,6 +955,9 @@ impl TierInner {
         }
         let mut probes = BlockProbes::default();
         let outcome = self.cold_lookup(&cold, key, &mut probes);
+        self.stats
+            .cold_segments_scanned
+            .fetch_add(probes.segments as u64, Ordering::Relaxed);
         if probes.probed == 0 {
             // Answered by the footer indexes alone (key outside every
             // block's range) — the cache was never consulted, so this is
@@ -698,19 +974,34 @@ impl TierInner {
         outcome
     }
 
+    /// Walk L0 newest-first, then binary-search the one L1 partition whose
+    /// range covers the key — O(L0) + O(log L1), not O(segments).
     fn cold_lookup(
         &self,
-        cold: &[Arc<ColdSegment>],
+        cold: &ColdTier,
         key: &[u8],
         probes: &mut BlockProbes,
     ) -> Result<Option<Vec<u8>>> {
-        for segment in cold {
+        for segment in &cold.l0 {
+            probes.segments += 1;
             // Duplicate keys may straddle block borders; newest-wins means
             // scanning candidates back to front.
             for block in segment.reader.candidate_blocks_for_key(key)?.rev() {
                 let entries = self.cached_block(segment, block, probes)?;
                 if let Some(stored) = find_last(&entries, key) {
                     return decode_marked(stored);
+                }
+            }
+        }
+        let idx = cold.l1.partition_point(|p| p.max_key.as_slice() < key);
+        if let Some(partition) = cold.l1.get(idx) {
+            if partition.min_key.as_slice() <= key {
+                probes.segments += 1;
+                for block in partition.reader.candidate_blocks_for_key(key)?.rev() {
+                    let entries = self.cached_block(partition, block, probes)?;
+                    if let Some(stored) = find_last(&entries, key) {
+                        return decode_marked(stored);
+                    }
                 }
             }
         }
@@ -801,7 +1092,7 @@ impl TierInner {
         victims
     }
 
-    /// Drain `victims` into one new segment and commit it.
+    /// Drain `victims` into one new L0 segment and commit it.
     ///
     /// Ordering is what makes this crash-safe: (1) drained entries become
     /// readable via staging before the shard locks release, (2) the segment
@@ -863,18 +1154,39 @@ impl TierInner {
 
         // (2) Write and fsync the segment, streaming from staging under a
         // read guard (concurrent gets still read staging freely). The
-        // spill's key range is read off the sorted map's ends.
+        // spill's key range is read off the sorted map's ends; staging is
+        // non-empty here, so the bounds are real keys.
         let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
         let file_name = segment_file_name(id);
         let path = self.config.dir.join(&file_name);
         let (written, min_key, max_key) = {
             let staging = self.staging.read();
-            let min_key = staging.keys().next().cloned().unwrap_or_default();
-            let max_key = staging.keys().next_back().cloned().unwrap_or_default();
+            let min_key = staging.keys().next().cloned().expect("staging non-empty");
+            let max_key = staging
+                .keys()
+                .next_back()
+                .cloned()
+                .expect("staging non-empty");
             (self.write_spill_segment(&path, &staging), min_key, max_key)
         };
-        let reader = match written.and_then(|()| SegmentReader::open(&path).map_err(Into::into)) {
-            Ok(reader) => reader,
+        // The written-byte count comes from the writer itself (it just
+        // fsynced the file) — never from a re-stat whose transient failure
+        // would silently record a 0-byte segment.
+        let segment = match written.and_then(|summary| {
+            SegmentReader::open(&path)
+                .map(|r| (summary, r))
+                .map_err(Into::into)
+        }) {
+            Ok((summary, reader)) => Arc::new(ColdSegment {
+                id,
+                file_name,
+                reader,
+                records: staged_count as u64,
+                tombstones,
+                bytes: summary.file_bytes,
+                min_key,
+                max_key,
+            }),
             Err(e) => {
                 // Put the data back; the half-written file is debris.
                 self.restore_staging_to_hot();
@@ -882,29 +1194,23 @@ impl TierInner {
                 return Err(e);
             }
         };
-        let segment = Arc::new(ColdSegment {
-            id,
-            file_name,
-            reader,
-            records: staged_count as u64,
-            tombstones,
-            bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
-            min_key,
-            max_key,
-        });
 
         // (3) + (4) Swap the manifest under the next generation, then
-        // publish the new segment list. The commit lock (not the cold
-        // write lock) covers the slow manifest fsync; the successor list
-        // cannot go stale in between because every segment-set mutation
-        // commits under this same lock.
+        // publish the new tier. The commit lock (not the cold write lock)
+        // covers the slow manifest fsync; the successor tier cannot go
+        // stale in between because every segment-set mutation commits
+        // under this same lock.
         {
             let _commit = self.commit_lock.lock();
             let current = self.cold_snapshot();
-            let mut list: Vec<Arc<ColdSegment>> = Vec::with_capacity(current.len() + 1);
-            list.push(Arc::clone(&segment));
-            list.extend(current.iter().cloned());
-            let generation = match self.commit_list(&list) {
+            let mut l0: Vec<Arc<ColdSegment>> = Vec::with_capacity(current.l0.len() + 1);
+            l0.push(Arc::clone(&segment));
+            l0.extend(current.l0.iter().cloned());
+            let tier = ColdTier {
+                l0,
+                l1: current.l1.clone(),
+            };
+            let generation = match self.commit_tier(&tier) {
                 Ok(generation) => generation,
                 Err(e) => {
                     self.restore_staging_to_hot();
@@ -913,7 +1219,7 @@ impl TierInner {
                 }
             };
             let mut cold = self.cold.write();
-            *cold = Arc::new(list);
+            *cold = Arc::new(tier);
             self.generation.store(generation, Ordering::Relaxed);
         }
 
@@ -929,20 +1235,17 @@ impl TierInner {
         Ok(())
     }
 
-    /// Write the manifest for `list` under the next generation and return
+    /// Write the manifest for `tier` under the next generation and return
     /// that generation. Callers must hold `commit_lock` (it serializes
-    /// generation bumps and successor-list construction) and store the
+    /// generation bumps and successor-tier construction) and store the
     /// returned generation into `self.generation` **under the `cold`
-    /// write lock, together with the list swap** — so any reader holding
+    /// write lock, together with the tier swap** — so any reader holding
     /// `cold.read()` sees a generation that matches the segment set it is
     /// looking at.
-    fn commit_list(&self, list: &[Arc<ColdSegment>]) -> Result<u64> {
+    fn commit_tier(&self, tier: &ColdTier) -> Result<u64> {
+        debug_assert!(tier.check_l1_invariant().is_ok());
         let generation = self.generation.load(Ordering::Relaxed) + 1;
-        let manifest = Manifest {
-            generation,
-            segments: list.iter().map(|s| s.manifest_entry()).collect(),
-        };
-        manifest.store_checked(&self.config.dir)?;
+        tier.manifest(generation).store_checked(&self.config.dir)?;
         Ok(generation)
     }
 
@@ -1024,7 +1327,7 @@ impl TierInner {
         &self,
         path: &std::path::Path,
         merged: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
-    ) -> Result<()> {
+    ) -> Result<pbc_archive::SegmentSummary> {
         let config = pbc_archive::SegmentConfig {
             codec: self.spill_codec_spec(merged),
             ..self.config.segment.clone()
@@ -1038,8 +1341,7 @@ impl TierInner {
                 None => writer.append_flagged(key, &encode_tombstone())?,
             }
         }
-        writer.finish()?;
-        Ok(())
+        Ok(writer.finish()?)
     }
 
     /// Undo a failed spill: move staged entries and tombstones back into
@@ -1060,17 +1362,27 @@ impl TierInner {
         }
     }
 
+    /// Plan the best job against current stats and reservations.
+    fn plan_next(&self) -> Option<CompactionJob> {
+        let (l0, l1) = self.leveled_stats();
+        let reserved = self.reservations.snapshot();
+        self.planner.plan(&l0, &l1, &reserved)
+    }
+
     /// One background maintenance pass: run planned jobs until no trigger
     /// remains or shutdown/pause intervenes. Returns `false` when a job
     /// errored (counted; the maintenance loop backs off before retrying).
     pub(crate) fn background_pass(&self) -> bool {
         while !self.maint.is_shutdown() && !self.maint.is_paused() {
-            let Some(job) = self.planner.plan(&self.segment_stats()) else {
+            let Some(job) = self.plan_next() else {
                 return true;
             };
             match self.run_job(&job) {
-                Ok(Some(_)) => continue,
-                Ok(None) => return true, // raced an explicit compact; replan next tick
+                // On a lost reservation race (`Ok(None)`), replan right
+                // away: the planner sees the now-claimed range and either
+                // proposes disjoint work or returns `None`, so this never
+                // spins against the winning compactor.
+                Ok(Some(_)) | Ok(None) => continue,
                 Err(_) => {
                     self.stats.background_errors.fetch_add(1, Ordering::Relaxed);
                     return false;
@@ -1080,67 +1392,61 @@ impl TierInner {
         true
     }
 
-    /// Run one planned job (serialized with other compactions). Returns
-    /// `Ok(None)` when the job went stale — its inputs are no longer a
-    /// contiguous run of the live list — which is not an error: the caller
-    /// simply replans against current stats.
-    fn run_job(&self, job: &CompactionJob) -> Result<Option<CompactionSummary>> {
-        let _guard = self.compact_lock.lock();
-        self.run_job_locked(&job.inputs, job.drop_tombstones)
-    }
-
     fn run_pending_compactions(&self) -> Result<usize> {
         let mut jobs = 0usize;
-        // Every job shrinks the segment count or zeroes the oldest run's
-        // tombstones, so planning converges; the cap is a backstop against
-        // planner bugs, not a tuning knob.
-        while jobs < 1_000 {
-            let Some(job) = self.planner.plan(&self.segment_stats()) else {
+        let mut lost_races = 0usize;
+        // Every job shrinks the segment count or drains tombstones, so
+        // planning converges; the caps are backstops against planner
+        // bugs, not tuning knobs.
+        while jobs < 1_000 && lost_races < 1_000 {
+            let Some(job) = self.plan_next() else {
                 break;
             };
             if self.run_job(&job)?.is_none() {
-                break;
+                // Another compactor reserved this range or retired these
+                // inputs between our plan and our reservation. Replan:
+                // the next pass sees the claimed range (and the updated
+                // tier), so it finds disjoint work or cleanly runs out —
+                // the documented contract is to drain every crossed
+                // trigger, not to stop at the first lost race.
+                lost_races += 1;
+                continue;
             }
             jobs += 1;
         }
         Ok(jobs)
     }
 
-    fn compact(&self) -> Result<CompactionSummary> {
-        let _guard = self.compact_lock.lock();
-        let inputs: Vec<u64> = self.cold_snapshot().iter().map(|s| s.id).collect();
-        if inputs.is_empty() {
-            return Ok(CompactionSummary::empty());
-        }
-        // The full set is trivially a contiguous run including the oldest;
-        // it cannot go stale under the compact lock (spills only prepend).
-        Ok(self
-            .run_job_locked(&inputs, true)?
-            .unwrap_or_else(CompactionSummary::empty))
-    }
-
-    /// Merge the contiguous run `inputs` (newest first) into one output
-    /// segment and commit "retire the run, add the output" as a single
-    /// generation bump. Caller must hold `compact_lock`.
-    fn run_job_locked(
-        &self,
-        inputs: &[u64],
-        drop_tombstones: bool,
-    ) -> Result<Option<CompactionSummary>> {
-        let snapshot = self.cold_snapshot();
-        let Some(run) = locate_run(&snapshot, inputs) else {
+    /// Run one planned job under a key-range reservation. Returns
+    /// `Ok(None)` when the job went stale — its range is reserved by a
+    /// concurrent job, or its inputs no longer match the live tier —
+    /// which is not an error: the caller simply replans against current
+    /// state.
+    fn run_job(&self, job: &CompactionJob) -> Result<Option<CompactionSummary>> {
+        let Some(_reservation) = self.reservations.try_reserve(job.range.clone()) else {
             return Ok(None);
         };
-        // Dropping tombstones is only sound when nothing older remains
-        // below the run; re-validate against the *current* list rather
-        // than trusting the (possibly stale) plan.
-        let includes_oldest = run.start + inputs.len() == snapshot.len();
-        let drop_tombstones = drop_tombstones && includes_oldest;
+        self.run_job_reserved(job)
+    }
 
-        let out_id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
-        let out_name = segment_file_name(out_id);
-        let out_path = self.config.dir.join(&out_name);
-        let run_segments = &snapshot[run.clone()];
+    /// The reserved body of [`TierInner::run_job`]: validate the plan
+    /// against the live tier, merge, and commit "retire inputs, add
+    /// output partitions" as one generation bump. Caller holds the job's
+    /// key-range reservation, which is what licenses every unsynchronized
+    /// step here: no concurrent job can touch segments inside the range.
+    fn run_job_reserved(&self, job: &CompactionJob) -> Result<Option<CompactionSummary>> {
+        let snapshot = self.cold_snapshot();
+        let Some((l0_run, l1_run)) = validate_job(&snapshot, job) else {
+            return Ok(None);
+        };
+        let run_segments: Vec<Arc<ColdSegment>> = snapshot.l0[l0_run.clone()]
+            .iter()
+            .chain(snapshot.l1[l1_run.clone()].iter())
+            .cloned()
+            .collect();
+        // Newest-first merge rank: the L0 run in recency order, then the
+        // L1 partitions (their versions are older than any L0 version of
+        // the same key — the leveling invariant).
         let readers: Vec<&SegmentReader> = run_segments.iter().map(|s| &s.reader).collect();
         // Retraining policy (the LeCo flow: retrain lightweight codecs on
         // stable, merged runs): full candidate selection costs seconds of
@@ -1156,85 +1462,133 @@ impl TierInner {
             .lock()
             .clone()
             .filter(|_| self.config.reuse_spill_codec && run_records * 2 < total_records);
-        let outcome = match merge_segments(
-            &readers,
-            &out_path,
-            &self.config.segment,
-            drop_tombstones,
-            reuse.map(CodecSpec::Pretrained),
-        ) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                let _ = std::fs::remove_file(&out_path);
-                return Err(e);
-            }
-        };
-        let replacement = match &outcome.summary {
-            Some(summary) => {
-                let reader = match SegmentReader::open(&out_path) {
-                    Ok(reader) => reader,
-                    Err(e) => {
-                        // The merged file is unreachable without a manifest
-                        // entry; don't leave it behind.
-                        let _ = std::fs::remove_file(&out_path);
-                        return Err(e.into());
-                    }
-                };
-                Some(Arc::new(ColdSegment {
-                    id: out_id,
-                    min_key: reader.min_key().unwrap_or_default().to_vec(),
-                    max_key: reader.max_key().unwrap_or_default().to_vec(),
-                    reader,
-                    records: summary.record_count,
-                    tombstones: outcome.tombstones_kept,
-                    bytes: std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0),
-                    file_name: out_name,
-                }))
-            }
-            None => None,
-        };
+        self.merge_and_commit(job, &readers, reuse.map(CodecSpec::Pretrained))
+    }
 
-        // Commit: rebuild the list with the run replaced by the output (a
-        // concurrent spill may have prepended segments since our snapshot;
-        // relocate the run in the *current* list — under the compact lock
-        // it can only have shifted, not changed membership or order). The
-        // commit lock covers the slow manifest fsync and keeps the
-        // successor list from going stale; the cold write lock is held
-        // only for the pointer swap, so readers never wait on the fsync.
+    /// Merge `readers` into split L1 partitions and commit the swap.
+    fn merge_and_commit(
+        &self,
+        job: &CompactionJob,
+        readers: &[&SegmentReader],
+        codec: Option<CodecSpec>,
+    ) -> Result<Option<CompactionSummary>> {
+        let dir = self.config.dir.clone();
+        let next_id = &self.next_segment_id;
+        let mut next_output = || {
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            let name = segment_file_name(id);
+            let path = dir.join(&name);
+            (id, name, path)
+        };
+        // Consolidation jobs must merge to exactly one partition (their
+        // qualifying threshold is compressed bytes; re-splitting on the
+        // raw-byte boundary could re-create the small partitions the
+        // planner just targeted, and it would re-plan them forever).
+        let split_bytes = job
+            .split_outputs
+            .then(|| self.config.planner.target_partition_bytes.max(1));
+        let outcome = merge_segments(
+            readers,
+            &self.config.segment,
+            job.drop_tombstones,
+            codec,
+            split_bytes,
+            &mut next_output,
+        )?;
+
+        // Open a reader per output partition; on failure, no manifest
+        // names any of them yet, so remove them all.
+        let mut replacements: Vec<Arc<ColdSegment>> = Vec::with_capacity(outcome.outputs.len());
+        for output in &outcome.outputs {
+            let reader = match SegmentReader::open(&output.path) {
+                Ok(reader) => reader,
+                Err(e) => {
+                    for output in &outcome.outputs {
+                        let _ = std::fs::remove_file(&output.path);
+                    }
+                    return Err(e.into());
+                }
+            };
+            replacements.push(Arc::new(ColdSegment {
+                id: output.id,
+                file_name: output.file_name.clone(),
+                records: output.summary.record_count,
+                tombstones: output.tombstones_kept,
+                bytes: output.summary.file_bytes,
+                min_key: reader.min_key().unwrap_or_default().to_vec(),
+                max_key: reader.max_key().unwrap_or_default().to_vec(),
+                reader,
+            }));
+        }
+
+        // Commit: rebuild the tier with the inputs replaced by the output
+        // partitions. Concurrent spills may have prepended L0 segments and
+        // disjoint jobs may have rewritten other ranges since our snapshot
+        // — relocate the inputs in the *current* tier (inside our reserved
+        // range nothing can have touched them; if they are gone anyway,
+        // the plan was stale before we reserved). The commit lock covers
+        // the slow manifest fsync; the cold write lock is held only for
+        // the pointer swap, so readers never wait on the fsync.
+        let remove_outputs = |outputs: &[crate::compact::MergeOutput]| {
+            for output in outputs {
+                let _ = std::fs::remove_file(&output.path);
+            }
+        };
         let retired: Vec<Arc<ColdSegment>> = {
             let _commit = self.commit_lock.lock();
             let current = self.cold_snapshot();
-            let Some(run) = locate_run(&current, inputs) else {
-                let _ = std::fs::remove_file(&out_path);
+            let Some((l0_run, l1_run)) = validate_job(&current, job) else {
+                remove_outputs(&outcome.outputs);
                 return Ok(None);
             };
-            let mut list: Vec<Arc<ColdSegment>> =
-                Vec::with_capacity(current.len() + 1 - inputs.len());
-            list.extend(current[..run.start].iter().cloned());
-            list.extend(replacement.iter().cloned());
-            list.extend(current[run.end..].iter().cloned());
-            let generation = match self.commit_list(&list) {
+            let mut l0: Vec<Arc<ColdSegment>> = Vec::with_capacity(current.l0.len() - l0_run.len());
+            l0.extend(current.l0[..l0_run.start].iter().cloned());
+            l0.extend(current.l0[l0_run.end..].iter().cloned());
+            let mut l1: Vec<Arc<ColdSegment>> =
+                Vec::with_capacity(current.l1.len() - l1_run.len() + replacements.len());
+            l1.extend(current.l1[..l1_run.start].iter().cloned());
+            l1.extend(current.l1[l1_run.end..].iter().cloned());
+            // The merge emits keys in ascending order, so `replacements`
+            // is ascending and disjoint; splice it in at its sorted
+            // position.
+            if let Some(first) = replacements.first() {
+                let at = l1.partition_point(|p| p.max_key < first.min_key);
+                l1.splice(at..at, replacements.iter().cloned());
+            }
+            let tier = ColdTier { l0, l1 };
+            if let Err(context) = tier.check_l1_invariant() {
+                remove_outputs(&outcome.outputs);
+                return Err(TierError::ManifestCorrupt { context });
+            }
+            let generation = match self.commit_tier(&tier) {
                 Ok(generation) => generation,
                 Err(e) => {
-                    let _ = std::fs::remove_file(&out_path);
+                    remove_outputs(&outcome.outputs);
                     return Err(e);
                 }
             };
+            let retired: Vec<Arc<ColdSegment>> = current.l0[l0_run.clone()]
+                .iter()
+                .chain(current.l1[l1_run.clone()].iter())
+                .cloned()
+                .collect();
             {
                 let mut cold = self.cold.write();
-                *cold = Arc::new(list);
+                *cold = Arc::new(tier);
                 self.generation.store(generation, Ordering::Relaxed);
             }
-            current[run.clone()].to_vec()
+            retired
         };
 
-        // The run is retired: invalidate its cached blocks and unlink its
-        // files. In-flight reads over older snapshots still hold the
-        // readers (open fds), so they finish correctly; retired segment
-        // ids are never reused, so a late cache insert under a retired id
-        // can serve no future lookup and simply ages out by LRU.
+        // The inputs are retired: invalidate their cached blocks and
+        // unlink their files. In-flight reads over older snapshots still
+        // hold the readers (open fds), so they finish correctly; retired
+        // segment ids are never reused, so a late cache insert under a
+        // retired id can serve no future lookup and simply ages out by
+        // LRU.
+        self.cache
+            .evict_segments(retired.iter().map(|s| s.id).collect::<Vec<_>>().as_slice());
         for segment in &retired {
-            self.cache.evict_segment(segment.id);
             let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
         }
         self.stats
@@ -1248,19 +1602,87 @@ impl TierInner {
         self.stats.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(Some(CompactionSummary {
             merged_segments: retired.len(),
+            output_partitions: outcome.outputs.len(),
             live_entries: outcome.live_entries,
             shadowed_dropped: outcome.shadowed_dropped,
             tombstones_dropped: outcome.tombstones_dropped,
             tombstones_kept: outcome.tombstones_kept,
         }))
     }
+
+    /// Full merge: every segment on both levels into fresh L1 partitions,
+    /// under a whole-key-space reservation (waits for in-flight jobs).
+    fn compact(&self) -> Result<CompactionSummary> {
+        let _reservation = self.reservations.reserve_blocking(KeyRange::everything());
+        let snapshot = self.cold_snapshot();
+        if snapshot.is_empty() {
+            return Ok(CompactionSummary::empty());
+        }
+        let job = CompactionJob {
+            l0_inputs: snapshot.l0.iter().map(|s| s.id).collect(),
+            l1_inputs: snapshot.l1.iter().map(|s| s.id).collect(),
+            range: KeyRange::everything(),
+            drop_tombstones: true,
+            split_outputs: true,
+            score: f64::INFINITY,
+        };
+        Ok(self
+            .run_job_reserved(&job)?
+            .unwrap_or_else(CompactionSummary::empty))
+    }
 }
 
-/// Find `inputs` as a contiguous newest-first run of `list`; `None` when
-/// any input is missing or out of order (the plan went stale).
+/// Locate a job's inputs in the live tier: the L0 inputs as a contiguous
+/// newest-first run, the L1 inputs as a contiguous ascending run, and the
+/// leveling soundness conditions still holding. `None` means the plan went
+/// stale (another compactor got there first) — not an error.
+fn validate_job(
+    tier: &ColdTier,
+    job: &CompactionJob,
+) -> Option<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let l0_run = locate_run(&tier.l0, &job.l0_inputs)?;
+    let l1_run = locate_run(&tier.l1, &job.l1_inputs)?;
+    // Soundness rule 1: no L0 segment older than the run may overlap the
+    // run's own interval (the output lands in L1, below every remaining
+    // L0 segment). Checked against the run interval exactly — not the
+    // job's wider reservation — so a legal plan never re-fails here.
+    let run_range = tier.l0[l0_run.clone()]
+        .iter()
+        .filter_map(|s| s.range())
+        .reduce(|mut acc, r| {
+            acc.merge(&r);
+            acc
+        });
+    if let Some(run_range) = &run_range {
+        if tier.l0[l0_run.end..]
+            .iter()
+            .any(|older| older.range().is_some_and(|r| r.overlaps(run_range)))
+        {
+            return None;
+        }
+        // Soundness rule 2: every L1 partition intersecting the run's
+        // interval must be an input — otherwise tombstone drops and the
+        // output's position could resurrect or shadow versions in a
+        // partition the merge never saw.
+        let selected: Vec<u64> = tier
+            .l1
+            .iter()
+            .filter(|p| p.range().is_some_and(|r| r.overlaps(run_range)))
+            .map(|p| p.id)
+            .collect();
+        if selected.iter().any(|id| !job.l1_inputs.contains(id)) {
+            return None;
+        }
+    }
+    Some((l0_run, l1_run))
+}
+
+/// Find `inputs` as a contiguous run of `list` (by id); `None` when any
+/// input is missing or out of order. Empty inputs locate as the empty run
+/// at the front.
 fn locate_run(list: &[Arc<ColdSegment>], inputs: &[u64]) -> Option<std::ops::Range<usize>> {
     if inputs.is_empty() {
-        return None;
+        return Some(0..0);
     }
     let start = list.iter().position(|s| s.id == inputs[0])?;
     let end = start + inputs.len();
@@ -1286,4 +1708,79 @@ fn find_last<'a>(entries: &'a [Entry], key: &[u8]) -> Option<&'a [u8]> {
         }
     }
     hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(min: &[u8], max: &[u8]) -> KeyRange {
+        KeyRange::bounded(min.to_vec(), max.to_vec())
+    }
+
+    #[test]
+    fn disjoint_reservations_coexist_and_overlapping_ones_exclude() {
+        let table = ReservationTable::new();
+        let a = table.try_reserve(range(b"a", b"f")).expect("first");
+        let b = table.try_reserve(range(b"g", b"k")).expect("disjoint");
+        assert!(
+            table.try_reserve(range(b"e", b"h")).is_none(),
+            "overlaps both in-flight ranges"
+        );
+        assert_eq!(table.snapshot().len(), 2);
+        drop(a);
+        let c = table
+            .try_reserve(range(b"e", b"f"))
+            .expect("released range is free again");
+        drop(b);
+        drop(c);
+        assert!(table.snapshot().is_empty());
+    }
+
+    #[test]
+    fn blocking_reservation_waits_for_conflicts_to_release() {
+        let table = Arc::new(ReservationTable::new());
+        let guard = table.try_reserve(KeyRange::everything()).expect("free");
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                let _all = table.reserve_blocking(KeyRange::everything());
+                // Reserved only after the conflicting guard dropped.
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "waiter must block while reserved");
+        drop(guard);
+        waiter.join().expect("waiter completes after release");
+    }
+
+    #[test]
+    fn a_waiting_claim_blocks_new_try_reserves_so_it_cannot_starve() {
+        let table = Arc::new(ReservationTable::new());
+        let job = table.try_reserve(range(b"a", b"f")).expect("free");
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                let _all = table.reserve_blocking(KeyRange::everything());
+            })
+        };
+        // Wait until the whole-key-space claim is registered as pending.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while table.snapshot().len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "claim registered");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // A stream of new jobs can no longer slip past the waiter — even
+        // over ranges disjoint from every *active* reservation.
+        assert!(
+            table.try_reserve(range(b"x", b"z")).is_none(),
+            "pending whole-key-space claim blocks new reservations"
+        );
+        drop(job);
+        waiter
+            .join()
+            .expect("waiter acquires once active work drains");
+        let after = table.try_reserve(range(b"x", b"z"));
+        assert!(after.is_some(), "released claim frees the range again");
+    }
 }

@@ -15,9 +15,10 @@ fn main() {
         .with_cache_capacity(512 * 1024)
         .with_segment_config(SegmentConfig::default())
         .with_planner(PlannerConfig {
-            max_segments: 4,      // compact once more than 4 segments are live
-            max_dead_ratio: 0.25, // ... or tombstones pass a quarter of cold records
-            max_job_segments: 3,  // each job merges at most 3 adjacent segments
+            max_segments: 4,            // compact once more than 4 segments are live
+            max_dead_ratio: 0.25,       // ... or tombstones pass a quarter of cold records
+            max_job_segments: 3,        // each job promotes at most 3 L0 segments
+            ..PlannerConfig::default()  // default L1 partition split size
         });
     let store = TieredStore::open(config.clone()).expect("open tiered store");
 
@@ -71,27 +72,32 @@ fn main() {
     assert_eq!(store.get(b"user:000003").expect("get"), None);
     println!("overwrite and tombstone shadow the spilled versions");
 
-    // 4a. Incremental compaction: the planner scores segments by overlap,
-    // dead-entry ratio, and size, then merges bounded adjacent runs —
-    // never the whole store. (A background thread does the same when
-    // opened with `.with_background_compaction(true)`.)
+    // 4a. Leveled compaction: the planner promotes bounded L0 runs into
+    // sorted, non-overlapping L1 partitions, pulling in exactly the
+    // partitions each run's key range intersects — never the whole store.
+    // (A background thread does the same when opened with
+    // `.with_background_compaction(true)`, and jobs over disjoint key
+    // ranges commit concurrently.)
     store.flush_all().expect("flush");
     let before = store.segment_count();
     let jobs = store
         .run_pending_compactions()
         .expect("planned compaction jobs");
     println!(
-        "planner ran {jobs} bounded job(s): {before} -> {} segments (generation {})",
+        "planner ran {jobs} bounded job(s): {before} -> {} segments ({} L0 + {} L1, generation {})",
         store.segment_count(),
+        store.l0_segment_count(),
+        store.l1_partition_count(),
         store.generation(),
     );
 
-    // 4b. Full compaction folds everything into one segment, dropping
-    // every dead version — the offline reorganization path.
+    // 4b. Full compaction folds everything into fresh L1 partitions,
+    // dropping every dead version — the offline reorganization path.
     let summary = store.compact().expect("compact");
     println!(
-        "full compact of {} segment(s): {} live entries, {} shadowed + {} tombstones dropped",
+        "full compact of {} segment(s) into {} partition(s): {} live entries, {} shadowed + {} tombstones dropped",
         summary.merged_segments,
+        summary.output_partitions,
         summary.live_entries,
         summary.shadowed_dropped,
         summary.tombstones_dropped,

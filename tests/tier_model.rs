@@ -1,13 +1,17 @@
 //! Property test: randomized set/get/delete/spill/compact sequences on a
 //! [`TieredStore`] are observationally identical to a `BTreeMap` model.
 //!
-//! Spills and compactions — full merges and planner-selected *partial*
+//! Spills and compactions — full merges and planner-selected *leveled*
 //! jobs alike — are pure reorganizations: they move data between tiers and
 //! rewrite segments but must never change what any get returns. The
 //! watermark is set tiny so organic spills trigger mid-sequence on top of
-//! the explicit spill/compact ops, and the planner thresholds are set low
-//! so partial compaction jobs actually run between the interleaved writes
-//! and deletes. The manifest generation must only ever move forward.
+//! the explicit spill/compact ops, the planner thresholds are set low so
+//! leveled jobs (L0→L1 promotions and L1 consolidations) actually run
+//! between the interleaved writes and deletes, and the L1 partition size
+//! is set tiny so the leveled read path exercises real multi-partition
+//! binary searches. After every compaction-shaped op, L1 must be sorted
+//! and pairwise non-overlapping and hold no tombstones; the manifest
+//! generation must only ever move forward.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,6 +20,24 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use pbc::tier::{PlannerConfig, TierConfig, TieredStore};
+
+/// The leveling invariant: L1 sorted, pairwise non-overlapping, and
+/// tombstone-free (every leveled job drops tombstones on the way down).
+fn assert_l1_invariant(store: &TieredStore) {
+    let (_, l1) = store.leveled_stats();
+    for pair in l1.windows(2) {
+        assert!(
+            pair[0].max_key < pair[1].min_key,
+            "L1 partitions {} and {} overlap or are out of order",
+            pair[0].id,
+            pair[1].id
+        );
+    }
+    assert!(
+        l1.iter().all(|p| p.tombstones == 0),
+        "L1 never stores tombstones"
+    );
+}
 
 fn fresh_dir() -> std::path::PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -48,9 +70,10 @@ proptest! {
                 .with_watermark(2 * 1024) // tiny: organic spills mid-sequence
                 .with_cache_capacity(8 * 1024)
                 .with_planner(PlannerConfig {
-                    max_segments: 2,      // partial jobs trigger quickly...
-                    max_dead_ratio: 0.2,  // ...on deletes too
-                    max_job_segments: 3,  // but stay bounded (k <= 3)
+                    max_segments: 2,     // leveled jobs trigger quickly...
+                    max_dead_ratio: 0.2, // ...on deletes too
+                    max_job_segments: 3, // but stay bounded (k <= 3)
+                    target_partition_bytes: 2 * 1024, // many small L1 partitions
                 }),
         )
         .unwrap();
@@ -82,12 +105,14 @@ proptest! {
                 }
                 6 => store.spill_coldest(1 + k % 3).unwrap(),
                 7 => {
-                    // Planner-selected partial jobs: merge bounded runs,
-                    // leave the rest untouched.
+                    // Planner-selected leveled jobs: promote bounded L0
+                    // runs into L1, leave the rest untouched.
                     store.run_pending_compactions().unwrap();
+                    assert_l1_invariant(&store);
                 }
                 _ => {
                     store.compact().unwrap();
+                    assert_l1_invariant(&store);
                 }
             }
             // The just-touched key must agree after every op.
@@ -103,20 +128,23 @@ proptest! {
         }
 
         // Final sweep: the full keyspace (present and absent keys alike)
-        // is observationally identical, through partial jobs and a full
+        // is observationally identical, through leveled jobs and a full
         // compact.
         store.flush_all().unwrap();
         store.run_pending_compactions().unwrap();
+        assert_l1_invariant(&store);
         for k in 0..48usize {
             let key = format!("key:{k:03}").into_bytes();
             prop_assert_eq!(
                 &store.get(&key).unwrap(),
                 &model.get(&key).cloned(),
-                "after partial compactions, key {}",
+                "after leveled compactions, key {}",
                 k
             );
         }
         store.compact().unwrap();
+        assert_l1_invariant(&store);
+        prop_assert_eq!(store.l0_segment_count(), 0, "full compact drains L0");
         for k in 0..48usize {
             let key = format!("key:{k:03}").into_bytes();
             prop_assert_eq!(
