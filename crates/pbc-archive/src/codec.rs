@@ -32,10 +32,15 @@ pub type Entry = (Vec<u8>, Vec<u8>);
 /// Codec ids as stamped into the segment header. Stable: new codecs append,
 /// existing ids never change meaning.
 pub mod codec_id {
+    /// Entries stored verbatim (also the per-block fallback id).
     pub const RAW: u8 = 0;
+    /// Plain PBC with a trained pattern dictionary.
     pub const PBC: u8 = 1;
+    /// PBC with FSST-compressed residuals.
     pub const PBC_F: u8 = 2;
+    /// Whole-block Zstd-like with a trained dictionary.
     pub const ZSTD: u8 = 3;
+    /// Per-record FSST symbol-table compression.
     pub const FSST: u8 = 4;
 }
 
@@ -73,16 +78,23 @@ pub enum BlockCodec {
     /// Per-record PBC (plain or FSST residuals — `fsst` distinguishes them
     /// for the header codec id).
     Pbc {
+        /// The trained compressor, shared between writer workers.
         compressor: Arc<PbcCompressor>,
+        /// Whether residuals are FSST-compressed (`PBC_F`).
         fsst: bool,
     },
     /// Whole-block Zstd-like with a shared trained dictionary.
     Zstd {
+        /// The compressor configured at the chosen level.
         codec: ZstdLike,
+        /// The trained dictionary, embedded in the segment header.
         dictionary: Arc<Vec<u8>>,
     },
     /// Per-record FSST.
-    Fsst { codec: FsstCodec },
+    Fsst {
+        /// The trained symbol table.
+        codec: FsstCodec,
+    },
 }
 
 impl BlockCodec {

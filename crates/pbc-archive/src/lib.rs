@@ -39,6 +39,8 @@
 //! std::fs::remove_file(&path).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod error;
 pub mod format;
@@ -48,7 +50,7 @@ pub mod writer;
 
 pub use codec::{build_codec, select_codec_over_blocks, BlockCodec, CodecSpec, Entry};
 pub use error::{ArchiveError, Result};
-pub use reader::{Scan, SegmentReader};
+pub use reader::{RangeScan, Scan, SegmentReader};
 pub use writer::{
     entry_size_estimate, spread_sample_indices, SegmentConfig, SegmentSummary, SegmentWriter,
 };
@@ -182,6 +184,56 @@ mod tests {
         let reader = SegmentReader::open(&path).unwrap();
         let scanned: Vec<Entry> = reader.scan().map(|e| e.unwrap()).collect();
         assert_eq!(scanned, records);
+    }
+
+    #[test]
+    fn scan_range_matches_the_filtered_full_scan() {
+        let (path, _guard) = temp_segment("scan-range");
+        let records = keyed_records(2_500);
+        let summary = write_segment(
+            &path,
+            &records,
+            SegmentConfig {
+                target_block_bytes: 4 * 1024, // many blocks: seeks are real
+                ..SegmentConfig::default()
+            },
+        );
+        assert!(summary.block_count > 8, "range seeks need several blocks");
+        let reader = SegmentReader::open(&path).unwrap();
+        for (start, end) in [
+            (
+                b"acct:0000000100".to_vec(),
+                Some(b"acct:0000000200".to_vec()),
+            ),
+            (
+                b"acct:0000001999".to_vec(),
+                Some(b"acct:0000002003".to_vec()),
+            ),
+            (b"acct:0000002400".to_vec(), None), // unbounded tail
+            (b"acct:zzz".to_vec(), None),        // past every key
+            (
+                b"acct:0000000500".to_vec(),
+                Some(b"acct:0000000400".to_vec()),
+            ), // inverted
+        ] {
+            let got: Vec<Entry> = reader
+                .scan_range(&start, end.as_deref())
+                .unwrap()
+                .map(|e| e.unwrap())
+                .collect();
+            let want: Vec<Entry> = records
+                .iter()
+                .filter(|(k, _)| *k >= start && end.as_ref().is_none_or(|e| k <= e))
+                .cloned()
+                .collect();
+            assert_eq!(got, want, "range {start:?}..={end:?}");
+        }
+        // The shared bounds helper agrees with the point-lookup helper.
+        let key = b"acct:0000001500";
+        assert_eq!(
+            reader.candidate_blocks_for_key(key).unwrap(),
+            reader.candidate_blocks_for_range(key, Some(key)).unwrap()
+        );
     }
 
     #[test]

@@ -281,16 +281,38 @@ impl SegmentReader {
     /// sorted segment. External block caches use this to fetch and cache
     /// exactly the blocks a `get` would touch.
     pub fn candidate_blocks_for_key(&self, key: &[u8]) -> Result<std::ops::Range<usize>> {
+        self.candidate_blocks_for_range(key, Some(key))
+    }
+
+    /// The contiguous range of blocks whose `[min_key, max_key]` footer
+    /// intervals intersect the closed key interval `[min, max]`
+    /// (`max = None` means unbounded above) — one binary search per bound
+    /// over the footer index, no block decoded. Requires a sorted segment.
+    ///
+    /// This is the single bounds helper behind both
+    /// [`SegmentReader::candidate_blocks_for_key`] (a point lookup is the
+    /// degenerate range `[key, key]`) and [`SegmentReader::scan_range`];
+    /// external block caches use it to fetch exactly the blocks a bounded
+    /// scan will touch.
+    pub fn candidate_blocks_for_range(
+        &self,
+        min: &[u8],
+        max: Option<&[u8]>,
+    ) -> Result<std::ops::Range<usize>> {
         if !self.is_sorted() {
             return Err(ArchiveError::UnsortedKeys);
         }
         let lo = self
             .blocks
-            .partition_point(|meta| meta.max_key.as_slice() < key);
-        let hi = self
-            .blocks
-            .partition_point(|meta| meta.min_key.as_slice() <= key);
-        Ok(lo..hi)
+            .partition_point(|meta| meta.max_key.as_slice() < min);
+        let hi = match max {
+            Some(max) => self
+                .blocks
+                .partition_point(|meta| meta.min_key.as_slice() <= max),
+            None => self.blocks.len(),
+        };
+        // An inverted interval (min > max) intersects nothing.
+        Ok(lo..hi.max(lo))
     }
 
     /// Key lookup over a sorted segment: binary-search the block index by
@@ -325,6 +347,60 @@ impl SegmentReader {
             failed: false,
         }
     }
+
+    /// Stream the entries of a **sorted** segment whose keys fall in the
+    /// closed interval `[start, end]` (`end = None` means unbounded
+    /// above), in key order.
+    ///
+    /// The scan seeks via the footer index
+    /// ([`SegmentReader::candidate_blocks_for_range`]): only blocks whose
+    /// `[min_key, max_key]` interval intersects the requested range are
+    /// ever decoded, one block at a time — a narrow range over a large
+    /// segment touches one or two blocks, never the whole file. Within the
+    /// first candidate block the lower bound is located by binary search;
+    /// the scan ends as soon as a key passes `end`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pbc_archive::{SegmentConfig, SegmentReader, SegmentWriter};
+    ///
+    /// let path = std::env::temp_dir().join(format!("pbc-scan-doc-{}.seg", std::process::id()));
+    /// let mut writer = SegmentWriter::create(&path, SegmentConfig::default()).unwrap();
+    /// for i in 0..1_000u32 {
+    ///     writer
+    ///         .append(format!("k:{i:05}").as_bytes(), format!("value-{i}").as_bytes())
+    ///         .unwrap();
+    /// }
+    /// writer.finish().unwrap();
+    ///
+    /// let reader = SegmentReader::open(&path).unwrap();
+    /// // A bounded scan yields exactly the keys inside [start, end], in order.
+    /// let rows: Vec<_> = reader
+    ///     .scan_range(b"k:00100", Some(b"k:00104"))
+    ///     .unwrap()
+    ///     .map(|entry| entry.unwrap())
+    ///     .collect();
+    /// assert_eq!(rows.len(), 5);
+    /// assert_eq!(rows[0].0, b"k:00100".to_vec());
+    /// assert_eq!(rows[4].1, b"value-104".to_vec());
+    /// // An unbounded tail: everything from the start key on.
+    /// assert_eq!(reader.scan_range(b"k:00990", None).unwrap().count(), 10);
+    /// std::fs::remove_file(&path).unwrap();
+    /// ```
+    pub fn scan_range(&self, start: &[u8], end: Option<&[u8]>) -> Result<RangeScan<'_>> {
+        let blocks = self.candidate_blocks_for_range(start, end)?;
+        Ok(RangeScan {
+            reader: self,
+            block: blocks.start,
+            end_block: blocks.end,
+            start: start.to_vec(),
+            end: end.map(|e| e.to_vec()),
+            entries: Vec::new(),
+            next: 0,
+            failed: false,
+        })
+    }
 }
 
 /// Streaming iterator over a segment's entries; see [`SegmentReader::scan`].
@@ -357,6 +433,66 @@ impl Iterator for Scan<'_> {
                     self.block += 1;
                     self.entries = entries;
                     self.next = 0;
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Bounded streaming iterator over a sorted segment's entries; see
+/// [`SegmentReader::scan_range`]. Decodes only the candidate blocks the
+/// footer index selected, one at a time, and stops at the upper bound.
+pub struct RangeScan<'a> {
+    reader: &'a SegmentReader,
+    /// Next candidate block to decode.
+    block: usize,
+    /// One past the last candidate block.
+    end_block: usize,
+    /// Inclusive lower key bound (applied inside the first decoded block).
+    start: Vec<u8>,
+    /// Inclusive upper key bound; `None` = unbounded above.
+    end: Option<Vec<u8>>,
+    entries: Vec<Entry>,
+    next: usize,
+    failed: bool,
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if self.next < self.entries.len() {
+                let entry = std::mem::take(&mut self.entries[self.next]);
+                self.next += 1;
+                if let Some(end) = &self.end {
+                    if entry.0.as_slice() > end.as_slice() {
+                        // Keys are sorted: nothing further can qualify.
+                        self.block = self.end_block;
+                        self.next = self.entries.len();
+                        return None;
+                    }
+                }
+                return Some(Ok(entry));
+            }
+            if self.block >= self.end_block {
+                return None;
+            }
+            match self.reader.read_block(self.block) {
+                Ok(entries) => {
+                    self.block += 1;
+                    // Only the first candidate block can hold keys below
+                    // the lower bound; for later blocks this skip is 0.
+                    self.next =
+                        entries.partition_point(|(k, _)| k.as_slice() < self.start.as_slice());
+                    self.entries = entries;
                 }
                 Err(e) => {
                     self.failed = true;

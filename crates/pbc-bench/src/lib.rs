@@ -23,6 +23,7 @@
 //! | Tiered-store get latency (beyond the paper) | [`tier::tier_throughput`] |
 //! | Background compaction stalls (beyond the paper) | [`compaction::compaction_throughput`] |
 //! | L0/L1 leveling + concurrent drain (beyond the paper) | [`leveling::leveling_throughput`] |
+//! | Range-scan throughput + bytes/row (beyond the paper) | [`scans::scans_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
@@ -35,6 +36,7 @@ pub mod figures;
 pub mod leveling;
 pub mod measure;
 pub mod report;
+pub mod scans;
 pub mod tier;
 
 pub use data::{corpus, scaled_count, SEED};

@@ -10,7 +10,7 @@
 //! each cell only consults its three neighbours, so the cost is `O(n·m)`
 //! instead of the `O(|F|·(N+M)·n²·m²)` of the general algorithm. A
 //! brute-force reference for the *general* formulation on tiny inputs lives
-//! in [`reference`], and tests check the two agree where both apply.
+//! in [`mod@reference`], and tests check the two agree where both apply.
 //!
 //! ### Note on the paper's pseudo-code
 //!
@@ -276,7 +276,8 @@ pub mod reference {
     /// Exhaustively try every alignment of `cs_x` and `cs_y` (every way of
     /// interleaving "keep shared literal" / "demote x" / "demote y" moves)
     /// and return the minimal increment under the same cost model as
-    /// [`update_state`]. Exponential — only for sequences of length ≲ 12.
+    /// the DP's private `update_state` transition. Exponential — only for
+    /// sequences of length ≲ 12.
     pub fn exhaustive_increment(
         cs_x: &[PatElem],
         cs_y: &[PatElem],

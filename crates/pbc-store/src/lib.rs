@@ -24,5 +24,5 @@ pub mod workload;
 
 pub use block::{BlockStore, PerRecordStore};
 pub use engine::{StoreError, ValueCodec};
-pub use store::{ShardDrain, TierStore};
+pub use store::{RangeEntry, ShardDrain, TierStore};
 pub use workload::{WorkloadReport, WorkloadSpec};

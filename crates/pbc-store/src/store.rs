@@ -95,6 +95,10 @@ impl ShardDrain {
     }
 }
 
+/// One key with its decoded value as reported by
+/// [`TierStore::range_snapshot`]; `None` marks a tombstone.
+pub type RangeEntry = (Vec<u8>, Option<Vec<u8>>);
+
 /// A TierBase-like sharded key-value store with value compression.
 pub struct TierStore {
     shards: Vec<Shard>,
@@ -448,6 +452,61 @@ impl TierStore {
         })
     }
 
+    /// A sorted snapshot of every entry and tombstone whose key falls in
+    /// the closed interval `[start, end]` (`end = None` means unbounded
+    /// above), with values still **codec-encoded** as stored; `None`
+    /// marks a tombstone. Keys are unique: a key that is both stored and
+    /// tombstoned reports its stored value, matching [`TierStore::get`]
+    /// (the map shadows tombstones).
+    ///
+    /// This is the ordered-iteration hook a tiered range scan needs for
+    /// its hot source: shards hash the keyspace, so order only exists
+    /// after collecting across all of them. Only byte clones happen under
+    /// the per-shard locks — decoding (see [`TierStore::range_snapshot`])
+    /// is deliberately left to the caller, after every lock is released,
+    /// so a wide scan's snapshot never stalls concurrent writers for the
+    /// length of a decompression pass. The snapshot is taken shard by
+    /// shard and is not atomic across shards — writes concurrent with the
+    /// call may or may not be included, the same contract as
+    /// [`TierStore::snapshot_to_segment`].
+    pub fn range_snapshot_encoded(&self, start: &[u8], end: Option<&[u8]>) -> Vec<RangeEntry> {
+        let in_range = |key: &[u8]| key >= start && end.is_none_or(|e| key <= e);
+        let mut merged: std::collections::BTreeMap<Vec<u8>, Option<Vec<u8>>> =
+            std::collections::BTreeMap::new();
+        for shard in &self.shards {
+            // Lock order state -> tombstones, same as set_inner; both held
+            // together so one shard's entry/tombstone cut is consistent.
+            let state = shard.state.read();
+            let tombs = shard.tombstones.read();
+            for key in tombs.set.iter().filter(|k| in_range(k)) {
+                merged.insert(key.clone(), None);
+            }
+            for (key, stored) in state.map.iter().filter(|(k, _)| in_range(k)) {
+                merged.insert(key.clone(), Some(stored.clone()));
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// [`TierStore::range_snapshot_encoded`] with the values decoded —
+    /// the decode pass runs after every shard lock has been released.
+    pub fn range_snapshot(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<Vec<RangeEntry>, StoreError> {
+        self.range_snapshot_encoded(start, end)
+            .into_iter()
+            .map(|(key, stored)| {
+                let value = match stored {
+                    Some(stored) => Some(self.codec.decode(&stored)?),
+                    None => None,
+                };
+                Ok((key, value))
+            })
+            .collect()
+    }
+
     /// Number of stored keys.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.state.read().map.len()).sum()
@@ -786,6 +845,41 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.memory_usage_bytes(), 0);
         assert_eq!(store.tombstone_bytes(), 0);
+    }
+
+    #[test]
+    fn range_snapshot_is_sorted_bounded_and_tombstone_aware() {
+        let vals = values(120);
+        let refs: Vec<&[u8]> = vals[..64].iter().map(|v| v.as_slice()).collect();
+        let store = TierStore::new(ValueCodec::train_pbc_f(&refs, &PbcConfig::small()));
+        for (i, v) in vals.iter().enumerate() {
+            store.set(format!("rng:{i:04}").as_bytes(), v);
+        }
+        store.record_tombstone(b"rng:0050-gone");
+        // A key both stored and tombstoned reports its stored value,
+        // matching get().
+        store.record_tombstone(b"rng:0007");
+
+        let snap = store
+            .range_snapshot(b"rng:0005", Some(b"rng:0051"))
+            .unwrap();
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted, unique");
+        assert!(snap.iter().all(|(k, _)| {
+            k.as_slice() >= b"rng:0005".as_slice() && k.as_slice() <= b"rng:0051".as_slice()
+        }));
+        // 47 stored keys (0005..=0051) + 1 pure tombstone.
+        assert_eq!(snap.len(), 48);
+        let by_key: std::collections::BTreeMap<_, _> = snap.into_iter().collect();
+        assert_eq!(
+            by_key.get(b"rng:0007".as_slice()),
+            Some(&Some(vals[7].clone()))
+        );
+        assert_eq!(by_key.get(b"rng:0050-gone".as_slice()), Some(&None));
+        // Unbounded tail.
+        let tail = store.range_snapshot(b"rng:0118", None).unwrap();
+        assert_eq!(tail.len(), 2);
+        // Empty interval.
+        assert!(store.range_snapshot(b"zzz", None).unwrap().is_empty());
     }
 
     /// Unique temp path with a drop-guard, so failing tests don't leak

@@ -7,7 +7,7 @@
 //! segments with transparent read-through.
 //!
 //! ```text
-//!             set/get/delete
+//!        set/get/delete/range_scan
 //!                   │
 //!        ┌──────────▼──────────┐
 //!        │  hot: TierStore     │  sharded RAM, value codec, tombstones
@@ -40,6 +40,13 @@
 //!   binary-searches the one L1 partition covering the key — so overwrites
 //!   and tombstones always shadow older spilled state and worst-case cold
 //!   lookups cost O(L0) + O(log L1), not O(segments).
+//! * **Range scans**: [`TieredStore::range_scan`] streams every live key
+//!   in a range, in order, via a k-way merge across hot + staging + L0 +
+//!   the covering L1 partitions with the same precedence as point
+//!   lookups. Scans are **snapshot-consistent under concurrent
+//!   compaction**: the cold tier snapshot (and its generation) is pinned
+//!   for the iterator's lifetime, and cold blocks stream through the
+//!   cache one footer-selected block at a time (see [`scan`]).
 //! * **Crash safety**: durable state is the [`Manifest`] (v3: per-segment
 //!   level + stats) plus the segments it names, committed under a
 //!   monotonically increasing **generation**; segments are fsynced before
@@ -85,6 +92,8 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod compact;
 pub mod config;
@@ -92,6 +101,7 @@ pub mod error;
 mod maintenance;
 pub mod manifest;
 pub mod planner;
+pub mod scan;
 pub mod store;
 
 pub use cache::{BlockCache, BlockKey};
@@ -102,6 +112,7 @@ pub use manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
 pub use planner::{
     CompactionJob, CompactionPlanner, KeyRange, PlannerConfig, SegmentStats, LEVEL_L0, LEVEL_L1,
 };
+pub use scan::RangeScan;
 pub use store::{CompactionSummary, TierStats, TieredStore};
 
 #[cfg(test)]

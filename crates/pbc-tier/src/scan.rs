@@ -1,0 +1,440 @@
+//! Snapshot-consistent range scans: one ordered pass over every tier.
+//!
+//! A [`RangeScan`] is a k-way merge across four kinds of source, ranked by
+//! recency — exactly the precedence order point lookups use:
+//!
+//! 1. a sorted snapshot of the **hot tier** (entries and tombstones in
+//!    range, collected across all shards at creation time),
+//! 2. a snapshot of the **spill staging area** (entries mid-spill: drained
+//!    from hot, not yet durable in a segment),
+//! 3. one cursor per intersecting **L0 spill segment**, newest first,
+//! 4. the run of covering **L1 partitions**, chained in ascending key
+//!    order (they are sorted and disjoint, so at most one is open at a
+//!    time and later ones are only opened when the scan reaches them).
+//!
+//! Each merge round takes the smallest key held by any source; the
+//! **lowest-ranked** (newest) holder supplies the value and every other
+//! holder of the same key is advanced past its shadowed version. A winning
+//! tombstone suppresses the key entirely, so deletes are invisible, never
+//! resurrected. The result: each live key exactly once, in ascending
+//! order.
+//!
+//! ## Snapshot semantics
+//!
+//! The iterator pins the `Arc` cold-tier snapshot (and its manifest
+//! generation, exposed via [`RangeScan::generation`]) for its whole
+//! lifetime: a compaction job may retire and unlink segments mid-scan
+//! without invalidating it — the pinned readers (and their unlinked files,
+//! on unix) stay alive until the scan drops, and a merged output is
+//! observationally equal to its inputs, so the scan and the post-commit
+//! store agree. Writes issued after the scan was created are **not**
+//! visible; writes concurrent with its creation may or may not be.
+//!
+//! ## Cost model
+//!
+//! Cold segments are consulted via their footer indexes
+//! ([`pbc_archive::SegmentReader::candidate_blocks_for_range`]) and
+//! decoded **one block at a time** through the shared [`crate::BlockCache`]
+//! — a narrow scan touches one or two blocks per intersecting segment,
+//! never a whole file, and a re-scan of a hot range is served from cache.
+//! The `range_scans`, `scan_segments_opened`, `scan_blocks_decoded`, and
+//! `scan_bytes_decoded` counters in [`crate::TierStats`] gauge exactly
+//! this work.
+
+use std::collections::VecDeque;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use pbc_archive::Entry;
+
+use crate::error::Result;
+use crate::store::{ColdList, ColdSegment, TierInner};
+
+/// One key with its resolved value; `None` marks a tombstone.
+type Versioned = (Vec<u8>, Option<Vec<u8>>);
+
+/// Whether `key` lies past the scan's end bound.
+fn beyond_end(key: &[u8], end: &Bound<Vec<u8>>) -> bool {
+    match end {
+        Bound::Included(e) => key > e.as_slice(),
+        Bound::Excluded(e) => key >= e.as_slice(),
+        Bound::Unbounded => false,
+    }
+}
+
+/// A streaming cursor over one cold segment's entries inside
+/// `[start, end]`, feeding footer-selected candidate blocks through the
+/// store's block cache one at a time. Collapses consecutive duplicate
+/// keys within the segment to the **last** occurrence (later appends
+/// win), matching point-lookup semantics.
+struct ColdCursor<'a> {
+    inner: &'a TierInner,
+    segment: Arc<ColdSegment>,
+    /// The manifest generation the owning scan pinned — blocks decoded
+    /// after the live store moves past it are not published to the cache.
+    generation: u64,
+    /// Candidate blocks not yet fetched (footer-index selected).
+    blocks: std::ops::Range<usize>,
+    /// The decoded block currently being drained (shared with the cache).
+    entries: Option<Arc<Vec<Entry>>>,
+    next: usize,
+    /// Inclusive lower bound, applied inside the first fetched block.
+    start: Vec<u8>,
+    /// Inclusive upper *superset* bound; the merge loop enforces the
+    /// exact (possibly exclusive) bound.
+    end: Option<Vec<u8>>,
+    /// One-entry lookahead for last-wins duplicate collapsing.
+    lookahead: Option<Entry>,
+    exhausted: bool,
+}
+
+impl<'a> ColdCursor<'a> {
+    /// Open a cursor, consulting the segment's footer index once to
+    /// select the candidate blocks (counted in `scan_segments_opened`).
+    fn open(
+        inner: &'a TierInner,
+        segment: Arc<ColdSegment>,
+        generation: u64,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<ColdCursor<'a>> {
+        let blocks = segment.reader.candidate_blocks_for_range(start, end)?;
+        inner.note_scan_segment_opened();
+        Ok(ColdCursor {
+            inner,
+            segment,
+            generation,
+            blocks,
+            entries: None,
+            next: 0,
+            start: start.to_vec(),
+            end: end.map(|e| e.to_vec()),
+            lookahead: None,
+            exhausted: false,
+        })
+    }
+
+    /// The next raw in-range entry (marker still encoded), or `None` when
+    /// the cursor ran past its blocks or its upper bound.
+    fn next_raw(&mut self) -> Result<Option<Entry>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        loop {
+            if let Some(entries) = &self.entries {
+                if self.next < entries.len() {
+                    let entry = entries[self.next].clone();
+                    self.next += 1;
+                    if self.end.as_ref().is_some_and(|e| entry.0 > *e) {
+                        self.exhausted = true;
+                        return Ok(None);
+                    }
+                    return Ok(Some(entry));
+                }
+            }
+            if self.blocks.is_empty() {
+                self.exhausted = true;
+                return Ok(None);
+            }
+            let block = self.blocks.start;
+            self.blocks.start += 1;
+            let entries = self
+                .inner
+                .scan_block(&self.segment, block, self.generation)?;
+            // Only the first candidate block can hold keys below the
+            // lower bound; for every later block this skip is 0.
+            self.next = entries.partition_point(|(k, _)| k.as_slice() < self.start.as_slice());
+            self.entries = Some(entries);
+        }
+    }
+
+    /// The next in-range key with its resolved value (`None` =
+    /// tombstone), duplicates collapsed last-wins.
+    fn next_versioned(&mut self) -> Result<Option<Versioned>> {
+        let head = match self.lookahead.take() {
+            Some(entry) => Some(entry),
+            None => self.next_raw()?,
+        };
+        let Some(mut head) = head else {
+            return Ok(None);
+        };
+        loop {
+            match self.next_raw()? {
+                Some(next) if next.0 == head.0 => head = next, // later append wins
+                other => {
+                    self.lookahead = other;
+                    break;
+                }
+            }
+        }
+        let (key, stored) = head;
+        let value = crate::store::decode_marked(&stored)?;
+        Ok(Some((key, value)))
+    }
+}
+
+/// One ranked merge input with its current head entry.
+struct Source<'a> {
+    current: Option<Versioned>,
+    kind: SourceKind<'a>,
+}
+
+enum SourceKind<'a> {
+    /// The hot-tier snapshot: presorted, unique, bounded, with values
+    /// still codec-encoded — each is decoded only when the merge actually
+    /// reaches it, so an early-terminated scan decodes only what it
+    /// yields.
+    Hot {
+        inner: &'a TierInner,
+        iter: std::vec::IntoIter<Versioned>,
+    },
+    /// A presorted, unique, bounded in-memory snapshot whose values are
+    /// already decoded (the staging area stores plain bytes).
+    Mem(std::vec::IntoIter<Versioned>),
+    /// One L0 segment's cursor.
+    Cold(ColdCursor<'a>),
+    /// The covering L1 partitions, opened lazily in ascending order
+    /// (they are disjoint, so at most one cursor is live at a time).
+    Chain {
+        inner: &'a TierInner,
+        generation: u64,
+        pending: VecDeque<Arc<ColdSegment>>,
+        cursor: Option<ColdCursor<'a>>,
+        start: Vec<u8>,
+        end: Option<Vec<u8>>,
+    },
+}
+
+impl Source<'_> {
+    fn advance(&mut self) -> Result<()> {
+        self.current = match &mut self.kind {
+            SourceKind::Hot { inner, iter } => match iter.next() {
+                Some((key, Some(stored))) => Some((key, Some(inner.decode_hot(&stored)?))),
+                other => other,
+            },
+            SourceKind::Mem(iter) => iter.next(),
+            SourceKind::Cold(cursor) => cursor.next_versioned()?,
+            SourceKind::Chain {
+                inner,
+                generation,
+                pending,
+                cursor,
+                start,
+                end,
+            } => loop {
+                if let Some(open) = cursor {
+                    if let Some(versioned) = open.next_versioned()? {
+                        break Some(versioned);
+                    }
+                    *cursor = None;
+                }
+                match pending.pop_front() {
+                    Some(segment) => {
+                        *cursor = Some(ColdCursor::open(
+                            inner,
+                            segment,
+                            *generation,
+                            start,
+                            end.as_deref(),
+                        )?);
+                    }
+                    None => break None,
+                }
+            },
+        };
+        Ok(())
+    }
+}
+
+/// A snapshot-consistent, ordered iterator over the live keys in a range;
+/// see [`crate::TieredStore::range_scan`] and the [module docs](self).
+///
+/// Yields `Result<(key, value)>` pairs in strictly ascending key order,
+/// each live key exactly once, with overwrites and tombstones resolved by
+/// tier/recency precedence. The first error ends the scan.
+pub struct RangeScan<'a> {
+    /// The pinned cold-tier snapshot: keeps every segment the scan may
+    /// read alive (readers and, on unix, unlinked files) even after a
+    /// concurrent compaction retires them.
+    _pinned: Option<ColdList>,
+    generation: u64,
+    end: Bound<Vec<u8>>,
+    /// Merge inputs, ordered by precedence: hot, staging, L0 newest
+    /// first, then the L1 chain.
+    sources: Vec<Source<'a>>,
+    done: bool,
+}
+
+impl<'a> RangeScan<'a> {
+    /// A scan over a provably empty interval: no sources, yields nothing.
+    pub(crate) fn empty(generation: u64) -> RangeScan<'a> {
+        RangeScan {
+            _pinned: None,
+            generation,
+            end: Bound::Unbounded,
+            sources: Vec::new(),
+            done: true,
+        }
+    }
+
+    /// Assemble a scan from the snapshots the store prepared. `hot`
+    /// (values still codec-encoded; decoded lazily) and `staged` are
+    /// sorted, unique, and already bounded to the range; `pinned` is the
+    /// cold tier at creation time, `generation` its manifest generation.
+    pub(crate) fn new(
+        inner: &'a TierInner,
+        start: Vec<u8>,
+        end: Bound<Vec<u8>>,
+        hot: Vec<Versioned>,
+        staged: Vec<Versioned>,
+        pinned: ColdList,
+        generation: u64,
+    ) -> Result<RangeScan<'a>> {
+        let end_superset: Option<&[u8]> = match &end {
+            Bound::Included(e) | Bound::Excluded(e) => Some(e.as_slice()),
+            Bound::Unbounded => None,
+        };
+        let intersects = |segment: &ColdSegment| {
+            segment.records > 0
+                && segment.max_key.as_slice() >= start.as_slice()
+                && end_superset.is_none_or(|e| segment.min_key.as_slice() <= e)
+        };
+        let mut sources: Vec<Source<'a>> = Vec::new();
+        if !hot.is_empty() {
+            sources.push(Source {
+                current: None,
+                kind: SourceKind::Hot {
+                    inner,
+                    iter: hot.into_iter(),
+                },
+            });
+        }
+        if !staged.is_empty() {
+            sources.push(Source {
+                current: None,
+                kind: SourceKind::Mem(staged.into_iter()),
+            });
+        }
+        // L0 newest first: every intersecting segment gets its own cursor
+        // (they may overlap each other, so all must be merged at once).
+        for segment in pinned.l0.iter().filter(|s| intersects(s)) {
+            sources.push(Source {
+                current: None,
+                kind: SourceKind::Cold(ColdCursor::open(
+                    inner,
+                    Arc::clone(segment),
+                    generation,
+                    &start,
+                    end_superset,
+                )?),
+            });
+        }
+        // L1: the covering run, located by binary search and chained in
+        // ascending order — partitions are disjoint, so later ones are
+        // opened only if the scan actually reaches them.
+        let first = pinned
+            .l1
+            .partition_point(|p| p.max_key.as_slice() < start.as_slice());
+        let covering: VecDeque<Arc<ColdSegment>> = pinned.l1[first..]
+            .iter()
+            .take_while(|p| end_superset.is_none_or(|e| p.min_key.as_slice() <= e))
+            .filter(|p| p.records > 0)
+            .cloned()
+            .collect();
+        if !covering.is_empty() {
+            sources.push(Source {
+                current: None,
+                kind: SourceKind::Chain {
+                    inner,
+                    generation,
+                    pending: covering,
+                    cursor: None,
+                    start: start.clone(),
+                    end: end_superset.map(|e| e.to_vec()),
+                },
+            });
+        }
+        let mut scan = RangeScan {
+            _pinned: Some(pinned),
+            generation,
+            end,
+            sources,
+            done: false,
+        };
+        for source in &mut scan.sources {
+            source.advance()?;
+        }
+        Ok(scan)
+    }
+
+    /// The manifest generation this scan's cold snapshot was committed
+    /// under — fixed at creation, even if compaction commits newer
+    /// generations while the scan runs.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            // The first source holding the smallest current key. Sources
+            // are ordered by precedence and the comparison is strict, so
+            // this is the lowest-ranked (newest) holder — the winner.
+            // Compare by reference; nothing is cloned to find it.
+            let mut winner_idx: Option<usize> = None;
+            for i in 0..self.sources.len() {
+                let Some((key, _)) = &self.sources[i].current else {
+                    continue;
+                };
+                let better = match winner_idx {
+                    None => true,
+                    Some(j) => {
+                        let (best, _) = self.sources[j].current.as_ref().expect("tracked head");
+                        key < best
+                    }
+                };
+                if better {
+                    winner_idx = Some(i);
+                }
+            }
+            let Some(idx) = winner_idx else {
+                self.done = true;
+                return None;
+            };
+            let (key, value) = self.sources[idx].current.take().expect("tracked head");
+            if beyond_end(&key, &self.end) {
+                self.done = true;
+                return None;
+            }
+            if let Err(e) = self.sources[idx].advance() {
+                self.done = true;
+                return Some(Err(e));
+            }
+            // Every other holder of the same key carries a shadowed
+            // version; advance past it.
+            for (i, source) in self.sources.iter_mut().enumerate() {
+                if i == idx {
+                    continue;
+                }
+                if source.current.as_ref().is_some_and(|(k, _)| *k == key) {
+                    source.current = None;
+                    if let Err(e) = source.advance() {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            match value {
+                Some(value) => return Some(Ok((key, value))),
+                // A winning tombstone deletes the key from the scan.
+                None => continue,
+            }
+        }
+    }
+}

@@ -47,6 +47,7 @@
 //! [`TieredStore::flush_all`] spills everything for a clean shutdown.
 
 use std::collections::BTreeMap;
+use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
@@ -88,7 +89,7 @@ pub(crate) fn is_tombstone(stored: &[u8]) -> bool {
 }
 
 /// Strip the marker: `Ok(Some(value))` for live, `Ok(None)` for tombstone.
-fn decode_marked(stored: &[u8]) -> Result<Option<Vec<u8>>> {
+pub(crate) fn decode_marked(stored: &[u8]) -> Result<Option<Vec<u8>>> {
     match stored.first() {
         Some(&MARKER_LIVE) => Ok(Some(stored[1..].to_vec())),
         Some(&MARKER_TOMBSTONE) => Ok(None),
@@ -105,21 +106,21 @@ fn segment_file_name(id: u64) -> String {
 
 /// One cold segment: its id, reader, on-disk name, and the stats the
 /// compaction planner scores it by. Immutable once published; shared
-/// between the live tier and any in-flight read snapshots via `Arc`.
-struct ColdSegment {
-    id: u64,
+/// between the live tier and any in-flight read/scan snapshots via `Arc`.
+pub(crate) struct ColdSegment {
+    pub(crate) id: u64,
     file_name: String,
-    reader: SegmentReader,
+    pub(crate) reader: SegmentReader,
     /// Records in the segment (live + tombstones).
-    records: u64,
+    pub(crate) records: u64,
     /// Tombstones among them.
     tombstones: u64,
     /// Segment file size in bytes, as counted by the writer that produced
     /// it (or the reader footer geometry on a stats-less reload) — never
     /// a best-effort re-stat that could silently record 0.
     bytes: u64,
-    min_key: Vec<u8>,
-    max_key: Vec<u8>,
+    pub(crate) min_key: Vec<u8>,
+    pub(crate) max_key: Vec<u8>,
 }
 
 impl ColdSegment {
@@ -163,12 +164,12 @@ impl ColdSegment {
     }
 }
 
-/// The immutable two-level cold tier snapshot readers walk.
-struct ColdTier {
+/// The immutable two-level cold tier snapshot readers and scans walk.
+pub(crate) struct ColdTier {
     /// Recency-ordered spill segments, newest first; may overlap.
-    l0: Vec<Arc<ColdSegment>>,
+    pub(crate) l0: Vec<Arc<ColdSegment>>,
     /// Sorted, pairwise non-overlapping partitions, ascending by key.
-    l1: Vec<Arc<ColdSegment>>,
+    pub(crate) l1: Vec<Arc<ColdSegment>>,
 }
 
 impl ColdTier {
@@ -221,7 +222,7 @@ impl ColdTier {
 }
 
 /// An immutable snapshot of the live cold tier.
-type ColdList = Arc<ColdTier>;
+pub(crate) type ColdList = Arc<ColdTier>;
 
 /// In-flight compaction key-range reservations. A job reserves the union
 /// interval of its inputs (and therefore of its outputs) before merging;
@@ -353,6 +354,10 @@ struct StatCounters {
     cold_cache_hits: AtomicU64,
     cold_cache_misses: AtomicU64,
     cold_segments_scanned: AtomicU64,
+    range_scans: AtomicU64,
+    scan_segments_opened: AtomicU64,
+    scan_blocks_decoded: AtomicU64,
+    scan_bytes_decoded: AtomicU64,
     spills: AtomicU64,
     spilled_entries: AtomicU64,
     compactions: AtomicU64,
@@ -402,6 +407,19 @@ pub struct TierStats {
     /// lookup consults at most one partition, an L0-only layout consults
     /// every segment until it finds the key.
     pub cold_segments_scanned: u64,
+    /// Range scans created ([`TieredStore::range_scan`] calls).
+    pub range_scans: u64,
+    /// Cold segments whose footer indexes were consulted by range scans —
+    /// every intersecting L0 segment plus each covering L1 partition the
+    /// scan actually reached.
+    pub scan_segments_opened: u64,
+    /// Blocks range scans had to read and decode from disk (cache hits
+    /// are not decodes and are excluded).
+    pub scan_blocks_decoded: u64,
+    /// Decoded bytes those scan block reads produced — with the rows a
+    /// scan yielded, this gauges bytes-decoded-per-row, the scan
+    /// efficiency measure the `scans` repro experiment reports.
+    pub scan_bytes_decoded: u64,
     /// Spill passes completed.
     pub spills: u64,
     /// Records (entries + tombstones) written by spills.
@@ -765,6 +783,10 @@ impl TieredStore {
             cold_cache_hits: s.cold_cache_hits.load(Ordering::Relaxed),
             cold_cache_misses: s.cold_cache_misses.load(Ordering::Relaxed),
             cold_segments_scanned: s.cold_segments_scanned.load(Ordering::Relaxed),
+            range_scans: s.range_scans.load(Ordering::Relaxed),
+            scan_segments_opened: s.scan_segments_opened.load(Ordering::Relaxed),
+            scan_blocks_decoded: s.scan_blocks_decoded.load(Ordering::Relaxed),
+            scan_bytes_decoded: s.scan_bytes_decoded.load(Ordering::Relaxed),
             spills: s.spills.load(Ordering::Relaxed),
             spilled_entries: s.spilled_entries.load(Ordering::Relaxed),
             compactions: s.compactions.load(Ordering::Relaxed),
@@ -795,6 +817,80 @@ impl TieredStore {
     /// cold and not already deleted).
     pub fn delete(&self, key: &[u8]) -> Result<bool> {
         self.inner.delete(key)
+    }
+
+    /// Stream every live key in `range`, in ascending order, each exactly
+    /// once — a k-way merge across the hot tier, the spill staging area,
+    /// every intersecting L0 segment (newest first), and the covering L1
+    /// partitions, with overwrites and tombstones resolved by tier/recency
+    /// precedence. See the [`crate::scan`] module docs for the full
+    /// semantics.
+    ///
+    /// The scan is **snapshot-consistent under concurrent compaction**:
+    /// it pins the cold-tier snapshot (and its manifest generation,
+    /// [`crate::RangeScan::generation`]) at creation, so jobs can retire
+    /// and unlink segments mid-scan without invalidating it. Writes
+    /// issued after this call returns are never seen; writes concurrent
+    /// with it may or may not be. Cold data is decoded one
+    /// footer-selected block at a time through the block cache, never a
+    /// whole segment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pbc_tier::{TierConfig, TieredStore};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("pbc-tier-scan-doc-{}", std::process::id()));
+    /// let store = TieredStore::open(
+    ///     TierConfig::new(&dir).with_watermark(8 * 1024), // tiny: spills happen mid-loop
+    /// ).unwrap();
+    /// for i in 0..400u32 {
+    ///     store.set(format!("k:{i:05}").as_bytes(), format!("v-{i}").as_bytes()).unwrap();
+    /// }
+    /// store.delete(b"k:00102").unwrap();
+    /// store.set(b"k:00103", b"v-overwritten").unwrap();
+    ///
+    /// // Keys stream back in order across all tiers; the newest version
+    /// // wins and deleted keys are invisible.
+    /// let rows: Vec<(Vec<u8>, Vec<u8>)> = store
+    ///     .range_scan(&b"k:00100"[..]..=&b"k:00104"[..])
+    ///     .unwrap()
+    ///     .map(|row| row.unwrap())
+    ///     .collect();
+    /// let keys: Vec<&[u8]> = rows.iter().map(|(k, _)| k.as_slice()).collect();
+    /// assert_eq!(
+    ///     keys,
+    ///     [b"k:00100".as_slice(), b"k:00101".as_slice(), b"k:00103".as_slice(), b"k:00104".as_slice()],
+    /// );
+    /// assert_eq!(rows[2].1, b"v-overwritten".to_vec());
+    ///
+    /// // Unbounded and half-open ranges work too.
+    /// assert_eq!(store.range_scan(&b"k:00395"[..]..).unwrap().count(), 5);
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn range_scan<K, R>(&self, range: R) -> Result<crate::scan::RangeScan<'_>>
+    where
+        K: AsRef<[u8]>,
+        R: RangeBounds<K>,
+    {
+        // Normalize the lower bound to an inclusive key: for byte-string
+        // keys the successor of `k` is `k ++ 0x00`, so an excluded start
+        // is exact, not approximate.
+        let start = match range.start_bound() {
+            Bound::Included(k) => k.as_ref().to_vec(),
+            Bound::Excluded(k) => {
+                let mut successor = k.as_ref().to_vec();
+                successor.push(0);
+                successor
+            }
+            Bound::Unbounded => Vec::new(),
+        };
+        let end = match range.end_bound() {
+            Bound::Included(k) => Bound::Included(k.as_ref().to_vec()),
+            Bound::Excluded(k) => Bound::Excluded(k.as_ref().to_vec()),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        self.inner.range_scan(start, end)
     }
 
     /// Spill the `n` coldest non-empty shards right now, watermark or not.
@@ -1008,7 +1104,137 @@ impl TierInner {
         Ok(None)
     }
 
-    /// Fetch one decoded block, consulting the cache first.
+    /// Build a [`crate::scan::RangeScan`] over `[start, end]` (`start` is
+    /// already an inclusive key; `end` carries its exact bound).
+    ///
+    /// Snapshot order is what makes the scan lose nothing to concurrent
+    /// tier movement:
+    ///
+    /// 1. **Hot and staging are snapshotted under one staging read
+    ///    guard.** A spill drain (hot → staging) and a failed-spill
+    ///    restore (staging → hot) both hold the staging *write* lock for
+    ///    the whole move, so under our read guard no entry can cross the
+    ///    hot↔staging boundary between the two snapshots.
+    /// 2. **Cold is snapshotted after staging.** Data leaves staging only
+    ///    *after* its segment is published in the cold tier (spill step 5
+    ///    clears staging after steps 3–4 commit), so an entry missing
+    ///    from our staging snapshot is already in the cold snapshot we
+    ///    take next. The duplicate case (published cold while still
+    ///    staged) is harmless: staging outranks cold in the merge and
+    ///    both copies are identical.
+    pub(crate) fn range_scan(
+        &self,
+        start: Vec<u8>,
+        end: Bound<Vec<u8>>,
+    ) -> Result<crate::scan::RangeScan<'_>> {
+        self.stats.range_scans.fetch_add(1, Ordering::Relaxed);
+        // A provably empty interval: nothing to snapshot (and BTreeMap's
+        // range would reject the inverted bounds).
+        let empty = match &end {
+            Bound::Included(e) => start.as_slice() > e.as_slice(),
+            Bound::Excluded(e) => start.as_slice() >= e.as_slice(),
+            Bound::Unbounded => false,
+        };
+        if empty {
+            return Ok(crate::scan::RangeScan::empty(
+                self.generation.load(Ordering::Relaxed),
+            ));
+        }
+        let end_superset: Option<&[u8]> = match &end {
+            Bound::Included(e) | Bound::Excluded(e) => Some(e.as_slice()),
+            Bound::Unbounded => None,
+        };
+        let (hot_encoded, staged) = {
+            let staging = self.staging.read();
+            // Encoded clones only: hot values are decoded lazily by the
+            // scan's hot source, after the staging guard (and every shard
+            // lock) is released — a wide scan never stalls spill drains
+            // or writers for the length of a decompression pass, and an
+            // early-terminated scan decodes only what it yields.
+            let hot_encoded = self.hot.range_snapshot_encoded(&start, end_superset);
+            let staged: Vec<(Vec<u8>, Option<Vec<u8>>)> = staging
+                .range::<[u8], _>((
+                    Bound::Included(start.as_slice()),
+                    match end_superset {
+                        Some(e) => Bound::Included(e),
+                        None => Bound::Unbounded,
+                    },
+                ))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (hot_encoded, staged)
+        };
+        // Pin the cold tier and its generation together (same pairing as
+        // `stats()`): the snapshot outlives any concurrent retirement.
+        let (pinned, generation) = {
+            let cold = self.cold.read();
+            (Arc::clone(&cold), self.generation.load(Ordering::Relaxed))
+        };
+        crate::scan::RangeScan::new(self, start, end, hot_encoded, staged, pinned, generation)
+    }
+
+    /// Count one segment footer consulted by a range scan.
+    pub(crate) fn note_scan_segment_opened(&self) {
+        self.stats
+            .scan_segments_opened
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decode one hot-tier stored value (the scan's hot source decodes
+    /// lazily, long after the snapshot's locks were released).
+    pub(crate) fn decode_hot(&self, stored: &[u8]) -> Result<Vec<u8>> {
+        self.hot.codec().decode(stored).map_err(Into::into)
+    }
+
+    /// The one cache read-through path: look the block up, decode it from
+    /// disk on a miss, and publish it to the cache when `publish` is set.
+    /// Returns the entries and whether a disk decode happened.
+    fn lookup_or_decode_block(
+        &self,
+        segment: &ColdSegment,
+        block: usize,
+        publish: bool,
+    ) -> Result<(Arc<Vec<Entry>>, bool)> {
+        let cache_key = (segment.id, block);
+        if let Some(entries) = self.cache.get(cache_key) {
+            return Ok((entries, false));
+        }
+        let entries = Arc::new(segment.reader.read_block(block)?);
+        if publish {
+            self.cache.insert(cache_key, Arc::clone(&entries));
+        }
+        Ok((entries, true))
+    }
+
+    /// Fetch one decoded block for a range scan pinned at
+    /// `pinned_generation`, consulting the cache first and counting disk
+    /// decodes toward the scan gauges. Decoded blocks are published to
+    /// the cache only while the pinned snapshot is still the live one:
+    /// once a commit supersedes it, the scan's segments may already be
+    /// retired, and caching blocks under retired ids would spend the
+    /// bytes-bounded budget on entries no future lookup can hit.
+    pub(crate) fn scan_block(
+        &self,
+        segment: &ColdSegment,
+        block: usize,
+        pinned_generation: u64,
+    ) -> Result<Arc<Vec<Entry>>> {
+        let live = self.generation.load(Ordering::Relaxed) == pinned_generation;
+        let (entries, decoded) = self.lookup_or_decode_block(segment, block, live)?;
+        if decoded {
+            self.stats
+                .scan_blocks_decoded
+                .fetch_add(1, Ordering::Relaxed);
+            self.stats.scan_bytes_decoded.fetch_add(
+                crate::cache::entries_bytes(&entries) as u64,
+                Ordering::Relaxed,
+            );
+        }
+        Ok(entries)
+    }
+
+    /// Fetch one decoded block for a point lookup, consulting the cache
+    /// first.
     fn cached_block(
         &self,
         segment: &ColdSegment,
@@ -1016,13 +1242,10 @@ impl TierInner {
         probes: &mut BlockProbes,
     ) -> Result<Arc<Vec<Entry>>> {
         probes.probed += 1;
-        let cache_key = (segment.id, block);
-        if let Some(entries) = self.cache.get(cache_key) {
-            return Ok(entries);
+        let (entries, decoded) = self.lookup_or_decode_block(segment, block, true)?;
+        if decoded {
+            probes.missed = true;
         }
-        probes.missed = true;
-        let entries = Arc::new(segment.reader.read_block(block)?);
-        self.cache.insert(cache_key, Arc::clone(&entries));
         Ok(entries)
     }
 

@@ -3,7 +3,7 @@
 //!
 //! The build environment has no registry access, so this vendors a
 //! generation-only subset of the proptest API that this workspace's tests
-//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! use: the [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
 //! integer and float range strategies, regex-subset string strategies,
 //! tuple strategies, [`collection::vec`], `any::<T>()`, `Just`,
 //! `prop_oneof!`, the `proptest!` macro, and `prop_assert!` /
