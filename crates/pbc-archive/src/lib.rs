@@ -44,12 +44,14 @@
 pub mod codec;
 pub mod error;
 pub mod format;
+pub mod obs;
 pub mod positioned;
 pub mod reader;
 pub mod writer;
 
 pub use codec::{build_codec, select_codec_over_blocks, BlockCodec, CodecSpec, Entry};
 pub use error::{ArchiveError, Result};
+pub use obs::{ReaderObs, WriterObs};
 pub use reader::{RangeScan, Scan, SegmentReader};
 pub use writer::{
     entry_size_estimate, spread_sample_indices, SegmentConfig, SegmentSummary, SegmentWriter,

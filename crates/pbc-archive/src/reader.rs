@@ -9,6 +9,7 @@ use crate::error::{ArchiveError, Result};
 use crate::format::{
     crc32, decode_index, decode_trailer, BlockMeta, Header, FLAG_SORTED_KEYS, TRAILER_LEN,
 };
+use crate::obs::ReaderObs;
 use crate::positioned::PositionedFile;
 
 /// A reopened segment. All methods take `&self`; block reads go through
@@ -29,6 +30,9 @@ pub struct SegmentReader {
     record_count: u64,
     /// On-disk file size in bytes, captured at open.
     file_len: u64,
+    /// Decode instrumentation; no-op unless [`SegmentReader::set_obs`]
+    /// attached real handles.
+    obs: ReaderObs,
 }
 
 impl std::fmt::Debug for SegmentReader {
@@ -128,7 +132,15 @@ impl SegmentReader {
             starts,
             record_count,
             file_len,
+            obs: ReaderObs::noop(),
         })
+    }
+
+    /// Attach decode instrumentation (blocks-decoded counter + decode
+    /// latency histogram). Call before the reader is shared; typically
+    /// right after [`SegmentReader::open`].
+    pub fn set_obs(&mut self, obs: ReaderObs) {
+        self.obs = obs;
     }
 
     /// Where this segment lives.
@@ -245,8 +257,13 @@ impl SegmentReader {
                 context: format!("block {block} out of range ({} blocks)", self.blocks.len()),
             })?;
         let bytes = self.read_block_bytes(block)?;
-        self.block_codec(block)?
-            .decompress_block(&bytes, meta.record_count as usize)
+        let timer = self.obs.decode_ns.start_timer();
+        let entries = self
+            .block_codec(block)?
+            .decompress_block(&bytes, meta.record_count as usize);
+        timer.observe();
+        self.obs.blocks_decoded.inc();
+        entries
     }
 
     /// Which block holds global record `ordinal` (binary search).

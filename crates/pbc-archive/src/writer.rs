@@ -28,6 +28,7 @@ use crate::error::{ArchiveError, Result};
 use crate::format::{
     crc32, encode_index, encode_trailer, BlockMeta, Header, FLAG_SORTED_KEYS, VERSION,
 };
+use crate::obs::WriterObs;
 
 /// Tuning for [`SegmentWriter`].
 #[derive(Debug, Clone)]
@@ -178,10 +179,13 @@ struct BlockJob {
     flagged: u64,
 }
 
-fn compress_one(codec: &BlockCodec, job: BlockJob) -> CompressedBlock {
+fn compress_one(codec: &BlockCodec, job: BlockJob, obs: &WriterObs) -> CompressedBlock {
+    let timer = obs.encode_ns.start_timer();
+    obs.blocks_encoded.inc();
     let BlockJob { entries, flagged } = job;
     let entries_meta = block_entry_meta(&entries, flagged);
     let bytes = codec.compress_block(&entries);
+    timer.observe();
     // Per-block raw fallback: when the segment codec expands this block
     // (data drifted away from what the first block trained on), store the
     // serialized payload verbatim instead, bounding worst-case ratio.
@@ -220,7 +224,7 @@ struct Pool {
 }
 
 impl Pool {
-    fn spawn(codec: Arc<BlockCodec>, workers: usize) -> Pool {
+    fn spawn(codec: Arc<BlockCodec>, workers: usize, obs: WriterObs) -> Pool {
         let (work_tx, work_rx) = mpsc::sync_channel::<(u64, BlockJob)>(workers * 2);
         let (result_tx, result_rx) = mpsc::channel();
         let work_rx = Arc::new(Mutex::new(work_rx));
@@ -229,6 +233,7 @@ impl Pool {
                 let work_rx = Arc::clone(&work_rx);
                 let result_tx = result_tx.clone();
                 let codec = Arc::clone(&codec);
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("pbc-archive-compress-{worker}"))
                     .spawn(move || loop {
@@ -237,7 +242,10 @@ impl Pool {
                             Ok((seq, block)) => {
                                 // A send error means the writer is gone; just
                                 // stop, it can no longer use the result.
-                                if result_tx.send((seq, compress_one(&codec, block))).is_err() {
+                                if result_tx
+                                    .send((seq, compress_one(&codec, block, &obs)))
+                                    .is_err()
+                                {
                                     return;
                                 }
                             }
@@ -301,6 +309,10 @@ pub struct SegmentWriter {
     compressed_bytes: u64,
     record_count: u64,
     flagged_count: u64,
+    /// Encode instrumentation; no-op unless attached via
+    /// [`SegmentWriter::create_with_obs`]. Cloned into pool workers, so
+    /// it must be set before the first block closes.
+    obs: WriterObs,
 }
 
 struct SeqBlock {
@@ -331,6 +343,17 @@ impl Ord for SeqBlock {
 impl SegmentWriter {
     /// Create a segment at `path` (truncating any existing file).
     pub fn create(path: impl AsRef<Path>, config: SegmentConfig) -> Result<Self> {
+        Self::create_with_obs(path, config, WriterObs::noop())
+    }
+
+    /// [`SegmentWriter::create`] with encode instrumentation attached:
+    /// `obs` counts blocks encoded and times each block's compression
+    /// (on whichever thread runs it, inline or pool worker).
+    pub fn create_with_obs(
+        path: impl AsRef<Path>,
+        config: SegmentConfig,
+        obs: WriterObs,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = BufWriter::new(File::create(&path)?);
         Ok(SegmentWriter {
@@ -355,6 +378,7 @@ impl SegmentWriter {
             compressed_bytes: 0,
             record_count: 0,
             flagged_count: 0,
+            obs,
         })
     }
 
@@ -448,7 +472,11 @@ impl SegmentWriter {
         self.next_seq += 1;
         if self.config.workers > 1 {
             if self.pool.is_none() {
-                self.pool = Some(Pool::spawn(Arc::clone(&codec), self.config.workers));
+                self.pool = Some(Pool::spawn(
+                    Arc::clone(&codec),
+                    self.config.workers,
+                    self.obs.clone(),
+                ));
             }
             self.pool
                 .as_ref()
@@ -460,7 +488,7 @@ impl SegmentWriter {
                 .expect("compression workers alive while writer holds the pool");
             self.drain_results(false)?;
         } else {
-            let block = compress_one(&codec, job);
+            let block = compress_one(&codec, job, &self.obs);
             self.write_block(seq, block)?;
         }
         Ok(())

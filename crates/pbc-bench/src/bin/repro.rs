@@ -6,7 +6,7 @@
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -87,6 +87,7 @@ fn main() {
                 "compaction",
                 "leveling",
                 "scans",
+                "obs",
             ]
             .into_iter()
             .map(String::from)
@@ -108,7 +109,7 @@ fn print_usage() {
     println!(
         "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs all quick"
     );
 }
 
@@ -279,6 +280,7 @@ fn run_experiment(name: &str, scale: f64) {
             pbc_bench::leveling::leveling_throughput(scale).render()
         ),
         "scans" => println!("{}", pbc_bench::scans::scans_throughput(scale).render()),
+        "obs" => println!("{}", pbc_bench::obs::obs_throughput(scale).render()),
         other => die(&format!("unknown experiment '{other}'")),
     }
     eprintln!(

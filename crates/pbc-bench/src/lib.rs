@@ -24,6 +24,7 @@
 //! | Background compaction stalls (beyond the paper) | [`compaction::compaction_throughput`] |
 //! | L0/L1 leveling + concurrent drain (beyond the paper) | [`leveling::leveling_throughput`] |
 //! | Range-scan throughput + bytes/row (beyond the paper) | [`scans::scans_throughput`] |
+//! | Observability: exported percentiles + overhead (beyond the paper) | [`obs::obs_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
@@ -35,6 +36,7 @@ pub mod experiments;
 pub mod figures;
 pub mod leveling;
 pub mod measure;
+pub mod obs;
 pub mod report;
 pub mod scans;
 pub mod tier;

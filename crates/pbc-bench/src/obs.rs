@@ -1,0 +1,325 @@
+//! Obs experiment: what the unified metrics registry reports for a mixed
+//! tiered-store workload, and what carrying it costs.
+//!
+//! Two stores run the **identical** deterministic workload — puts in
+//! spill-sized batches, a compaction, an overwrite wave, hot/cold/missing
+//! gets, range scans, deletes. The first has metrics and tracing on; the
+//! second runs with [`TierConfig::with_metrics`]`(false)` and zero-capacity
+//! rings, so every handle is a no-op that never even reads the clock. The
+//! instrumented store's registry snapshot supplies the reported
+//! percentiles (get/put/delete/scan latency), the cache hit rate comes
+//! from [`BlockCache::hit_rate`], and the wall-clock delta between the two
+//! runs is the instrumentation overhead — the paper-adjacent claim being
+//! that always-on observability is affordable (< 5%).
+//!
+//! [`BlockCache::hit_rate`]: pbc_tier::BlockCache::hit_rate
+//! [`TierConfig::with_metrics`]: pbc_tier::TierConfig::with_metrics
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pbc_datagen::Dataset;
+use pbc_tier::{TierConfig, TieredStore};
+
+use crate::data::corpus;
+use crate::report::Table;
+
+/// A throwaway store directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        TempDir(std::env::temp_dir().join(format!(
+            "pbc-bench-obs-{}-{tag}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Exported latency percentiles for one operation's histogram.
+#[derive(Debug, Clone)]
+pub struct ObsLatencyRow {
+    /// Operation label (`get`, `put`, `delete`, `scan`).
+    pub op: String,
+    /// Samples the histogram recorded.
+    pub count: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst observed latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Everything the obs experiment reports.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Records the workload landed.
+    pub records: usize,
+    /// Point lookups issued (hot + cold + missing).
+    pub gets: u64,
+    /// Range scans issued.
+    pub scans: u64,
+    /// Exported percentiles, one row per instrumented operation.
+    pub latencies: Vec<ObsLatencyRow>,
+    /// [`pbc_tier::BlockCache::hit_rate`] at the end of the run.
+    pub cache_hit_rate: f64,
+    /// Spills the instrumented store performed.
+    pub spills: u64,
+    /// Compaction jobs the instrumented store committed.
+    pub compactions: u64,
+    /// Archive blocks decoded (cache misses + scan block reads).
+    pub blocks_decoded: u64,
+    /// Structured trace events retained in the ring.
+    pub trace_events: usize,
+    /// Background errors retained (expected 0 for a healthy run).
+    pub background_errors: usize,
+    /// Wall-clock seconds for the metrics-on run (best of two).
+    pub instrumented_secs: f64,
+    /// Wall-clock seconds for the no-op-registry run (best of two).
+    pub baseline_secs: f64,
+    /// `(instrumented - baseline) / baseline * 100`.
+    pub overhead_pct: f64,
+}
+
+fn obs_key(i: usize) -> Vec<u8> {
+    format!("obs:{i:08}").into_bytes()
+}
+
+/// The fixed mixed workload both stores run: batched puts with explicit
+/// spills, a compaction into L1, an overwrite wave back into L0, two get
+/// passes (cold then cache-warm) plus guaranteed misses, range scans, and
+/// a delete wave. Returns `(gets, scans)` issued.
+fn run_workload(store: &TieredStore, records: &[Vec<u8>]) -> (u64, u64) {
+    let n = records.len();
+    // Land everything in four spill batches, then compact into L1.
+    let quarter = n.div_ceil(4);
+    for (i, value) in records.iter().enumerate() {
+        store.set(&obs_key(i), value).expect("obs set");
+        if (i + 1) % quarter == 0 {
+            store.flush_all().expect("obs flush");
+        }
+    }
+    store.flush_all().expect("obs flush tail");
+    store.compact().expect("obs compact");
+    // Overwrite the freshest fifth back on top as an L0 segment.
+    for i in (n - n / 5)..n {
+        store
+            .set(&obs_key(i), &records[(i * 7) % n])
+            .expect("obs overwrite");
+    }
+    store.flush_all().expect("obs flush overwrites");
+
+    // Two read passes (the second enjoys a warm block cache) plus a
+    // guaranteed-miss pass that exercises the index-only fast path.
+    let mut gets = 0u64;
+    for pass in 0..2 {
+        for i in 0..n {
+            let got = store.get(&obs_key(i)).expect("obs get");
+            assert!(got.is_some(), "live key must be found on pass {pass}");
+            gets += 1;
+        }
+    }
+    for i in 0..n / 4 {
+        let got = store.get(&obs_key(n + i)).expect("obs missing get");
+        assert!(got.is_none(), "key past the universe must miss");
+        gets += 1;
+    }
+
+    // Range scans: fixed spans at deterministic offsets.
+    let span = 128.min(n.max(2) / 2);
+    let scan_count = 16u64;
+    for s in 0..scan_count {
+        let start = (s as usize * 97) % (n - span).max(1);
+        let lo = obs_key(start);
+        let hi = obs_key(start + span - 1);
+        let mut rows = 0usize;
+        for row in store.range_scan(lo..=hi).expect("obs scan") {
+            row.expect("obs scan row");
+            rows += 1;
+        }
+        assert_eq!(rows, span, "dense live range must yield every key");
+    }
+
+    // Delete a stripe and confirm the tombstones shadow.
+    for i in (0..n).step_by(10) {
+        store.delete(&obs_key(i)).expect("obs delete");
+    }
+    store.flush_all().expect("obs flush deletes");
+    for i in (0..n).step_by(10).take(32) {
+        assert!(
+            store.get(&obs_key(i)).expect("obs tombstone get").is_none(),
+            "deleted key must stay deleted"
+        );
+        gets += 1;
+    }
+    (gets, scan_count)
+}
+
+fn open_store(dir: &std::path::Path, metrics: bool) -> TieredStore {
+    let mut config = TierConfig::new(dir)
+        .with_watermark(u64::MAX)
+        .with_metrics(metrics);
+    if !metrics {
+        // A fair no-op baseline carries no rings either.
+        config = config.with_trace_capacity(0).with_error_log_capacity(0);
+    }
+    TieredStore::open(config).expect("open obs store")
+}
+
+/// Time one full workload run against a fresh store; returns seconds.
+fn timed_run(tag: &str, records: &[Vec<u8>], metrics: bool) -> f64 {
+    let dir = TempDir::new(tag);
+    let store = open_store(&dir.0, metrics);
+    let started = Instant::now();
+    run_workload(&store, records);
+    started.elapsed().as_secs_f64()
+}
+
+/// Run the obs experiment at `scale` (record counts scale linearly).
+pub fn obs_experiment(scale: f64) -> ObsReport {
+    let records = corpus(Dataset::Kv1, scale);
+    let n = records.len();
+
+    // The reported run: metrics on, snapshot taken at the end.
+    let dir = TempDir::new("report");
+    let store = open_store(&dir.0, true);
+    let report_started = Instant::now();
+    let (gets, scans) = run_workload(&store, &records);
+    let first_instrumented = report_started.elapsed().as_secs_f64();
+
+    let snap = store.metrics().snapshot();
+    let row = |op: &str, name: &str| {
+        let h = &snap.histograms[name];
+        ObsLatencyRow {
+            op: op.to_string(),
+            count: h.count,
+            p50_ns: h.p50(),
+            p99_ns: h.p99(),
+            max_ns: h.max,
+        }
+    };
+    let latencies = vec![
+        row("get", "pbc_tier_get_latency_ns"),
+        row("put", "pbc_tier_put_latency_ns"),
+        row("delete", "pbc_tier_delete_latency_ns"),
+        row("scan", "pbc_tier_scan_latency_ns"),
+    ];
+    let stats = store.stats();
+    let cache_hit_rate = store.cache().hit_rate();
+    let trace_events = store.trace_events().len();
+    let background_errors = store.recent_background_errors().len();
+    let blocks_decoded = snap
+        .counters
+        .get("pbc_archive_blocks_decoded_total")
+        .copied()
+        .unwrap_or(0);
+    drop(store);
+    drop(dir);
+
+    // Overhead: best-of-two each way, interleaved so drift hits both.
+    let mut instrumented_secs = first_instrumented;
+    let mut baseline_secs = f64::INFINITY;
+    for round in 0..2 {
+        baseline_secs = baseline_secs.min(timed_run("base", &records, false));
+        if round == 0 {
+            instrumented_secs = instrumented_secs.min(timed_run("inst", &records, true));
+        }
+    }
+    let overhead_pct = (instrumented_secs - baseline_secs) / baseline_secs * 100.0;
+
+    ObsReport {
+        records: n,
+        gets,
+        scans,
+        latencies,
+        cache_hit_rate,
+        spills: stats.spills,
+        compactions: stats.compactions,
+        blocks_decoded,
+        trace_events,
+        background_errors,
+        instrumented_secs,
+        baseline_secs,
+        overhead_pct,
+    }
+}
+
+/// Render the obs experiment as a report table.
+pub fn obs_throughput(scale: f64) -> Table {
+    let report = obs_experiment(scale);
+    let mut table = Table::new(
+        "Obs: exported latency percentiles and instrumentation overhead",
+        &["metric", "count", "p50 us", "p99 us", "max us"],
+    );
+    for row in &report.latencies {
+        table.push_row(vec![
+            row.op.clone(),
+            row.count.to_string(),
+            format!("{:.1}", row.p50_ns as f64 / 1_000.0),
+            format!("{:.1}", row.p99_ns as f64 / 1_000.0),
+            format!("{:.1}", row.max_ns as f64 / 1_000.0),
+        ]);
+    }
+    let note =
+        |label: &str, value: String| vec![label.into(), value, "".into(), "".into(), "".into()];
+    table.push_row(note(
+        "cache hit rate",
+        format!("{:.1}%", report.cache_hit_rate * 100.0),
+    ));
+    table.push_row(note(
+        "spills / compactions",
+        format!("{} / {}", report.spills, report.compactions),
+    ));
+    table.push_row(note("blocks decoded", report.blocks_decoded.to_string()));
+    table.push_row(note(
+        "trace events / bg errors",
+        format!("{} / {}", report.trace_events, report.background_errors),
+    ));
+    table.push_row(note(
+        "overhead vs no-op registry",
+        format!(
+            "{:+.2}% ({:.3}s vs {:.3}s over {} records)",
+            report.overhead_pct, report.instrumented_secs, report.baseline_secs, report.records
+        ),
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exported_percentiles_cover_every_instrumented_op() {
+        let report = obs_experiment(0.02);
+        assert_eq!(report.latencies.len(), 4);
+        for row in &report.latencies {
+            assert!(row.count > 0, "{} histogram recorded nothing", row.op);
+            assert!(row.p50_ns > 0, "{} p50 must be positive", row.op);
+            assert!(row.p50_ns <= row.p99_ns && row.p99_ns <= row.max_ns);
+        }
+        let get = &report.latencies[0];
+        let scan = &report.latencies[3];
+        assert_eq!(get.count, report.gets, "every get must be sampled");
+        assert_eq!(scan.count, report.scans, "every scan must be sampled");
+        assert!(report.spills >= 4 && report.compactions >= 1);
+        // Two dense read passes over a cached cold tier must hit.
+        assert!(report.cache_hit_rate > 0.0 && report.cache_hit_rate <= 1.0);
+        assert_eq!(report.background_errors, 0);
+        assert!(
+            report.trace_events > 0,
+            "spills and scans must leave a trace"
+        );
+        assert!(report.baseline_secs > 0.0 && report.instrumented_secs > 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Render a [`Snapshot`] as Prometheus text exposition format or JSON.
+//!
+//! Both renderers are allocation-light, dependency-free, and emit
+//! metrics in sorted name order (snapshots are `BTreeMap`-backed), so
+//! output is deterministic and diff-friendly. Histograms render only
+//! their **non-empty** buckets — a log-linear histogram has 976
+//! potential buckets but a latency distribution typically occupies a few
+//! dozen.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+impl Snapshot {
+    /// Render as Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Counters and gauges become single samples with a `# TYPE` header;
+    /// each histogram becomes cumulative `_bucket{le="..."}` samples over
+    /// its non-empty buckets plus the `+Inf` bucket, `_sum`, and
+    /// `_count`.
+    ///
+    /// ```
+    /// use pbc_obs::MetricsRegistry;
+    ///
+    /// let registry = MetricsRegistry::new();
+    /// registry.counter("gets_total").add(3);
+    /// registry.histogram("get_ns").record(100);
+    /// let text = registry.snapshot().to_prometheus();
+    /// assert!(text.contains("# TYPE gets_total counter"));
+    /// assert!(text.contains("gets_total 3"));
+    /// assert!(text.contains("get_ns_bucket{le=\"+Inf\"} 1"));
+    /// assert!(text.contains("get_ns_count 1"));
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for &(bound, count) in hist.buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{name}_sum {}", hist.sum);
+            let _ = writeln!(out, "{name}_count {}", hist.count);
+        }
+        out
+    }
+
+    /// Render as a JSON object with `counters`, `gauges`, and
+    /// `histograms` members. Each histogram carries `count`, `sum`,
+    /// `max`, derived `p50`/`p90`/`p99`/`p999`, and its non-empty
+    /// `buckets` as `[upper_bound, count]` pairs.
+    ///
+    /// ```
+    /// use pbc_obs::MetricsRegistry;
+    ///
+    /// let registry = MetricsRegistry::new();
+    /// registry.gauge("l0_segments").set(4);
+    /// let json = registry.snapshot().to_json();
+    /// assert!(json.contains("\"l0_segments\":4"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{value}", json_string(name));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, hist) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+                json_string(name),
+                hist.count,
+                hist.sum,
+                hist.max,
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+                hist.p999(),
+            );
+            let mut first_bucket = true;
+            for &(bound, count) in hist.buckets() {
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let _ = write!(out, "[{bound},{count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Quote and escape a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns");
+        h.record(1);
+        h.record(1);
+        h.record(100);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 2"));
+        // 100 lands in the [96,103] bucket; cumulative count is 3.
+        assert!(text.contains("lat_ns_bucket{le=\"103\"} 3"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_sum 102"));
+        assert!(text.contains("lat_ns_count 3"));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total").inc();
+        r.gauge("b").set(2);
+        r.histogram("c_ns").record(50);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a_total\":1"));
+        assert!(json.contains("\"b\":2"));
+        assert!(json.contains("\"count\":1"));
+        // Balanced braces/brackets (no nesting errors).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let snap = MetricsRegistry::disabled().snapshot();
+        assert_eq!(snap.to_prometheus(), "");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

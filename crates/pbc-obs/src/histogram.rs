@@ -1,0 +1,284 @@
+//! Log-linear (HDR-style) histogram with lock-free recording.
+//!
+//! Values are bucketed by their power-of-two magnitude (the *octave*),
+//! with each octave split into `2^SUB_BITS = 16` linear sub-buckets, so
+//! the relative error of any reported quantile is bounded by one
+//! sub-bucket width: at most `1/16 = 6.25%` of the value. The first 16
+//! buckets hold the exact values `0..=15` (their "octaves" are narrower
+//! than a sub-bucket, so small values are exact).
+//!
+//! Recording is a handful of relaxed atomic adds — no locks, no
+//! allocation — so histograms can sit on get/put hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear buckets.
+pub const SUB_BITS: u32 = 4;
+
+const SUB_COUNT: usize = 1 << SUB_BITS; // 16
+
+/// Octaves above the exact range: magnitudes `SUB_BITS..=63`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+
+/// Total bucket count (`16` exact + `60 * 16` log-linear = 976).
+pub const BUCKET_COUNT: usize = SUB_COUNT + OCTAVES * SUB_COUNT;
+
+/// Map a value to its bucket index.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let mag = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (mag - SUB_BITS)) as usize) - SUB_COUNT;
+    SUB_COUNT + (mag - SUB_BITS) as usize * SUB_COUNT + sub
+}
+
+/// Inclusive `(low, high)` value range a bucket covers.
+pub(crate) fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_COUNT {
+        return (index as u64, index as u64);
+    }
+    let octave = (index - SUB_COUNT) / SUB_COUNT + SUB_BITS as usize;
+    let sub = (index - SUB_COUNT) % SUB_COUNT;
+    let shift = octave - SUB_BITS as usize;
+    let low = ((SUB_COUNT + sub) as u64) << shift;
+    let width = 1u64 << shift;
+    (low, low + (width - 1))
+}
+
+/// The shared atomic state behind a [`crate::Histogram`] handle.
+pub(crate) struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKET_COUNT);
+        buckets.resize_with(BUCKET_COUNT, AtomicU64::default);
+        HistogramCore {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Four relaxed atomic ops, no locks.
+    #[inline]
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        // Buckets first, then the total: a sample recorded concurrently
+        // bumps its bucket before `count`, so the per-bucket sum read here
+        // is always >= the total we report and quantiles never index past
+        // the observed distribution.
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_bounds(i).1, n))
+            })
+            .collect();
+        let bucketed: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let count = self.count.load(Ordering::Relaxed).min(bucketed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable point-in-time view of one histogram: non-empty buckets
+/// plus total count, sum, and the exact maximum recorded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of every recorded value (wraps only after `u64::MAX`).
+    pub sum: u64,
+    /// Largest value recorded, exact (not bucket-rounded).
+    pub max: u64,
+    /// `(bucket upper bound, samples)` for every non-empty bucket,
+    /// ascending by bound.
+    buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (no samples).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The non-empty `(upper bound, samples)` buckets, ascending.
+    pub fn buckets(&self) -> &[(u64, u64)] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q` (clamped to `0.0..=1.0`), reported as
+    /// the upper bound of the bucket containing that rank — so within
+    /// `6.25%` above the true value. Returns 0 with no samples; the top
+    /// quantile is capped at [`HistogramSnapshot::max`], which is exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Arithmetic mean of the recorded values, 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every bucket's high bound + 1 must be the next bucket's low.
+        let mut expected_low = 0u64;
+        for i in 0..BUCKET_COUNT {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(low, expected_low, "gap before bucket {i}");
+            assert!(high >= low);
+            if i + 1 == BUCKET_COUNT {
+                assert_eq!(high, u64::MAX);
+                break;
+            }
+            expected_low = high + 1;
+        }
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        let probes = [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            u64::MAX / 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            let (low, high) = bucket_bounds(i);
+            assert!(low <= v && v <= high, "value {v} outside bucket {i}");
+            // Relative error bound: bucket width <= low / 16 for v >= 16.
+            if v >= 16 {
+                assert!((high - low) as f64 <= low as f64 / 16.0 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let core = HistogramCore::new();
+        for v in 1..=10_000u64 {
+            core.record(v);
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.count, 10_000);
+        assert_eq!(snap.max, 10_000);
+        let p50 = snap.p50() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.07, "p50 = {p50}");
+        let p99 = snap.p99() as f64;
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.07, "p99 = {p99}");
+        assert!(snap.quantile(1.0) == 10_000);
+        assert_eq!(snap.quantile(0.0), snap.buckets()[0].0.min(snap.max));
+    }
+
+    #[test]
+    fn multithreaded_totals_match_samples() {
+        use std::sync::Arc;
+        let core = Arc::new(HistogramCore::new());
+        let threads = 8u64;
+        let per_thread = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // A spread of magnitudes, deterministic per thread.
+                        core.record((i * 2_654_435_761 + t) % 1_000_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.count, threads * per_thread);
+        let bucketed: u64 = snap.buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucketed, snap.count);
+    }
+}

@@ -7,11 +7,11 @@
 //! **bytes**, not block count, so mixed block sizes cannot blow the budget.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pbc_archive::Entry;
+use pbc_obs::Counter;
 
 /// Cache key: `(segment id, block index)`.
 pub type BlockKey = (u64, usize);
@@ -40,10 +40,37 @@ struct CacheInner {
 pub struct BlockCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+}
+
+/// The four counters a [`BlockCache`] records into, so callers with a
+/// metrics registry can hand the cache registry-backed handles.
+#[derive(Clone, Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups that found the block cached.
+    pub hits: Counter,
+    /// Lookups that did not.
+    pub misses: Counter,
+    /// Blocks evicted under capacity pressure.
+    pub evictions: Counter,
+    /// Blocks dropped because their segment was retired.
+    pub invalidations: Counter,
+}
+
+impl CacheCounters {
+    /// Standalone counters not tied to any registry (the
+    /// [`BlockCache::new`] default).
+    pub fn standalone() -> Self {
+        CacheCounters {
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
+            evictions: Counter::standalone(),
+            invalidations: Counter::standalone(),
+        }
+    }
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -53,10 +80,10 @@ impl std::fmt::Debug for BlockCache {
             .field("capacity", &self.capacity)
             .field("cached_bytes", &inner.bytes)
             .field("blocks", &inner.map.len())
-            .field("hits", &self.hits.load(Ordering::Relaxed))
-            .field("misses", &self.misses.load(Ordering::Relaxed))
-            .field("evictions", &self.evictions.load(Ordering::Relaxed))
-            .field("invalidations", &self.invalidations.load(Ordering::Relaxed))
+            .field("hits", &self.hits.value())
+            .field("misses", &self.misses.value())
+            .field("evictions", &self.evictions.value())
+            .field("invalidations", &self.invalidations.value())
             .finish()
     }
 }
@@ -72,15 +99,23 @@ pub fn entries_bytes(entries: &[Entry]) -> usize {
 
 impl BlockCache {
     /// Create a cache bounded to `capacity` decoded bytes (0 disables
-    /// caching: every get misses and nothing is kept).
+    /// caching: every get misses and nothing is kept). Counts into
+    /// standalone counters; use [`BlockCache::with_counters`] to count
+    /// into registry-backed handles instead.
     pub fn new(capacity: usize) -> Self {
+        BlockCache::with_counters(capacity, CacheCounters::standalone())
+    }
+
+    /// Like [`BlockCache::new`], but recording into the given handles
+    /// (typically obtained from a `pbc_obs::MetricsRegistry`).
+    pub fn with_counters(capacity: usize, counters: CacheCounters) -> Self {
         BlockCache {
             capacity,
             inner: Mutex::new(CacheInner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            hits: counters.hits,
+            misses: counters.misses,
+            evictions: counters.evictions,
+            invalidations: counters.invalidations,
         }
     }
 
@@ -101,17 +136,29 @@ impl BlockCache {
 
     /// Block lookups that found the block cached.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.value()
     }
 
     /// Block lookups that did not.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.value()
+    }
+
+    /// Fraction of lookups that hit, in `0.0..=1.0`. Returns `0.0` before
+    /// the first lookup rather than dividing by zero.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 
     /// Blocks evicted to make room.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.value()
     }
 
     /// Blocks dropped by [`BlockCache::evict_segment`] because their
@@ -119,7 +166,7 @@ impl BlockCache {
     /// `evictions`, so cache-pressure and retirement churn stay separately
     /// observable.
     pub fn invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+        self.invalidations.value()
     }
 
     /// Look a block up, refreshing its recency on a hit.
@@ -135,12 +182,12 @@ impl BlockCache {
                 inner.by_recency.remove(&old_tick);
                 inner.by_recency.insert(tick, key);
                 drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(entries)
             }
             None => {
                 drop(inner);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -187,7 +234,7 @@ impl BlockCache {
             inner.bytes += bytes;
         }
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
     }
 
@@ -221,8 +268,7 @@ impl BlockCache {
             doomed.len()
         };
         if dropped > 0 {
-            self.invalidations
-                .fetch_add(dropped as u64, Ordering::Relaxed);
+            self.invalidations.add(dropped as u64);
         }
         dropped
     }
@@ -269,6 +315,7 @@ mod tests {
     #[test]
     fn counters_add_up() {
         let cache = BlockCache::new(1 << 20);
+        assert_eq!(cache.hit_rate(), 0.0, "no lookups yet: rate is 0, not NaN");
         assert!(cache.get((7, 0)).is_none());
         cache.insert((7, 0), block(1, 8, 64));
         assert!(cache.get((7, 0)).is_some());
@@ -276,6 +323,7 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.evictions(), 0);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

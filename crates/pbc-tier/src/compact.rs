@@ -29,7 +29,7 @@ use std::path::PathBuf;
 use pbc_archive::reader::Scan;
 use pbc_archive::{
     entry_size_estimate, select_codec_over_blocks, spread_sample_indices, BlockCodec, CodecSpec,
-    Entry, SegmentConfig, SegmentReader, SegmentSummary, SegmentWriter,
+    Entry, SegmentConfig, SegmentReader, SegmentSummary, SegmentWriter, WriterObs,
 };
 
 use crate::error::Result;
@@ -142,12 +142,18 @@ fn retrained_codec(readers: &[&SegmentReader], config: &SegmentConfig) -> Result
 /// selection — seconds of CPU for PBC pattern extraction — so callers
 /// reserve it for large, stable runs and reuse a shared codec for small
 /// incremental jobs, where the per-block raw fallback bounds any drift.
+///
+/// `writer_obs` is cloned into every output writer so block-encode
+/// counters and latency land in the caller's metrics; pass
+/// [`WriterObs::noop`] when nothing is collecting.
+#[allow(clippy::too_many_arguments)]
 pub fn merge_segments(
     readers: &[&SegmentReader],
     config: &SegmentConfig,
     drop_tombstones: bool,
     codec: Option<CodecSpec>,
     split_bytes: Option<u64>,
+    writer_obs: &WriterObs,
     next_output: &mut dyn FnMut() -> (u64, String, PathBuf),
 ) -> Result<MergeOutcome> {
     let mut outputs: Vec<MergeOutput> = Vec::new();
@@ -158,6 +164,7 @@ pub fn merge_segments(
         drop_tombstones,
         codec,
         split_bytes,
+        writer_obs,
         next_output,
         &mut outputs,
         &mut open,
@@ -185,6 +192,7 @@ fn merge_into(
     drop_tombstones: bool,
     codec: Option<CodecSpec>,
     split_bytes: Option<u64>,
+    writer_obs: &WriterObs,
     next_output: &mut dyn FnMut() -> (u64, String, PathBuf),
     outputs: &mut Vec<MergeOutput>,
     open: &mut Option<OpenOutput>,
@@ -258,12 +266,13 @@ fn merge_into(
             Some(current) => current,
             None => {
                 let (id, file_name, path) = next_output();
-                let writer = SegmentWriter::create(
+                let writer = SegmentWriter::create_with_obs(
                     &path,
                     SegmentConfig {
                         codec: codec_spec.clone(),
                         ..config.clone()
                     },
+                    writer_obs.clone(),
                 )?;
                 open.insert(OpenOutput {
                     id,

@@ -57,6 +57,19 @@ pub struct TierConfig {
     /// How often the maintenance thread re-checks the trigger thresholds
     /// when idle (it is also woken eagerly after every spill).
     pub maintenance_tick: Duration,
+    /// Collect metrics (counters, gauges, latency histograms). On by
+    /// default. When off, every handle is a no-op — no atomics are
+    /// touched and no clocks are read — and [`crate::TieredStore::stats`]
+    /// reports zero for all counters (the cold-tier gauges are still
+    /// derived exactly from the live segment set).
+    pub metrics: bool,
+    /// Capacity of the structured trace-event ring (spill, compaction,
+    /// manifest, and scan lifecycle events). `0` disables tracing.
+    pub trace_capacity: usize,
+    /// How many recent background-maintenance errors to retain (message,
+    /// job description, and monotonic timestamp). `0` disables retention;
+    /// the `background_errors` counter still counts.
+    pub error_log_capacity: usize,
 }
 
 impl TierConfig {
@@ -74,6 +87,9 @@ impl TierConfig {
             planner: PlannerConfig::default(),
             background_compaction: false,
             maintenance_tick: Duration::from_millis(20),
+            metrics: true,
+            trace_capacity: 256,
+            error_log_capacity: 32,
         }
     }
 
@@ -138,6 +154,24 @@ impl TierConfig {
     /// Set the maintenance thread's idle re-check interval.
     pub fn with_maintenance_tick(mut self, tick: Duration) -> Self {
         self.maintenance_tick = tick;
+        self
+    }
+
+    /// Enable or disable metric collection (see the field docs).
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Set the trace-event ring capacity (`0` disables tracing).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Set how many recent background errors are retained.
+    pub fn with_error_log_capacity(mut self, capacity: usize) -> Self {
+        self.error_log_capacity = capacity;
         self
     }
 

@@ -100,15 +100,17 @@ pub mod config;
 pub mod error;
 mod maintenance;
 pub mod manifest;
+pub mod obs;
 pub mod planner;
 pub mod scan;
 pub mod store;
 
-pub use cache::{BlockCache, BlockKey};
+pub use cache::{BlockCache, BlockKey, CacheCounters};
 pub use compact::{MergeOutcome, MergeOutput};
 pub use config::TierConfig;
 pub use error::{Result, TierError};
 pub use manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
+pub use obs::BackgroundErrorRecord;
 pub use planner::{
     CompactionJob, CompactionPlanner, KeyRange, PlannerConfig, SegmentStats, LEVEL_L0, LEVEL_L1,
 };

@@ -43,9 +43,11 @@
 
 use std::collections::VecDeque;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pbc_archive::Entry;
+use pbc_obs::Timer;
 
 use crate::error::Result;
 use crate::store::{ColdList, ColdSegment, TierInner};
@@ -86,6 +88,9 @@ struct ColdCursor<'a> {
     /// One-entry lookahead for last-wins duplicate collapsing.
     lookahead: Option<Entry>,
     exhausted: bool,
+    /// Disk decodes performed on this scan's behalf, shared across all of
+    /// the scan's cursors (reported in its close trace event).
+    decoded_blocks: Arc<AtomicU64>,
 }
 
 impl<'a> ColdCursor<'a> {
@@ -97,6 +102,7 @@ impl<'a> ColdCursor<'a> {
         generation: u64,
         start: &[u8],
         end: Option<&[u8]>,
+        decoded_blocks: Arc<AtomicU64>,
     ) -> Result<ColdCursor<'a>> {
         let blocks = segment.reader.candidate_blocks_for_range(start, end)?;
         inner.note_scan_segment_opened();
@@ -111,6 +117,7 @@ impl<'a> ColdCursor<'a> {
             end: end.map(|e| e.to_vec()),
             lookahead: None,
             exhausted: false,
+            decoded_blocks,
         })
     }
 
@@ -138,9 +145,12 @@ impl<'a> ColdCursor<'a> {
             }
             let block = self.blocks.start;
             self.blocks.start += 1;
-            let entries = self
-                .inner
-                .scan_block(&self.segment, block, self.generation)?;
+            let (entries, decoded) =
+                self.inner
+                    .scan_block(&self.segment, block, self.generation)?;
+            if decoded {
+                self.decoded_blocks.fetch_add(1, Ordering::Relaxed);
+            }
             // Only the first candidate block can hold keys below the
             // lower bound; for every later block this skip is 0.
             self.next = entries.partition_point(|(k, _)| k.as_slice() < self.start.as_slice());
@@ -202,6 +212,9 @@ enum SourceKind<'a> {
         cursor: Option<ColdCursor<'a>>,
         start: Vec<u8>,
         end: Option<Vec<u8>>,
+        /// The owning scan's shared decode counter, handed to each
+        /// lazily-opened partition cursor.
+        decoded_blocks: Arc<AtomicU64>,
     },
 }
 
@@ -221,6 +234,7 @@ impl Source<'_> {
                 cursor,
                 start,
                 end,
+                decoded_blocks,
             } => loop {
                 if let Some(open) = cursor {
                     if let Some(versioned) = open.next_versioned()? {
@@ -236,6 +250,7 @@ impl Source<'_> {
                             *generation,
                             start,
                             end.as_deref(),
+                            Arc::clone(decoded_blocks),
                         )?);
                     }
                     None => break None,
@@ -263,6 +278,16 @@ pub struct RangeScan<'a> {
     /// first, then the L1 chain.
     sources: Vec<Source<'a>>,
     done: bool,
+    /// The store, for the close trace event (`None` for provably empty
+    /// scans, which never consulted any tier).
+    inner: Option<&'a TierInner>,
+    /// Rows this scan has yielded.
+    rows: u64,
+    /// Disk decodes across every cursor this scan opened.
+    decoded_blocks: Arc<AtomicU64>,
+    /// Open-to-close latency; records into `pbc_tier_scan_latency_ns` when
+    /// the scan drops (after the `Drop` impl emits the close event).
+    _timer: Option<Timer>,
 }
 
 impl<'a> RangeScan<'a> {
@@ -274,6 +299,10 @@ impl<'a> RangeScan<'a> {
             end: Bound::Unbounded,
             sources: Vec::new(),
             done: true,
+            inner: None,
+            rows: 0,
+            decoded_blocks: Arc::new(AtomicU64::new(0)),
+            _timer: None,
         }
     }
 
@@ -299,6 +328,8 @@ impl<'a> RangeScan<'a> {
                 && segment.max_key.as_slice() >= start.as_slice()
                 && end_superset.is_none_or(|e| segment.min_key.as_slice() <= e)
         };
+        let decoded_blocks = Arc::new(AtomicU64::new(0));
+        let mut cold_sources = 0usize;
         let mut sources: Vec<Source<'a>> = Vec::new();
         if !hot.is_empty() {
             sources.push(Source {
@@ -318,6 +349,7 @@ impl<'a> RangeScan<'a> {
         // L0 newest first: every intersecting segment gets its own cursor
         // (they may overlap each other, so all must be merged at once).
         for segment in pinned.l0.iter().filter(|s| intersects(s)) {
+            cold_sources += 1;
             sources.push(Source {
                 current: None,
                 kind: SourceKind::Cold(ColdCursor::open(
@@ -326,6 +358,7 @@ impl<'a> RangeScan<'a> {
                     generation,
                     &start,
                     end_superset,
+                    Arc::clone(&decoded_blocks),
                 )?),
             });
         }
@@ -342,6 +375,7 @@ impl<'a> RangeScan<'a> {
             .cloned()
             .collect();
         if !covering.is_empty() {
+            cold_sources += covering.len();
             sources.push(Source {
                 current: None,
                 kind: SourceKind::Chain {
@@ -351,15 +385,21 @@ impl<'a> RangeScan<'a> {
                     cursor: None,
                     start: start.clone(),
                     end: end_superset.map(|e| e.to_vec()),
+                    decoded_blocks: Arc::clone(&decoded_blocks),
                 },
             });
         }
+        let timer = inner.note_scan_opened(cold_sources);
         let mut scan = RangeScan {
             _pinned: Some(pinned),
             generation,
             end,
             sources,
             done: false,
+            inner: Some(inner),
+            rows: 0,
+            decoded_blocks,
+            _timer: Some(timer),
         };
         for source in &mut scan.sources {
             source.advance()?;
@@ -431,10 +471,23 @@ impl Iterator for RangeScan<'_> {
                 }
             }
             match value {
-                Some(value) => return Some(Ok((key, value))),
+                Some(value) => {
+                    self.rows += 1;
+                    return Some(Ok((key, value)));
+                }
                 // A winning tombstone deletes the key from the scan.
                 None => continue,
             }
+        }
+    }
+}
+
+impl Drop for RangeScan<'_> {
+    fn drop(&mut self) {
+        // Emit the close event first; the open-to-close timer field drops
+        // right after this body, recording the scan's latency.
+        if let Some(inner) = self.inner {
+            inner.note_scan_closed(self.rows, self.decoded_blocks.load(Ordering::Relaxed));
         }
     }
 }

@@ -53,6 +53,7 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::{Mutex, RwLock};
 use pbc_archive::{select_codec_over_blocks, BlockCodec, CodecSpec, Entry, SegmentReader};
+use pbc_obs::{Event, MetricsRegistry, TraceEvent};
 use pbc_store::TierStore;
 
 use crate::cache::BlockCache;
@@ -61,6 +62,7 @@ use crate::config::TierConfig;
 use crate::error::{Result, TierError};
 use crate::maintenance::{maintenance_loop, MaintSignal};
 use crate::manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
+use crate::obs::{BackgroundErrorRecord, TierObs};
 use crate::planner::{
     CompactionJob, CompactionPlanner, KeyRange, SegmentStats, LEVEL_L0, LEVEL_L1,
 };
@@ -343,28 +345,6 @@ impl ReservationTable {
     }
 }
 
-/// Read-side counters; see [`TieredStore::stats`].
-#[derive(Default)]
-struct StatCounters {
-    hot_hits: AtomicU64,
-    tombstone_negatives: AtomicU64,
-    staging_hits: AtomicU64,
-    cold_gets: AtomicU64,
-    cold_index_only: AtomicU64,
-    cold_cache_hits: AtomicU64,
-    cold_cache_misses: AtomicU64,
-    cold_segments_scanned: AtomicU64,
-    range_scans: AtomicU64,
-    scan_segments_opened: AtomicU64,
-    scan_blocks_decoded: AtomicU64,
-    scan_bytes_decoded: AtomicU64,
-    spills: AtomicU64,
-    spilled_entries: AtomicU64,
-    compactions: AtomicU64,
-    segments_retired: AtomicU64,
-    background_errors: AtomicU64,
-}
-
 /// What one cold lookup did at the segment and block level.
 #[derive(Default)]
 struct BlockProbes {
@@ -535,7 +515,10 @@ pub(crate) struct TierInner {
     generation: AtomicU64,
     planner: CompactionPlanner,
     maint: MaintSignal,
-    stats: StatCounters,
+    /// Metric handles, trace ring, and background-error ring (see
+    /// [`crate::obs`]). Counters here are the source of truth for
+    /// [`TieredStore::stats`].
+    obs: TierObs,
     /// Advisory exclusive lock on the store directory, held for the
     /// store's lifetime (released by the OS on drop or process death).
     /// Without it, a second open would sweep the first handle's in-flight
@@ -602,11 +585,15 @@ impl TieredStore {
             });
         }
         let manifest = Manifest::load(&config.dir)?.unwrap_or_default();
+        // Build the observability bundle before any reader opens, so every
+        // segment reader the store ever creates records into it.
+        let obs = TierObs::new(&config);
         let mut tier = ColdTier::empty();
         let mut max_id = 0u64;
         for entry in &manifest.segments {
             let path = config.dir.join(&entry.file_name);
-            let reader = SegmentReader::open(&path)?;
+            let mut reader = SegmentReader::open(&path)?;
+            reader.set_obs(obs.reader.clone());
             max_id = max_id.max(entry.id);
             // v2+ manifests carry the stats; a v1 manifest (or a line
             // whose stats got lost) is backfilled from the segment footer:
@@ -667,7 +654,7 @@ impl TieredStore {
             }
         }
         let hot = TierStore::new(config.hot_codec.clone());
-        let cache = BlockCache::new(config.cache_capacity_bytes);
+        let cache = BlockCache::with_counters(config.cache_capacity_bytes, obs.cache_counters());
         let planner = CompactionPlanner::new(config.planner.clone());
         let background = config.background_compaction;
         let inner = Arc::new(TierInner {
@@ -683,10 +670,11 @@ impl TieredStore {
             generation: AtomicU64::new(manifest.generation),
             planner,
             maint: MaintSignal::new(),
-            stats: StatCounters::default(),
+            obs,
             _dir_lock: dir_lock,
             config,
         });
+        inner.publish_gauges(&inner.cold_snapshot(), manifest.generation);
         let maintenance = if background {
             let thread_inner = Arc::clone(&inner);
             Some(
@@ -758,12 +746,18 @@ impl TieredStore {
     }
 
     /// A snapshot of the store's counters and cold-tier gauges.
+    ///
+    /// The five cold-tier gauges and the generation are read together
+    /// under one segment-set read lock — commits publish them with the
+    /// tier swap, so `l0_segments`/`l1_partitions`/`cold_records`/
+    /// `cold_tombstones` and `generation` always describe the *same*
+    /// committed segment set, never a half-applied commit. Counters are
+    /// typed views over the metrics registry (all zero when
+    /// [`TierConfig::with_metrics`] disabled collection); the gauges are
+    /// derived exactly from the live tier either way.
     pub fn stats(&self) -> TierStats {
         let inner = &self.inner;
-        let s = &inner.stats;
-        // Generation is read under the same lock as the gauges: commits
-        // store it together with the tier swap, so the set is always
-        // consistent.
+        let o = &inner.obs;
         let (cold_records, cold_tombstones, l0_segments, l1_partitions, generation) = {
             let cold = inner.cold.read();
             (
@@ -775,29 +769,64 @@ impl TieredStore {
             )
         };
         TierStats {
-            hot_hits: s.hot_hits.load(Ordering::Relaxed),
-            tombstone_negatives: s.tombstone_negatives.load(Ordering::Relaxed),
-            staging_hits: s.staging_hits.load(Ordering::Relaxed),
-            cold_gets: s.cold_gets.load(Ordering::Relaxed),
-            cold_index_only: s.cold_index_only.load(Ordering::Relaxed),
-            cold_cache_hits: s.cold_cache_hits.load(Ordering::Relaxed),
-            cold_cache_misses: s.cold_cache_misses.load(Ordering::Relaxed),
-            cold_segments_scanned: s.cold_segments_scanned.load(Ordering::Relaxed),
-            range_scans: s.range_scans.load(Ordering::Relaxed),
-            scan_segments_opened: s.scan_segments_opened.load(Ordering::Relaxed),
-            scan_blocks_decoded: s.scan_blocks_decoded.load(Ordering::Relaxed),
-            scan_bytes_decoded: s.scan_bytes_decoded.load(Ordering::Relaxed),
-            spills: s.spills.load(Ordering::Relaxed),
-            spilled_entries: s.spilled_entries.load(Ordering::Relaxed),
-            compactions: s.compactions.load(Ordering::Relaxed),
-            segments_retired: s.segments_retired.load(Ordering::Relaxed),
-            background_errors: s.background_errors.load(Ordering::Relaxed),
+            hot_hits: o.hot_hits.value(),
+            tombstone_negatives: o.tombstone_negatives.value(),
+            staging_hits: o.staging_hits.value(),
+            cold_gets: o.cold_gets.value(),
+            cold_index_only: o.cold_index_only.value(),
+            cold_cache_hits: o.cold_cache_hits.value(),
+            cold_cache_misses: o.cold_cache_misses.value(),
+            cold_segments_scanned: o.cold_segments_scanned.value(),
+            range_scans: o.range_scans.value(),
+            scan_segments_opened: o.scan_segments_opened.value(),
+            scan_blocks_decoded: o.scan_blocks_decoded.value(),
+            scan_bytes_decoded: o.scan_bytes_decoded.value(),
+            spills: o.spills.value(),
+            spilled_entries: o.spilled_entries.value(),
+            compactions: o.compactions.value(),
+            segments_retired: o.segments_retired.value(),
+            background_errors: o.background_errors.value(),
             cold_records,
             cold_tombstones,
             l0_segments,
             l1_partitions,
             generation,
         }
+    }
+
+    /// The metrics registry every store counter, gauge, and latency
+    /// histogram lives in. Snapshot it and render with
+    /// `Snapshot::to_prometheus` / `Snapshot::to_json`:
+    ///
+    /// ```
+    /// # let dir = std::env::temp_dir().join(format!("pbc-tier-metrics-doc-{}", std::process::id()));
+    /// # let store = pbc_tier::TieredStore::open(pbc_tier::TierConfig::new(&dir)).unwrap();
+    /// store.set(b"k", b"v").unwrap();
+    /// store.get(b"k").unwrap();
+    /// let snap = store.metrics().snapshot();
+    /// assert_eq!(snap.counters["pbc_tier_hot_hits_total"], 1);
+    /// assert!(snap.to_prometheus().contains("pbc_tier_put_latency_ns_count 1"));
+    /// # drop(store);
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.inner.obs.registry()
+    }
+
+    /// The retained structured trace events (spill, compaction, manifest,
+    /// and scan lifecycle; background errors), oldest first. Bounded by
+    /// [`TierConfig::with_trace_capacity`].
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.obs.trace_snapshot()
+    }
+
+    /// The last few background-maintenance failures (actual error string,
+    /// job description, monotonic timestamp), oldest first — the detail
+    /// behind the `background_errors` counter, which on its own only says
+    /// *that* something failed. Bounded by
+    /// [`TierConfig::with_error_log_capacity`].
+    pub fn recent_background_errors(&self) -> Vec<BackgroundErrorRecord> {
+        self.inner.obs.background_error_snapshot()
     }
 
     /// Store a value. Returns the hot-tier stored (encoded) size. May spill
@@ -967,6 +996,9 @@ impl TierInner {
     }
 
     fn set(&self, key: &[u8], value: &[u8]) -> Result<usize> {
+        // Put latency includes any watermark spill the write triggers —
+        // that stall is the write's real cost, so it belongs in the tail.
+        let _timer = self.obs.put_ns.start_timer();
         // Insert and tombstone-clear must be one atomic step: done as two,
         // a concurrent delete's tombstone can land in between and be
         // wrongly erased, leaving an older cold value resurrected.
@@ -976,18 +1008,17 @@ impl TierInner {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _timer = self.obs.get_ns.start_timer();
         if let Some(value) = self.hot.get(key)? {
-            self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.hot_hits.inc();
             return Ok(Some(value));
         }
         if self.hot.has_tombstone(key) {
-            self.stats
-                .tombstone_negatives
-                .fetch_add(1, Ordering::Relaxed);
+            self.obs.tombstone_negatives.inc();
             return Ok(None);
         }
         if let Some(staged) = self.staging.read().get(key) {
-            self.stats.staging_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.staging_hits.inc();
             return Ok(staged.clone());
         }
         // A failed spill moves staged entries *up*, back into the hot tier
@@ -995,19 +1026,18 @@ impl TierInner {
         // after the staging miss, or a racing reader could fall through to
         // cold and see an older version (or a stale None).
         if let Some(value) = self.hot.get(key)? {
-            self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.hot_hits.inc();
             return Ok(Some(value));
         }
         if self.hot.has_tombstone(key) {
-            self.stats
-                .tombstone_negatives
-                .fetch_add(1, Ordering::Relaxed);
+            self.obs.tombstone_negatives.inc();
             return Ok(None);
         }
         self.cold_get(key)
     }
 
     fn delete(&self, key: &[u8]) -> Result<bool> {
+        let _timer = self.obs.delete_ns.start_timer();
         let mut existed_hot = self.hot.delete(key);
         let existed_below = if self.hot.has_tombstone(key) {
             false // already deleted below the hot map
@@ -1051,20 +1081,18 @@ impl TierInner {
         }
         let mut probes = BlockProbes::default();
         let outcome = self.cold_lookup(&cold, key, &mut probes);
-        self.stats
-            .cold_segments_scanned
-            .fetch_add(probes.segments as u64, Ordering::Relaxed);
+        self.obs.cold_segments_scanned.add(probes.segments as u64);
         if probes.probed == 0 {
             // Answered by the footer indexes alone (key outside every
             // block's range) — the cache was never consulted, so this is
             // neither a cache hit nor a miss.
-            self.stats.cold_index_only.fetch_add(1, Ordering::Relaxed);
+            self.obs.cold_index_only.inc();
         } else {
-            self.stats.cold_gets.fetch_add(1, Ordering::Relaxed);
+            self.obs.cold_gets.inc();
             if probes.missed {
-                self.stats.cold_cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.cold_cache_misses.inc();
             } else {
-                self.stats.cold_cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.cold_cache_hits.inc();
             }
         }
         outcome
@@ -1127,7 +1155,7 @@ impl TierInner {
         start: Vec<u8>,
         end: Bound<Vec<u8>>,
     ) -> Result<crate::scan::RangeScan<'_>> {
-        self.stats.range_scans.fetch_add(1, Ordering::Relaxed);
+        self.obs.range_scans.inc();
         // A provably empty interval: nothing to snapshot (and BTreeMap's
         // range would reject the inverted bounds).
         let empty = match &end {
@@ -1175,9 +1203,22 @@ impl TierInner {
 
     /// Count one segment footer consulted by a range scan.
     pub(crate) fn note_scan_segment_opened(&self) {
-        self.stats
-            .scan_segments_opened
-            .fetch_add(1, Ordering::Relaxed);
+        self.obs.scan_segments_opened.inc();
+    }
+
+    /// Trace a scan opening over `segments` intersecting cold segments,
+    /// and start its open-to-close latency timer.
+    pub(crate) fn note_scan_opened(&self, segments: usize) -> pbc_obs::Timer {
+        self.obs.trace(Event::ScanOpened { segments });
+        self.obs.scan_ns.start_timer()
+    }
+
+    /// Trace a scan being dropped, with what it did.
+    pub(crate) fn note_scan_closed(&self, rows: u64, blocks_decoded: u64) {
+        self.obs.trace(Event::ScanClosed {
+            rows,
+            blocks_decoded,
+        });
     }
 
     /// Decode one hot-tier stored value (the scan's hot source decodes
@@ -1199,7 +1240,12 @@ impl TierInner {
         if let Some(entries) = self.cache.get(cache_key) {
             return Ok((entries, false));
         }
-        let entries = Arc::new(segment.reader.read_block(block)?);
+        // Fetch latency is miss-path only: a hit costs one map lookup and
+        // timing it would drown the histogram in nanosecond noise.
+        let entries = {
+            let _timer = self.obs.cache_fetch_ns.start_timer();
+            Arc::new(segment.reader.read_block(block)?)
+        };
         if publish {
             self.cache.insert(cache_key, Arc::clone(&entries));
         }
@@ -1208,29 +1254,28 @@ impl TierInner {
 
     /// Fetch one decoded block for a range scan pinned at
     /// `pinned_generation`, consulting the cache first and counting disk
-    /// decodes toward the scan gauges. Decoded blocks are published to
-    /// the cache only while the pinned snapshot is still the live one:
-    /// once a commit supersedes it, the scan's segments may already be
-    /// retired, and caching blocks under retired ids would spend the
-    /// bytes-bounded budget on entries no future lookup can hit.
+    /// decodes toward the scan gauges; returns the entries and whether a
+    /// disk decode happened (so the scan can count its own decodes for
+    /// its close event). Decoded blocks are published to the cache only
+    /// while the pinned snapshot is still the live one: once a commit
+    /// supersedes it, the scan's segments may already be retired, and
+    /// caching blocks under retired ids would spend the bytes-bounded
+    /// budget on entries no future lookup can hit.
     pub(crate) fn scan_block(
         &self,
         segment: &ColdSegment,
         block: usize,
         pinned_generation: u64,
-    ) -> Result<Arc<Vec<Entry>>> {
+    ) -> Result<(Arc<Vec<Entry>>, bool)> {
         let live = self.generation.load(Ordering::Relaxed) == pinned_generation;
         let (entries, decoded) = self.lookup_or_decode_block(segment, block, live)?;
         if decoded {
-            self.stats
-                .scan_blocks_decoded
-                .fetch_add(1, Ordering::Relaxed);
-            self.stats.scan_bytes_decoded.fetch_add(
-                crate::cache::entries_bytes(&entries) as u64,
-                Ordering::Relaxed,
-            );
+            self.obs.scan_blocks_decoded.inc();
+            self.obs
+                .scan_bytes_decoded
+                .add(crate::cache::entries_bytes(&entries) as u64);
         }
-        Ok(entries)
+        Ok((entries, decoded))
     }
 
     /// Fetch one decoded block for a point lookup, consulting the cache
@@ -1323,6 +1368,10 @@ impl TierInner {
     /// next generation, (4) the reader is published, (5) staging clears. A
     /// failure after (1) puts the drained data back into the hot tier.
     fn spill_shards(&self, victims: &[usize]) -> Result<()> {
+        let timer = self.obs.spill_ns.start_timer();
+        self.obs.trace(Event::SpillStarted {
+            shards: victims.len(),
+        });
         // (1) Drain *into* staging under its write lock: a concurrent
         // reader that missed the hot tier blocks on staging until the
         // drain finishes. Staging (a sorted map) is the one and only copy
@@ -1372,6 +1421,7 @@ impl TierInner {
             }
         };
         if staged_count == 0 {
+            timer.cancel();
             return Ok(());
         }
 
@@ -1397,7 +1447,10 @@ impl TierInner {
         // would silently record a 0-byte segment.
         let segment = match written.and_then(|summary| {
             SegmentReader::open(&path)
-                .map(|r| (summary, r))
+                .map(|mut r| {
+                    r.set_obs(self.obs.reader.clone());
+                    (summary, r)
+                })
                 .map_err(Into::into)
         }) {
             Ok((summary, reader)) => Arc::new(ColdSegment {
@@ -1429,10 +1482,10 @@ impl TierInner {
             let mut l0: Vec<Arc<ColdSegment>> = Vec::with_capacity(current.l0.len() + 1);
             l0.push(Arc::clone(&segment));
             l0.extend(current.l0.iter().cloned());
-            let tier = ColdTier {
+            let tier = Arc::new(ColdTier {
                 l0,
                 l1: current.l1.clone(),
-            };
+            });
             let generation = match self.commit_tier(&tier) {
                 Ok(generation) => generation,
                 Err(e) => {
@@ -1441,21 +1494,46 @@ impl TierInner {
                     return Err(e);
                 }
             };
-            let mut cold = self.cold.write();
-            *cold = Arc::new(tier);
-            self.generation.store(generation, Ordering::Relaxed);
+            {
+                let mut cold = self.cold.write();
+                *cold = Arc::clone(&tier);
+                self.generation.store(generation, Ordering::Relaxed);
+            }
+            self.publish_gauges(&tier, generation);
+            self.obs.trace(Event::ManifestGeneration { generation });
         }
 
         // (5) The data is durable and readable from cold; staging retires.
         self.staging.write().clear();
-        self.stats.spills.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .spilled_entries
-            .fetch_add(staged_count as u64, Ordering::Relaxed);
+        self.obs.spills.inc();
+        self.obs.spilled_entries.add(staged_count as u64);
+        self.obs.trace(Event::SpillFinished {
+            segment_id: id,
+            records: staged_count as u64 - tombstones,
+            tombstones,
+            bytes: segment.bytes,
+        });
+        timer.observe();
         // A new segment may have crossed a planner threshold — let the
         // maintenance thread check without waiting for its tick.
         self.maint.notify();
         Ok(())
+    }
+
+    /// Publish the cold-tier gauges for a just-committed segment set.
+    /// Called outside the `cold` write lock — the gauges are advisory
+    /// (exported snapshots), while [`TieredStore::stats`] derives its
+    /// gauges from the live tier under the read lock and stays exact.
+    fn publish_gauges(&self, tier: &ColdTier, generation: u64) {
+        self.obs
+            .cold_records
+            .set(tier.iter().map(|s| s.records).sum());
+        self.obs
+            .cold_tombstones
+            .set(tier.iter().map(|s| s.tombstones).sum());
+        self.obs.l0_segments.set(tier.l0.len() as u64);
+        self.obs.l1_partitions.set(tier.l1.len() as u64);
+        self.obs.generation.set(generation);
     }
 
     /// Write the manifest for `tier` under the next generation and return
@@ -1555,7 +1633,8 @@ impl TierInner {
             codec: self.spill_codec_spec(merged),
             ..self.config.segment.clone()
         };
-        let mut writer = pbc_archive::SegmentWriter::create(path, config)?;
+        let mut writer =
+            pbc_archive::SegmentWriter::create_with_obs(path, config, self.obs.writer.clone())?;
         for (key, value) in merged {
             match value {
                 Some(value) => writer.append(key, &encode_live(value))?,
@@ -1606,8 +1685,12 @@ impl TierInner {
                 // proposes disjoint work or returns `None`, so this never
                 // spins against the winning compactor.
                 Ok(Some(_)) | Ok(None) => continue,
-                Err(_) => {
-                    self.stats.background_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e) => {
+                    self.obs.background_errors.inc();
+                    // Keep the actual error, not just the count: the ring
+                    // retains what failed and why for later inspection.
+                    self.obs
+                        .record_background_error(describe_job(&job), e.to_string());
                     return false;
                 }
             }
@@ -1647,6 +1730,9 @@ impl TierInner {
     /// state.
     fn run_job(&self, job: &CompactionJob) -> Result<Option<CompactionSummary>> {
         let Some(_reservation) = self.reservations.try_reserve(job.range.clone()) else {
+            self.obs.trace(Event::CompactionAborted {
+                reason: "key range reserved by a concurrent job".into(),
+            });
             return Ok(None);
         };
         self.run_job_reserved(job)
@@ -1660,8 +1746,17 @@ impl TierInner {
     fn run_job_reserved(&self, job: &CompactionJob) -> Result<Option<CompactionSummary>> {
         let snapshot = self.cold_snapshot();
         let Some((l0_run, l1_run)) = validate_job(&snapshot, job) else {
+            self.obs.trace(Event::CompactionAborted {
+                reason: "plan went stale: inputs no longer contiguous in the live tier".into(),
+            });
             return Ok(None);
         };
+        self.obs.trace(Event::CompactionPlanned {
+            l0_inputs: job.l0_inputs.len(),
+            l1_inputs: job.l1_inputs.len(),
+            min_key: job.range.min.clone(),
+            max_key: job.range.max.clone(),
+        });
         let run_segments: Vec<Arc<ColdSegment>> = snapshot.l0[l0_run.clone()]
             .iter()
             .chain(snapshot.l1[l1_run.clone()].iter())
@@ -1685,7 +1780,15 @@ impl TierInner {
             .lock()
             .clone()
             .filter(|_| self.config.reuse_spill_codec && run_records * 2 < total_records);
-        self.merge_and_commit(job, &readers, reuse.map(CodecSpec::Pretrained))
+        // Only committed jobs land in the histogram — aborted and failed
+        // ones would skew it with durations of work that produced nothing.
+        let timer = self.obs.compaction_ns.start_timer();
+        let result = self.merge_and_commit(job, &readers, reuse.map(CodecSpec::Pretrained));
+        match &result {
+            Ok(Some(_)) => timer.observe(),
+            _ => timer.cancel(),
+        }
+        result
     }
 
     /// Merge `readers` into split L1 partitions and commit the swap.
@@ -1716,6 +1819,7 @@ impl TierInner {
             job.drop_tombstones,
             codec,
             split_bytes,
+            &self.obs.writer,
             &mut next_output,
         )?;
 
@@ -1723,7 +1827,7 @@ impl TierInner {
         // names any of them yet, so remove them all.
         let mut replacements: Vec<Arc<ColdSegment>> = Vec::with_capacity(outcome.outputs.len());
         for output in &outcome.outputs {
-            let reader = match SegmentReader::open(&output.path) {
+            let mut reader = match SegmentReader::open(&output.path) {
                 Ok(reader) => reader,
                 Err(e) => {
                     for output in &outcome.outputs {
@@ -1732,6 +1836,7 @@ impl TierInner {
                     return Err(e.into());
                 }
             };
+            reader.set_obs(self.obs.reader.clone());
             replacements.push(Arc::new(ColdSegment {
                 id: output.id,
                 file_name: output.file_name.clone(),
@@ -1757,10 +1862,13 @@ impl TierInner {
                 let _ = std::fs::remove_file(&output.path);
             }
         };
-        let retired: Vec<Arc<ColdSegment>> = {
+        let (retired, generation): (Vec<Arc<ColdSegment>>, u64) = {
             let _commit = self.commit_lock.lock();
             let current = self.cold_snapshot();
             let Some((l0_run, l1_run)) = validate_job(&current, job) else {
+                self.obs.trace(Event::CompactionAborted {
+                    reason: "plan went stale at commit: inputs already retired".into(),
+                });
                 remove_outputs(&outcome.outputs);
                 return Ok(None);
             };
@@ -1778,7 +1886,7 @@ impl TierInner {
                 let at = l1.partition_point(|p| p.max_key < first.min_key);
                 l1.splice(at..at, replacements.iter().cloned());
             }
-            let tier = ColdTier { l0, l1 };
+            let tier = Arc::new(ColdTier { l0, l1 });
             if let Err(context) = tier.check_l1_invariant() {
                 remove_outputs(&outcome.outputs);
                 return Err(TierError::ManifestCorrupt { context });
@@ -1797,10 +1905,12 @@ impl TierInner {
                 .collect();
             {
                 let mut cold = self.cold.write();
-                *cold = Arc::new(tier);
+                *cold = Arc::clone(&tier);
                 self.generation.store(generation, Ordering::Relaxed);
             }
-            retired
+            self.publish_gauges(&tier, generation);
+            self.obs.trace(Event::ManifestGeneration { generation });
+            (retired, generation)
         };
 
         // The inputs are retired: invalidate their cached blocks and
@@ -1814,15 +1924,21 @@ impl TierInner {
         for segment in &retired {
             let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
         }
-        self.stats
-            .segments_retired
-            .fetch_add(retired.len() as u64, Ordering::Relaxed);
+        self.obs.segments_retired.add(retired.len() as u64);
         // This job retrained on its merged run: future spills reuse the
         // fresher codec (per job, not per full rewrite).
         if let Some(codec) = outcome.codec.clone() {
             *self.spill_codec.lock() = Some(codec);
         }
-        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.obs.compactions.inc();
+        self.obs.trace(Event::CompactionCommitted {
+            generation,
+            inputs: retired.len(),
+            outputs: outcome.outputs.len(),
+            input_bytes: retired.iter().map(|s| s.bytes).sum(),
+            output_bytes: outcome.outputs.iter().map(|o| o.summary.file_bytes).sum(),
+            live_entries: outcome.live_entries,
+        });
         Ok(Some(CompactionSummary {
             merged_segments: retired.len(),
             output_partitions: outcome.outputs.len(),
@@ -1853,6 +1969,21 @@ impl TierInner {
             .run_job_reserved(&job)?
             .unwrap_or_else(CompactionSummary::empty))
     }
+}
+
+/// Human-readable job description for the background-error ring: what the
+/// failing pass was merging and over which key range.
+fn describe_job(job: &CompactionJob) -> String {
+    format!(
+        "compaction of {} L0 + {} L1 segments over [{}, {}]",
+        job.l0_inputs.len(),
+        job.l1_inputs.len(),
+        String::from_utf8_lossy(&job.range.min),
+        job.range
+            .max
+            .as_deref()
+            .map_or("+inf".into(), String::from_utf8_lossy),
+    )
 }
 
 /// Locate a job's inputs in the live tier: the L0 inputs as a contiguous

@@ -1,0 +1,85 @@
+//! Observability walkthrough: run a small tiered-store workload, then
+//! export the unified metrics registry as Prometheus text and JSON, dump
+//! the structured trace ring, and read the cache hit rate.
+//!
+//! Run with: `cargo run --release --example metrics_export`
+
+use pbc::tier::{TierConfig, TieredStore};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pbc-example-obs-{}", std::process::id()));
+    let store = TieredStore::open(
+        TierConfig::new(&dir)
+            .with_watermark(u64::MAX) // spill on demand below
+            .with_trace_capacity(64),
+    )
+    .expect("open tiered store");
+
+    // A workload that touches every instrumented path: puts, a spill, a
+    // compaction into L1, cold gets (cache miss then hit), a range scan,
+    // and a delete.
+    let n = 5_000usize;
+    for i in 0..n {
+        let value = format!("metric|host=web-{:02}|cpu={}.{}", i % 16, i % 100, i % 10);
+        store
+            .set(format!("m:{i:06}").as_bytes(), value.as_bytes())
+            .expect("set");
+    }
+    store.flush_all().expect("spill to L0");
+    store.compact().expect("compact into L1");
+    for i in (0..n).step_by(50) {
+        store
+            .get(format!("m:{i:06}").as_bytes())
+            .expect("get")
+            .expect("live key");
+    }
+    let scanned = store
+        .range_scan(b"m:001000".to_vec()..b"m:002000".to_vec())
+        .expect("scan")
+        .count();
+    store.delete(b"m:000000").expect("delete");
+    println!(
+        "workload done: {n} puts, {} cold gets, one scan over {scanned} rows\n",
+        n / 50
+    );
+
+    // 1. The Prometheus text exposition — what a scrape endpoint serves.
+    let snapshot = store.metrics().snapshot();
+    println!("--- Prometheus exposition ---");
+    print!("{}", snapshot.to_prometheus());
+
+    // 2. The same snapshot as JSON, for ad-hoc tooling.
+    println!("\n--- JSON (first 400 bytes) ---");
+    let json = snapshot.to_json();
+    println!("{}...", &json[..400.min(json.len())]);
+
+    // 3. Exported percentiles are available without parsing either format.
+    let get_ns = &snapshot.histograms["pbc_tier_get_latency_ns"];
+    println!(
+        "\nget latency: {} samples, p50 {:.1}us, p99 {:.1}us, max {:.1}us",
+        get_ns.count,
+        get_ns.p50() as f64 / 1_000.0,
+        get_ns.p99() as f64 / 1_000.0,
+        get_ns.max as f64 / 1_000.0,
+    );
+    println!(
+        "block cache hit rate: {:.1}%",
+        store.cache().hit_rate() * 100.0
+    );
+
+    // 4. The structured trace ring: what the store did, in order.
+    println!(
+        "\n--- trace ring ({} events) ---",
+        store.trace_events().len()
+    );
+    for event in store.trace_events() {
+        println!("[{:>9}us] {:?}", event.micros, event.event);
+    }
+
+    // 5. Background failures would be retained here with job + message;
+    // a healthy run has none.
+    assert!(store.recent_background_errors().is_empty());
+
+    drop(store);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -21,6 +21,9 @@
 //! * [`tier`] — the tiered hot/cold storage engine: watermark-driven shard
 //!   spilling, a read-through LRU block cache, an atomically-swapped
 //!   manifest, and segment compaction.
+//! * [`obs`] — lock-free observability primitives: the metrics registry
+//!   with log-linear latency histograms, Prometheus/JSON exporters, and
+//!   the bounded trace ring the tiered store records into.
 //!
 //! ## Quickstart
 //!
@@ -52,5 +55,6 @@ pub use pbc_core as core;
 pub use pbc_datagen as datagen;
 pub use pbc_json as json;
 pub use pbc_logs as logs;
+pub use pbc_obs as obs;
 pub use pbc_store as store;
 pub use pbc_tier as tier;
