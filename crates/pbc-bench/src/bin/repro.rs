@@ -6,7 +6,7 @@
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -88,6 +88,7 @@ fn main() {
                 "leveling",
                 "scans",
                 "obs",
+                "wal",
             ]
             .into_iter()
             .map(String::from)
@@ -109,7 +110,7 @@ fn print_usage() {
     println!(
         "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal all quick"
     );
 }
 
@@ -281,6 +282,7 @@ fn run_experiment(name: &str, scale: f64) {
         ),
         "scans" => println!("{}", pbc_bench::scans::scans_throughput(scale).render()),
         "obs" => println!("{}", pbc_bench::obs::obs_throughput(scale).render()),
+        "wal" => println!("{}", pbc_bench::wal::wal_throughput(scale).render()),
         other => die(&format!("unknown experiment '{other}'")),
     }
     eprintln!(

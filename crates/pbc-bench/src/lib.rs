@@ -25,6 +25,7 @@
 //! | L0/L1 leveling + concurrent drain (beyond the paper) | [`leveling::leveling_throughput`] |
 //! | Range-scan throughput + bytes/row (beyond the paper) | [`scans::scans_throughput`] |
 //! | Observability: exported percentiles + overhead (beyond the paper) | [`obs::obs_throughput`] |
+//! | WAL durability ladder + group commit (beyond the paper) | [`wal::wal_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
@@ -40,6 +41,7 @@ pub mod obs;
 pub mod report;
 pub mod scans;
 pub mod tier;
+pub mod wal;
 
 pub use data::{corpus, scaled_count, SEED};
 pub use measure::{time_per_byte, Throughput};

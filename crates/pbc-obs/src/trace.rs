@@ -87,6 +87,36 @@ pub enum Event {
         /// The actual error string.
         message: String,
     },
+    /// A WAL shard sealed its active segment and rotated to a new one.
+    WalRotated {
+        /// Shard whose segment rotated.
+        shard: usize,
+        /// Sequence number of the sealed segment.
+        sealed_seq: u64,
+        /// Bytes the sealed segment holds.
+        sealed_bytes: u64,
+    },
+    /// A WAL checkpoint completed: durable markers were written and the
+    /// fully-covered sealed segments deleted.
+    WalCheckpointed {
+        /// Manifest generation the checkpoint recorded.
+        generation: u64,
+        /// Sealed segment files deleted.
+        segments_deleted: u64,
+        /// Bytes those files held.
+        bytes_deleted: u64,
+    },
+    /// WAL recovery finished during store open.
+    WalRecovered {
+        /// Put/delete records replayed into the hot tier.
+        records_replayed: u64,
+        /// Records skipped because a checkpoint already covered them.
+        records_skipped: u64,
+        /// Torn tail bytes truncated off the newest segment(s).
+        truncated_bytes: u64,
+        /// Segment files scanned.
+        segments: usize,
+    },
 }
 
 impl std::fmt::Display for Event {
@@ -151,6 +181,33 @@ impl std::fmt::Display for Event {
             Event::BackgroundError { job, message } => {
                 write!(f, "background error in {job}: {message}")
             }
+            Event::WalRotated {
+                shard,
+                sealed_seq,
+                sealed_bytes,
+            } => write!(
+                f,
+                "wal rotated: shard {shard} sealed segment {sealed_seq} ({sealed_bytes} bytes)"
+            ),
+            Event::WalCheckpointed {
+                generation,
+                segments_deleted,
+                bytes_deleted,
+            } => write!(
+                f,
+                "wal checkpointed: gen {generation}, {segments_deleted} segments \
+                 ({bytes_deleted} bytes) deleted"
+            ),
+            Event::WalRecovered {
+                records_replayed,
+                records_skipped,
+                truncated_bytes,
+                segments,
+            } => write!(
+                f,
+                "wal recovered: {records_replayed} replayed, {records_skipped} skipped, \
+                 {truncated_bytes} torn bytes truncated across {segments} segments"
+            ),
         }
     }
 }

@@ -368,6 +368,22 @@ impl TierStore {
         }
     }
 
+    /// WAL-replay hook: re-apply a recovered put exactly as the tiered
+    /// write path does — insert and clear any tombstone atomically, so a
+    /// replayed `delete k; set k` sequence converges to the same state it
+    /// produced before the crash.
+    pub fn apply_replay_put(&self, key: &[u8], value: &[u8]) -> usize {
+        self.set_and_clear_tombstone(key, value)
+    }
+
+    /// WAL-replay hook: re-apply a recovered delete — remove any hot copy
+    /// and leave a tombstone shadowing whatever colder storage may still
+    /// hold for `key`.
+    pub fn apply_replay_delete(&self, key: &[u8]) {
+        self.delete(key);
+        self.record_tombstone(key);
+    }
+
     /// Drop the tombstone for `key` (a newer SET supersedes the delete).
     /// Returns whether one existed.
     pub fn clear_tombstone(&self, key: &[u8]) -> bool {

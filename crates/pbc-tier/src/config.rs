@@ -5,8 +5,67 @@ use std::time::Duration;
 
 use pbc_archive::SegmentConfig;
 use pbc_store::ValueCodec;
+use pbc_wal::Durability;
 
 use crate::planner::PlannerConfig;
+
+/// Write-ahead-log knobs for a [`crate::TieredStore`] (see
+/// [`TierConfig::wal`]).
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// When an acknowledged write is durable. Default:
+    /// [`Durability::PerBatch`] (group commit).
+    pub durability: Durability,
+    /// Independent log shards — more shards mean more concurrent group
+    /// commits but also more fsyncs per checkpoint. Must stay constant
+    /// for the life of the store directory. Default: 4.
+    pub shards: usize,
+    /// Rotate a shard's active segment at this many bytes. Default: 4 MiB.
+    pub segment_bytes: u64,
+    /// The maintenance thread checkpoints the log (flush the hot tier,
+    /// write durable markers, delete covered segments) once total WAL
+    /// bytes cross this threshold. Default: 16 MiB.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            durability: Durability::default(),
+            shards: 4,
+            segment_bytes: 4 * 1024 * 1024,
+            checkpoint_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+impl WalOptions {
+    /// Defaults (see the field docs) with the given durability level.
+    pub fn with_durability(durability: Durability) -> Self {
+        WalOptions {
+            durability,
+            ..WalOptions::default()
+        }
+    }
+
+    /// Set the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the segment rotation threshold.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Set the automatic checkpoint threshold.
+    pub fn checkpoint_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_bytes = bytes;
+        self
+    }
+}
 
 /// Configuration for a [`crate::TieredStore`].
 ///
@@ -70,6 +129,13 @@ pub struct TierConfig {
     /// job description, and monotonic timestamp). `0` disables retention;
     /// the `background_errors` counter still counts.
     pub error_log_capacity: usize,
+    /// Write-ahead logging. `None` (the default) keeps the pre-WAL
+    /// behavior: acknowledged writes live only in the hot tier until a
+    /// spill, and a crash loses them. `Some(options)` logs every put and
+    /// delete before acknowledging it, replays the log into the hot tier
+    /// on [`crate::TieredStore::open`], and checkpoints/truncates it as
+    /// spills make records redundant.
+    pub wal: Option<WalOptions>,
 }
 
 impl TierConfig {
@@ -90,6 +156,7 @@ impl TierConfig {
             metrics: true,
             trace_capacity: 256,
             error_log_capacity: 32,
+            wal: None,
         }
     }
 
@@ -172,6 +239,20 @@ impl TierConfig {
     /// Set how many recent background errors are retained.
     pub fn with_error_log_capacity(mut self, capacity: usize) -> Self {
         self.error_log_capacity = capacity;
+        self
+    }
+
+    /// Enable write-ahead logging with the given options (see
+    /// [`TierConfig::wal`]).
+    pub fn with_wal(mut self, options: WalOptions) -> Self {
+        self.wal = Some(options);
+        self
+    }
+
+    /// Enable write-ahead logging with default options at the given
+    /// durability level.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.wal = Some(WalOptions::with_durability(durability));
         self
     }
 

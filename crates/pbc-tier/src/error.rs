@@ -5,6 +5,7 @@ use std::io;
 
 use pbc_archive::ArchiveError;
 use pbc_store::StoreError;
+use pbc_wal::WalError;
 
 /// Everything that can go wrong operating a [`crate::TieredStore`].
 #[derive(Debug)]
@@ -38,6 +39,8 @@ pub enum TierError {
         /// The marker byte found.
         found: u8,
     },
+    /// The write-ahead log failed (append, fsync, checkpoint, recovery).
+    Wal(WalError),
 }
 
 impl fmt::Display for TierError {
@@ -65,6 +68,7 @@ impl fmt::Display for TierError {
             TierError::BadValueMarker { found } => {
                 write!(f, "cold value carries unknown marker byte {found:#04x}")
             }
+            TierError::Wal(e) => write!(f, "write-ahead log failed: {e}"),
         }
     }
 }
@@ -75,6 +79,7 @@ impl std::error::Error for TierError {
             TierError::Io(e) => Some(e),
             TierError::Store(e) => Some(e),
             TierError::Archive(e) => Some(e),
+            TierError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -95,6 +100,12 @@ impl From<StoreError> for TierError {
 impl From<ArchiveError> for TierError {
     fn from(e: ArchiveError) -> Self {
         TierError::Archive(e)
+    }
+}
+
+impl From<WalError> for TierError {
+    fn from(e: WalError) -> Self {
+        TierError::Wal(e)
     }
 }
 

@@ -52,7 +52,14 @@
 //!   monotonically increasing **generation**; segments are fsynced before
 //!   the atomic manifest swap, and reopen lands on exactly one consistent
 //!   generation, sweeping debris (a stale `MANIFEST.tmp`, orphaned or
-//!   retired segment files).
+//!   retired segment files). With [`TierConfig::wal`] unset, hot
+//!   (in-memory) data is volatile until spilled.
+//! * **Write-ahead log** (opt-in, [`TierConfig::wal`]): every put and
+//!   delete is logged to a sharded group-commit WAL before it is
+//!   acknowledged, at a configurable [`Durability`] level; reopen replays
+//!   the log into the hot tier, and the maintenance thread checkpoints it
+//!   (flush + durable marker + segment deletion) so it stays bounded. See
+//!   the `pbc-wal` crate and the README's "Durability" section.
 //! * **Leveled compaction**: a [`planner::CompactionPlanner`] emits
 //!   range-selected jobs — promote a bounded L0 run together with exactly
 //!   the L1 partitions its key range intersects, or consolidate small
@@ -107,10 +114,11 @@ pub mod store;
 
 pub use cache::{BlockCache, BlockKey, CacheCounters};
 pub use compact::{MergeOutcome, MergeOutput};
-pub use config::TierConfig;
+pub use config::{TierConfig, WalOptions};
 pub use error::{Result, TierError};
 pub use manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
 pub use obs::BackgroundErrorRecord;
+pub use pbc_wal::{CheckpointSummary, Durability, RecoveryReport, WalStats};
 pub use planner::{
     CompactionJob, CompactionPlanner, KeyRange, PlannerConfig, SegmentStats, LEVEL_L0, LEVEL_L1,
 };
@@ -502,6 +510,50 @@ mod tests {
             assert_eq!(
                 store.get(&key(i)).unwrap().as_deref(),
                 Some(value(i).as_slice())
+            );
+        }
+    }
+
+    #[test]
+    fn wal_reopen_recovers_unspilled_writes_and_deletes() {
+        let (dir, _guard) = temp_dir("wal");
+        let config = TierConfig::new(&dir)
+            .with_watermark(u64::MAX) // never spill: everything rides the WAL
+            .with_wal(WalOptions::default());
+        {
+            let store = TieredStore::open(config.clone()).unwrap();
+            for i in 0..200 {
+                store.set(&key(i), &value(i)).unwrap();
+            }
+            for i in (0..200).step_by(10) {
+                store.delete(&key(i)).unwrap();
+            }
+            // No flush: with the WAL off, dropping here would lose all of it.
+        }
+        let store = TieredStore::open(config).unwrap();
+        let report = store.wal_recovery().unwrap();
+        assert_eq!(report.records_replayed, 220);
+        for i in 0..200 {
+            let expect = if i % 10 == 0 { None } else { Some(value(i)) };
+            assert_eq!(store.get(&key(i)).unwrap(), expect, "key {i}");
+        }
+        // A checkpoint bounds the log; a further reopen replays nothing.
+        let summary = store.checkpoint_wal().unwrap().unwrap();
+        assert!(summary.segments_deleted > 0 || store.wal_stats().unwrap().bytes > 0);
+        drop(store);
+        let store = TieredStore::open(
+            TierConfig::new(&dir)
+                .with_watermark(u64::MAX)
+                .with_wal(WalOptions::default()),
+        )
+        .unwrap();
+        assert_eq!(store.wal_recovery().unwrap().records_replayed, 0);
+        for i in (1..200).step_by(13) {
+            let expect = if i % 10 == 0 { None } else { Some(value(i)) };
+            assert_eq!(
+                store.get(&key(i)).unwrap(),
+                expect,
+                "key {i} after checkpoint"
             );
         }
     }

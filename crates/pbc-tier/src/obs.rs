@@ -40,7 +40,9 @@ impl std::fmt::Display for BackgroundErrorRecord {
 pub(crate) struct TierObs {
     registry: Arc<MetricsRegistry>,
     /// All structured events (spills, compaction lifecycle, scans, ...).
-    trace: TraceRing,
+    /// Shared (`Arc`) with the WAL's [`pbc_wal::WalObs`] so rotation,
+    /// checkpoint, and recovery events land in the same ring.
+    trace: Arc<TraceRing>,
     /// Background errors only — a failure is never pushed out of
     /// observability by a burst of routine spill events.
     errors: TraceRing,
@@ -101,7 +103,7 @@ impl TierObs {
         let gauge = |name: &str| r.gauge(name);
         let histogram = |name: &str| r.histogram(name);
         TierObs {
-            trace: TraceRing::new(config.trace_capacity),
+            trace: Arc::new(TraceRing::new(config.trace_capacity)),
             errors: TraceRing::new(config.error_log_capacity),
             hot_hits: counter("pbc_tier_hot_hits_total"),
             tombstone_negatives: counter("pbc_tier_tombstone_negatives_total"),
@@ -147,6 +149,13 @@ impl TierObs {
     /// The registry behind every handle.
     pub(crate) fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// Build the WAL's observability bundle against this store's registry
+    /// and trace ring, so `pbc_wal_*` metrics export alongside the tier's
+    /// and WAL lifecycle events interleave with spills and compactions.
+    pub(crate) fn wal_obs(&self) -> pbc_wal::WalObs {
+        pbc_wal::WalObs::new(&self.registry, Some(Arc::clone(&self.trace)))
     }
 
     /// Registry-backed handles for the block cache's four counters.

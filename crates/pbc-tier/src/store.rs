@@ -55,6 +55,7 @@ use parking_lot::{Mutex, RwLock};
 use pbc_archive::{select_codec_over_blocks, BlockCodec, CodecSpec, Entry, SegmentReader};
 use pbc_obs::{Event, MetricsRegistry, TraceEvent};
 use pbc_store::TierStore;
+use pbc_wal::{CheckpointSummary, RecoveryReport, ReplayOp, Wal, WalConfig, WalStats};
 
 use crate::cache::BlockCache;
 use crate::compact::merge_segments;
@@ -515,6 +516,15 @@ pub(crate) struct TierInner {
     generation: AtomicU64,
     planner: CompactionPlanner,
     maint: MaintSignal,
+    /// Write-ahead log ([`TierConfig::wal`]); `None` keeps the pre-WAL
+    /// volatile-hot-tier contract. Writes append *after* their hot-tier
+    /// mutation lands, which is what makes checkpoint marks safe: every
+    /// record at or below a captured mark is already in the hot tier, so
+    /// flushing the hot tier covers it (see `checkpoint_wal`).
+    wal: Option<Wal>,
+    /// What WAL recovery replayed when this store opened (`None` without
+    /// a WAL).
+    wal_recovery: Option<RecoveryReport>,
     /// Metric handles, trace ring, and background-error ring (see
     /// [`crate::obs`]). Counters here are the source of truth for
     /// [`TieredStore::stats`].
@@ -557,6 +567,12 @@ impl Drop for TieredStore {
         if let Some(handle) = self.maintenance.take() {
             self.inner.maint.request_shutdown();
             let _ = handle.join();
+        }
+        // Best-effort clean-shutdown fsync: under `Durability::None` /
+        // `Periodic` the tail of the log may only be in the page cache;
+        // one sync here upgrades a clean drop to power-loss durability.
+        if let Some(wal) = &self.inner.wal {
+            let _ = wal.sync();
         }
     }
 }
@@ -654,6 +670,31 @@ impl TieredStore {
             }
         }
         let hot = TierStore::new(config.hot_codec.clone());
+        // Recover the WAL (if configured) straight into the fresh hot
+        // tier, before any reads or writes exist. Only records past the
+        // last checkpoint whose manifest generation we just loaded are
+        // replayed — everything older is already in the segments above.
+        let (wal, wal_recovery) = match &config.wal {
+            Some(options) => {
+                let wal_config = WalConfig::new(config.dir.join("wal"))
+                    .with_shards(options.shards)
+                    .with_segment_bytes(options.segment_bytes)
+                    .with_durability(options.durability);
+                let (wal, report) = Wal::open(
+                    wal_config,
+                    obs.wal_obs(),
+                    manifest.generation,
+                    |op| match op {
+                        ReplayOp::Put { key, value } => {
+                            hot.apply_replay_put(key, value);
+                        }
+                        ReplayOp::Delete { key } => hot.apply_replay_delete(key),
+                    },
+                )?;
+                (Some(wal), Some(report))
+            }
+            None => (None, None),
+        };
         let cache = BlockCache::with_counters(config.cache_capacity_bytes, obs.cache_counters());
         let planner = CompactionPlanner::new(config.planner.clone());
         let background = config.background_compaction;
@@ -670,11 +711,17 @@ impl TieredStore {
             generation: AtomicU64::new(manifest.generation),
             planner,
             maint: MaintSignal::new(),
+            wal,
+            wal_recovery,
             obs,
             _dir_lock: dir_lock,
             config,
         });
         inner.publish_gauges(&inner.cold_snapshot(), manifest.generation);
+        // A large replay can overshoot the watermark before the first
+        // write ever runs; spill it down now so reopen converges to the
+        // same memory budget a running store honors.
+        inner.maybe_spill()?;
         let maintenance = if background {
             let thread_inner = Arc::clone(&inner);
             Some(
@@ -934,6 +981,26 @@ impl TieredStore {
         self.inner.flush_all()
     }
 
+    /// Checkpoint the write-ahead log now: flush the hot tier, write
+    /// durable checkpoint markers, and delete every fully-covered log
+    /// segment. The synchronous twin of the maintenance thread's
+    /// size-triggered checkpoint. `Ok(None)` when the store runs without
+    /// a WAL.
+    pub fn checkpoint_wal(&self) -> Result<Option<CheckpointSummary>> {
+        self.inner.checkpoint_wal()
+    }
+
+    /// Current write-ahead-log size and progress (`None` without a WAL).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.inner.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// What WAL recovery replayed when this store opened (`None` without
+    /// a WAL).
+    pub fn wal_recovery(&self) -> Option<RecoveryReport> {
+        self.inner.wal_recovery
+    }
+
     /// Run planner-selected compaction jobs until no trigger threshold is
     /// crossed. Returns the number of jobs run. This is the synchronous
     /// twin of the background maintenance thread — useful with background
@@ -1003,6 +1070,14 @@ impl TierInner {
         // a concurrent delete's tombstone can land in between and be
         // wrongly erased, leaving an older cold value resurrected.
         let stored = self.hot.set_and_clear_tombstone(key, value);
+        // Hot tier first, WAL second: a checkpoint mark is captured as
+        // "highest LSN assigned", so any record at or below it must
+        // already be in the hot tier when the checkpoint flushes — this
+        // ordering guarantees exactly that. A crash in between loses only
+        // a write that was never acknowledged.
+        if let Some(wal) = &self.wal {
+            wal.append_put(key, value)?;
+        }
         self.maybe_spill()?;
         Ok(stored)
     }
@@ -1066,7 +1141,16 @@ impl TierInner {
             // workload must be able to spill them too.
             self.maybe_spill()?;
         }
-        Ok(existed_hot || existed_below)
+        let existed = existed_hot || existed_below;
+        // Log only deletes that removed something; same hot-tier-first
+        // ordering as `set` (the tombstone/removal above precedes the
+        // append, so checkpoint marks stay safe).
+        if existed {
+            if let Some(wal) = &self.wal {
+                wal.append_delete(key)?;
+            }
+        }
+        Ok(existed)
     }
 
     /// Cold lookup through the block cache over a lock-free snapshot of
@@ -1330,6 +1414,55 @@ impl TierInner {
             return Ok(());
         }
         self.spill_shards(&victims)
+    }
+
+    /// Checkpoint the WAL: capture per-shard marks, spill everything the
+    /// marks cover (every record at or below a mark is already in the hot
+    /// tier — writes mutate hot before they append), then write durable
+    /// markers stamped with the manifest generation that made the spill
+    /// visible and delete the sealed segments the marks fully cover.
+    /// `Ok(None)` when the store runs without a WAL.
+    pub(crate) fn checkpoint_wal(&self) -> Result<Option<CheckpointSummary>> {
+        let Some(wal) = &self.wal else {
+            return Ok(None);
+        };
+        let marks = wal.capture_marks();
+        self.flush_all()?;
+        // Read the generation *after* the flush: it is the generation
+        // whose manifest references every spilled record, so recovery
+        // trusts the marker exactly when that data is visible.
+        let generation = self.generation.load(Ordering::SeqCst);
+        Ok(Some(wal.checkpoint(&marks, generation)?))
+    }
+
+    /// WAL maintenance: the periodic-durability fsync tick, plus an
+    /// automatic checkpoint once the log crosses its configured size
+    /// threshold. Returns `false` when something failed (counted and
+    /// retained like any background error).
+    fn wal_pass(&self) -> bool {
+        let Some(wal) = &self.wal else {
+            return true;
+        };
+        if let Err(e) = wal.tick() {
+            self.obs.background_errors.inc();
+            self.obs
+                .record_background_error("wal periodic sync".into(), e.to_string());
+            return false;
+        }
+        let threshold = self
+            .config
+            .wal
+            .as_ref()
+            .map_or(u64::MAX, |w| w.checkpoint_bytes);
+        if wal.stats().bytes >= threshold {
+            if let Err(e) = self.checkpoint_wal() {
+                self.obs.background_errors.inc();
+                self.obs
+                    .record_background_error("wal checkpoint".into(), e.to_string());
+                return false;
+            }
+        }
+        true
     }
 
     /// Non-empty shards ordered coldest (smallest access epoch) first.
@@ -1671,10 +1804,15 @@ impl TierInner {
         self.planner.plan(&l0, &l1, &reserved)
     }
 
-    /// One background maintenance pass: run planned jobs until no trigger
-    /// remains or shutdown/pause intervenes. Returns `false` when a job
-    /// errored (counted; the maintenance loop backs off before retrying).
+    /// One background maintenance pass: WAL upkeep (periodic fsync,
+    /// threshold checkpoint), then planned compaction jobs until no
+    /// trigger remains or shutdown/pause intervenes. Returns `false` when
+    /// anything errored (counted; the maintenance loop backs off before
+    /// retrying).
     pub(crate) fn background_pass(&self) -> bool {
+        if !self.wal_pass() {
+            return false;
+        }
         while !self.maint.is_shutdown() && !self.maint.is_paused() {
             let Some(job) = self.plan_next() else {
                 return true;

@@ -1,0 +1,370 @@
+//! The sharded log: open/recover, append, checkpoint, stats.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pbc_obs::Event;
+
+use crate::config::WalConfig;
+use crate::error::{Result, WalError};
+use crate::format::{self, DecodeOutcome, Record};
+use crate::obs::WalObs;
+use crate::shard::{parse_segment_name, SealedSegment, WalShard};
+
+/// A logical operation handed back to the caller during replay, in the
+/// order it must be applied. Same-key operations always replay in their
+/// original order (a key maps to one shard, and a shard replays in LSN
+/// order).
+#[derive(Debug)]
+pub enum ReplayOp<'a> {
+    /// Re-apply a put.
+    Put {
+        /// The key.
+        key: &'a [u8],
+        /// The value.
+        value: &'a [u8],
+    },
+    /// Re-apply a delete.
+    Delete {
+        /// The key.
+        key: &'a [u8],
+    },
+}
+
+/// What [`Wal::open`] found and did while recovering.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Put/delete records replayed into the caller's store.
+    pub records_replayed: u64,
+    /// Put/delete records skipped because a checkpoint already covered
+    /// them (their effects are in spilled segments).
+    pub records_skipped: u64,
+    /// Torn tail bytes truncated off the newest segment(s).
+    pub truncated_bytes: u64,
+    /// Segment files scanned.
+    pub segments: usize,
+}
+
+/// What one [`Wal::checkpoint`] freed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// Sealed segment files deleted.
+    pub segments_deleted: u64,
+    /// Bytes those files held.
+    pub bytes_deleted: u64,
+}
+
+/// Point-in-time size/progress numbers, also published to the gauges.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Log bytes on disk across all shards (sealed + active segments).
+    pub bytes: u64,
+    /// Segment files across all shards.
+    pub segments: usize,
+    /// Highest LSN assigned on any shard.
+    pub max_lsn: u64,
+}
+
+/// A sharded, group-committing write-ahead log. See the crate docs for
+/// the format and protocol; see [`WalConfig`] for the knobs.
+#[derive(Debug)]
+pub struct Wal {
+    shards: Vec<WalShard>,
+    obs: WalObs,
+}
+
+impl Wal {
+    /// Open (and recover) the log at `config.dir`.
+    ///
+    /// Existing segments are scanned front to back: the newest segment's
+    /// torn tail — anything from the first bad frame on — is truncated,
+    /// a bad frame anywhere *earlier* is reported as
+    /// [`WalError::Corrupt`], and every put/delete past the last
+    /// checkpoint mark whose generation is visible in the caller's
+    /// manifest (`manifest_generation`) is handed to `apply` in order.
+    /// Records at or below a visible mark are skipped: their effects
+    /// were spilled before the marker was written, so replaying them
+    /// would be redundant (the generation check is what makes replay
+    /// idempotent against already-spilled data).
+    pub fn open(
+        config: WalConfig,
+        obs: WalObs,
+        manifest_generation: u64,
+        mut apply: impl FnMut(ReplayOp<'_>),
+    ) -> Result<(Wal, RecoveryReport)> {
+        fs::create_dir_all(&config.dir)?;
+        let shards = config.shards.max(1);
+        let mut files: Vec<Vec<(u64, PathBuf)>> = vec![Vec::new(); shards];
+        let mut max_shard_seen: Option<usize> = None;
+        for entry in fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((shard, seq)) = parse_segment_name(name) else {
+                continue;
+            };
+            max_shard_seen = Some(max_shard_seen.map_or(shard, |m| m.max(shard)));
+            if shard >= shards {
+                continue; // counted above; the mismatch check below fires
+            }
+            files[shard].push((seq, entry.path()));
+        }
+        if let Some(max_shard) = max_shard_seen {
+            let on_disk = max_shard + 1;
+            if on_disk != shards {
+                return Err(WalError::ShardCountMismatch {
+                    on_disk,
+                    configured: shards,
+                });
+            }
+        }
+
+        let mut report = RecoveryReport::default();
+        let mut shard_handles = Vec::with_capacity(shards);
+        for (index, mut shard_files) in files.into_iter().enumerate() {
+            shard_files.sort_by_key(|(seq, _)| *seq);
+            let recovered = recover_shard(
+                index,
+                &shard_files,
+                manifest_generation,
+                &mut apply,
+                &mut report,
+            )?;
+            shard_handles.push(WalShard::open(
+                index,
+                &config.dir,
+                config.durability,
+                config.segment_bytes,
+                obs.clone(),
+                recovered.next_seq,
+                recovered.max_lsn,
+                recovered.mark,
+                recovered.sealed,
+            )?);
+        }
+
+        obs.records_replayed.add(report.records_replayed);
+        obs.truncated_bytes.add(report.truncated_bytes);
+        obs.trace(Event::WalRecovered {
+            records_replayed: report.records_replayed,
+            records_skipped: report.records_skipped,
+            truncated_bytes: report.truncated_bytes,
+            segments: report.segments,
+        });
+        let wal = Wal {
+            shards: shard_handles,
+            obs,
+        };
+        wal.stats(); // publish the gauges with the recovered sizes
+        Ok((wal, report))
+    }
+
+    /// Number of shards (stable for the life of the directory).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Log a put and honor the configured durability before returning.
+    /// Returns the record's LSN on its shard.
+    pub fn append_put(&self, key: &[u8], value: &[u8]) -> Result<u64> {
+        let shard = &self.shards[format::shard_of(key, self.shards.len())];
+        shard.append_with(|lsn| format::encode_put(lsn, key, value))
+    }
+
+    /// Log a delete and honor the configured durability before returning.
+    pub fn append_delete(&self, key: &[u8]) -> Result<u64> {
+        let shard = &self.shards[format::shard_of(key, self.shards.len())];
+        shard.append_with(|lsn| format::encode_delete(lsn, key))
+    }
+
+    /// Snapshot each shard's highest assigned LSN. Because callers apply
+    /// a write to their store *before* logging it, every record at or
+    /// below these marks is already in the store — flushing the store and
+    /// then checkpointing at these marks can never drop a write.
+    pub fn capture_marks(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.mark()).collect()
+    }
+
+    /// Durably record that everything at or below `marks` (one per
+    /// shard, from [`Wal::capture_marks`]) is persisted in the caller's
+    /// store as of manifest `generation`, then delete every sealed
+    /// segment the marks fully cover.
+    pub fn checkpoint(&self, marks: &[u64], generation: u64) -> Result<CheckpointSummary> {
+        assert_eq!(
+            marks.len(),
+            self.shards.len(),
+            "one mark per shard, from capture_marks()"
+        );
+        let mut summary = CheckpointSummary::default();
+        for (shard, &mark) in self.shards.iter().zip(marks) {
+            for (path, bytes) in shard.checkpoint(mark, generation)? {
+                fs::remove_file(&path)?;
+                summary.segments_deleted += 1;
+                summary.bytes_deleted += bytes;
+            }
+        }
+        self.obs.checkpoints.inc();
+        self.obs.segments_deleted.add(summary.segments_deleted);
+        self.obs.trace(Event::WalCheckpointed {
+            generation,
+            segments_deleted: summary.segments_deleted,
+            bytes_deleted: summary.bytes_deleted,
+        });
+        self.stats();
+        Ok(summary)
+    }
+
+    /// Maintenance tick: under [`crate::Durability::Periodic`], fsync
+    /// shards whose interval has elapsed with dirty records. No-op
+    /// otherwise.
+    pub fn tick(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Force every appended record durable, regardless of durability
+    /// level (clean shutdown, tests).
+    pub fn sync(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Current size/progress numbers; also refreshes the
+    /// `pbc_wal_bytes` / `pbc_wal_segments` / `pbc_wal_lsn` gauges.
+    pub fn stats(&self) -> WalStats {
+        let mut stats = WalStats::default();
+        for shard in &self.shards {
+            let (bytes, segments, max_lsn, _) = shard.snapshot();
+            stats.bytes += bytes;
+            stats.segments += segments;
+            stats.max_lsn = stats.max_lsn.max(max_lsn);
+        }
+        self.obs.wal_bytes.set(stats.bytes);
+        self.obs.wal_segments.set(stats.segments as u64);
+        self.obs.wal_lsn.set(stats.max_lsn);
+        stats
+    }
+}
+
+struct RecoveredShard {
+    next_seq: u64,
+    max_lsn: u64,
+    mark: u64,
+    sealed: Vec<SealedSegment>,
+}
+
+/// Scan one shard's segments oldest-first: find the effective checkpoint
+/// mark, truncate the newest segment's torn tail, replay everything past
+/// the mark, and describe what survives as sealed segments.
+fn recover_shard(
+    index: usize,
+    shard_files: &[(u64, PathBuf)],
+    manifest_generation: u64,
+    apply: &mut impl FnMut(ReplayOp<'_>),
+    report: &mut RecoveryReport,
+) -> Result<RecoveredShard> {
+    let mut recovered = RecoveredShard {
+        next_seq: shard_files.last().map_or(0, |(seq, _)| seq + 1),
+        max_lsn: 0,
+        mark: 0,
+        sealed: Vec::new(),
+    };
+
+    // Pass 1: validate frames, find the best visible checkpoint mark,
+    // truncate the torn tail. Buffers are kept for pass 2.
+    let mut scanned: Vec<(u64, &Path, Vec<u8>, u64)> = Vec::new(); // (seq, path, buf, max_lsn)
+    let last = shard_files.len().saturating_sub(1);
+    for (pos, (seq, path)) in shard_files.iter().enumerate() {
+        let mut buf = fs::read(path)?;
+        let mut offset = 0usize;
+        let mut file_max_lsn = 0u64;
+        loop {
+            match format::decode_frame(&buf[offset..]) {
+                DecodeOutcome::Frame { record, frame_len } => {
+                    file_max_lsn = file_max_lsn.max(record.lsn());
+                    if let Record::Checkpoint {
+                        mark, generation, ..
+                    } = record
+                    {
+                        // Only trust markers whose spill generation the
+                        // manifest actually committed; a marker "from the
+                        // future" (manifest rolled back) must not cause
+                        // records to be skipped.
+                        if generation <= manifest_generation {
+                            recovered.mark = recovered.mark.max(mark);
+                        }
+                    }
+                    offset += frame_len;
+                }
+                DecodeOutcome::Incomplete | DecodeOutcome::Corrupt => {
+                    if offset == buf.len() {
+                        break; // clean end of file
+                    }
+                    if pos != last {
+                        return Err(WalError::Corrupt {
+                            context: format!(
+                                "shard {index} segment {seq} has a bad frame at byte {offset} \
+                                 but is not the newest segment (sealed segments are fully synced)"
+                            ),
+                        });
+                    }
+                    // Torn tail on the newest segment: drop it.
+                    let torn = (buf.len() - offset) as u64;
+                    report.truncated_bytes += torn;
+                    let file = fs::OpenOptions::new().write(true).open(path)?;
+                    file.set_len(offset as u64)?;
+                    file.sync_data()?;
+                    buf.truncate(offset);
+                    break;
+                }
+            }
+        }
+        recovered.max_lsn = recovered.max_lsn.max(file_max_lsn);
+        report.segments += 1;
+        scanned.push((*seq, path, buf, file_max_lsn));
+    }
+
+    // Pass 2: replay puts/deletes past the mark, in order; keep non-empty
+    // files as sealed segments and delete empty ones.
+    for (seq, path, buf, file_max_lsn) in scanned {
+        let mut offset = 0usize;
+        while let DecodeOutcome::Frame { record, frame_len } = format::decode_frame(&buf[offset..])
+        {
+            offset += frame_len;
+            match record {
+                Record::Put { lsn, key, value } => {
+                    if lsn > recovered.mark {
+                        apply(ReplayOp::Put { key, value });
+                        report.records_replayed += 1;
+                    } else {
+                        report.records_skipped += 1;
+                    }
+                }
+                Record::Delete { lsn, key } => {
+                    if lsn > recovered.mark {
+                        apply(ReplayOp::Delete { key });
+                        report.records_replayed += 1;
+                    } else {
+                        report.records_skipped += 1;
+                    }
+                }
+                Record::Checkpoint { .. } => {}
+            }
+        }
+        if buf.is_empty() {
+            fs::remove_file(path)?;
+        } else {
+            recovered.sealed.push(SealedSegment {
+                seq,
+                max_lsn: file_max_lsn,
+                bytes: buf.len() as u64,
+            });
+        }
+    }
+
+    Ok(recovered)
+}

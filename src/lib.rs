@@ -21,6 +21,9 @@
 //! * [`tier`] — the tiered hot/cold storage engine: watermark-driven shard
 //!   spilling, a read-through LRU block cache, an atomically-swapped
 //!   manifest, and segment compaction.
+//! * [`wal`] — the sharded group-commit write-ahead log behind
+//!   `TierConfig::wal`: CRC-framed records, four durability levels,
+//!   torn-tail recovery, and checkpoint-bounded size.
 //! * [`obs`] — lock-free observability primitives: the metrics registry
 //!   with log-linear latency histograms, Prometheus/JSON exporters, and
 //!   the bounded trace ring the tiered store records into.
@@ -58,3 +61,4 @@ pub use pbc_logs as logs;
 pub use pbc_obs as obs;
 pub use pbc_store as store;
 pub use pbc_tier as tier;
+pub use pbc_wal as wal;
