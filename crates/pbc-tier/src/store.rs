@@ -1069,15 +1069,26 @@ impl TierInner {
         // Insert and tombstone-clear must be one atomic step: done as two,
         // a concurrent delete's tombstone can land in between and be
         // wrongly erased, leaving an older cold value resurrected.
-        let stored = self.hot.set_and_clear_tombstone(key, value);
-        // Hot tier first, WAL second: a checkpoint mark is captured as
-        // "highest LSN assigned", so any record at or below it must
-        // already be in the hot tier when the checkpoint flushes — this
-        // ordering guarantees exactly that. A crash in between loses only
-        // a write that was never acknowledged.
-        if let Some(wal) = &self.wal {
-            wal.append_put(key, value)?;
-        }
+        //
+        // With a WAL, the hot-tier mutation runs inside the append's
+        // critical section (under the key's WAL shard lock), so same-key
+        // operations apply to the hot tier in exactly their LSN order —
+        // without that, a concurrent set/delete pair could apply in one
+        // order but log in the other, and replay would contradict the
+        // acknowledged pre-crash state. The mutation still precedes the
+        // LSN assignment inside that section, which keeps checkpoint
+        // marks safe: every record at or below a captured mark is
+        // already in the hot tier. A crash between the two loses only a
+        // write that was never acknowledged.
+        let stored = match &self.wal {
+            Some(wal) => {
+                wal.append_put_with(key, value, || {
+                    self.hot.set_and_clear_tombstone(key, value)
+                })?
+                .0
+            }
+            None => self.hot.set_and_clear_tombstone(key, value),
+        };
         self.maybe_spill()?;
         Ok(stored)
     }
@@ -1113,6 +1124,9 @@ impl TierInner {
 
     fn delete(&self, key: &[u8]) -> Result<bool> {
         let _timer = self.obs.delete_ns.start_timer();
+        // Probe below the hot tier first: the staging read and the cold
+        // lookup can do I/O and must not run under the WAL shard lock
+        // held for the mutation step below.
         let mut existed_hot = self.hot.delete(key);
         let existed_below = if self.hot.has_tombstone(key) {
             false // already deleted below the hot map
@@ -1126,6 +1140,36 @@ impl TierInner {
             existed_hot = self.hot.delete(key) || existed_hot;
             self.cold_get(key)?.is_some()
         };
+        // The hot-tier mutation and the WAL append run as one atomic
+        // step under the key's WAL shard lock (same reasoning as `set`:
+        // application order must equal LSN order for same-key ops, and
+        // the mutation preceding the LSN assignment keeps checkpoint
+        // marks safe). Only deletes that removed something are logged.
+        let existed = match &self.wal {
+            Some(wal) => {
+                wal.append_delete_with(key, || {
+                    let existed =
+                        self.delete_from_hot(key, existed_below) || existed_hot || existed_below;
+                    (existed, existed)
+                })?
+                .0
+            }
+            None => self.delete_from_hot(key, existed_below) || existed_hot || existed_below,
+        };
+        if existed_below {
+            // Tombstones count toward the watermark, so a delete-heavy
+            // workload must be able to spill them too.
+            self.maybe_spill()?;
+        }
+        Ok(existed)
+    }
+
+    /// The hot-tier mutation half of [`TierInner::delete`]: remove the
+    /// live copy and, when something below the hot tier holds the key,
+    /// shadow it with a tombstone. Returns whether anything was removed
+    /// from the hot tier here.
+    fn delete_from_hot(&self, key: &[u8], existed_below: bool) -> bool {
+        let mut existed_hot = self.hot.delete(key);
         if existed_below {
             // Shadow the cold copy until a spill makes the delete durable.
             self.hot.record_tombstone(key);
@@ -1137,20 +1181,8 @@ impl TierInner {
             // value a concurrent newer SET stored (its atomic
             // tombstone-clear makes the guard fail).
             existed_hot = self.hot.delete_if_tombstoned(key) || existed_hot;
-            // Tombstones count toward the watermark, so a delete-heavy
-            // workload must be able to spill them too.
-            self.maybe_spill()?;
         }
-        let existed = existed_hot || existed_below;
-        // Log only deletes that removed something; same hot-tier-first
-        // ordering as `set` (the tombstone/removal above precedes the
-        // append, so checkpoint marks stay safe).
-        if existed {
-            if let Some(wal) = &self.wal {
-                wal.append_delete(key)?;
-            }
-        }
-        Ok(existed)
+        existed_hot
     }
 
     /// Cold lookup through the block cache over a lock-free snapshot of

@@ -16,15 +16,28 @@ pub enum WalError {
         /// Description of what was found and where.
         context: String,
     },
-    /// The directory holds logs written with a different shard count. The
-    /// shard a key maps to must be stable across reopens (same-key records
-    /// live in one shard so their LSN order is their replay order), so a
-    /// non-empty log refuses to open under a different count.
+    /// The directory holds logs written with a different shard count
+    /// (recorded in its `wal.meta` file). The shard a key maps to must be
+    /// stable across reopens (same-key records live in one shard so their
+    /// LSN order is their replay order), so an initialized log refuses to
+    /// open under a different count. A shard with no surviving segment
+    /// files is *not* a count change — it recovers as empty.
     ShardCountMismatch {
-        /// Shard count implied by the files on disk.
+        /// Shard count recorded on disk (from `wal.meta`, or inferred
+        /// from segment files for pre-meta directories).
         on_disk: usize,
         /// Shard count the caller configured.
         configured: usize,
+    },
+    /// An fsync on this shard failed earlier. The failure may have
+    /// dropped the dirty pages and cleared the fd's error flag, so a
+    /// retried `sync_data` could falsely report success (fsyncgate); the
+    /// shard therefore refuses all further appends, syncs, and
+    /// checkpoints until the log is reopened — recovery then replays
+    /// exactly what actually reached disk.
+    Poisoned {
+        /// Index of the failed shard.
+        shard: usize,
     },
 }
 
@@ -40,6 +53,12 @@ impl fmt::Display for WalError {
                 f,
                 "wal on disk uses {on_disk} shards but {configured} were configured; \
                  reopen with the original count (or checkpoint and remove the log first)"
+            ),
+            WalError::Poisoned { shard } => write!(
+                f,
+                "wal shard {shard} is disabled after a failed fsync; reopen the store to \
+                 recover what reached disk (writes acknowledged at durability levels below \
+                 PerBatch/PerWrite since the last successful sync may be lost)"
             ),
         }
     }

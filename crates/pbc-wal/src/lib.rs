@@ -10,12 +10,27 @@
 //! concurrent writers share one `sync_data`) to `PerWrite` (one fsync
 //! per record).
 //!
-//! On [`Wal::open`] the log is recovered: the newest segment's torn tail
-//! is truncated at the first bad CRC, and every record past the last
-//! *visible* checkpoint mark (one whose manifest generation actually
-//! committed) is replayed through a caller closure. After the owning
-//! store flushes, [`Wal::checkpoint`] appends durable markers and
-//! deletes the sealed segments they cover, keeping the log bounded.
+//! On [`Wal::open`] the log is recovered: each shard's newest non-empty
+//! segment has its torn tail truncated at the first bad CRC, and every
+//! record past the last *visible* checkpoint mark (one whose manifest
+//! generation actually committed) is replayed through a caller closure.
+//! After the owning store flushes, [`Wal::checkpoint`] appends durable
+//! markers and deletes the sealed segments they cover, keeping the log
+//! bounded.
+//!
+//! Three durability details worth knowing: segment creations and
+//! deletions are made durable with directory fsyncs (a power loss never
+//! loses a rotated-in file's directory entry); a failed fsync
+//! **poisons** its shard — every later append/sync errors with
+//! [`WalError::Poisoned`] until reopen, because retrying `sync_data` on
+//! the same fd can falsely succeed (fsyncgate); and the shard count is
+//! recorded in a `wal.meta` file, so a shard whose segment files are all
+//! gone recovers as empty instead of tripping the
+//! [`WalError::ShardCountMismatch`] guard. Callers that mirror the log
+//! into a store of their own should mutate through
+//! [`Wal::append_put_with`] / [`Wal::append_delete_with`], which run the
+//! mutation under the same lock that assigns the LSN — making replay
+//! order identical to application order for same-key operations.
 //!
 //! ```
 //! use pbc_wal::{Durability, ReplayOp, Wal, WalConfig, WalObs};
@@ -128,7 +143,7 @@ mod tests {
         let seg = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().path())
-            .next()
+            .find(|p| p.extension().is_some_and(|ext| ext == "log"))
             .unwrap();
         let mut bytes = std::fs::read(&seg).unwrap();
         let last = bytes.len() - 1;
@@ -210,6 +225,134 @@ mod tests {
                 configured: 2
             }
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_files_recover_as_empty() {
+        // A crash during `Wal::open` (or a recovery sweep of a shard's
+        // empty segments) can leave a shard with no files at all. The
+        // shard count in wal.meta is authoritative: the shard recovers
+        // as empty instead of tripping ShardCountMismatch forever.
+        let dir = temp_dir("missing-shard");
+        let config = WalConfig::new(&dir).with_shards(4);
+        let (wal, _) = Wal::open(config.clone(), WalObs::default(), 0, |_| {}).unwrap();
+        for i in 0..64u32 {
+            wal.append_put(format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        drop(wal);
+
+        // Simulate the crash window: every file of the highest shard
+        // index is gone.
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.starts_with("wal-003-") {
+                std::fs::remove_file(&path).unwrap();
+                removed += 1;
+            }
+        }
+        assert!(removed > 0, "shard 3 held at least its active segment");
+
+        let mut state = BTreeMap::new();
+        let (wal, report) =
+            Wal::open(config.clone(), WalObs::default(), 0, replay_into(&mut state)).unwrap();
+        assert!(report.records_replayed > 0);
+        // The empty shard accepts fresh appends and a further reopen
+        // still agrees on the count.
+        wal.append_put(b"post", b"v").unwrap();
+        drop(wal);
+        let (_wal, _) = Wal::open(config, WalObs::default(), 0, |_| {}).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn growing_the_shard_count_is_rejected_too() {
+        let dir = temp_dir("grow-shards");
+        let (wal, _) = Wal::open(
+            WalConfig::new(&dir).with_shards(2),
+            WalObs::default(),
+            0,
+            |_| {},
+        )
+        .unwrap();
+        wal.append_put(b"k", b"v").unwrap();
+        drop(wal);
+        let err = Wal::open(
+            WalConfig::new(&dir).with_shards(8),
+            WalObs::default(),
+            0,
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            WalError::ShardCountMismatch {
+                on_disk: 2,
+                configured: 8
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_before_an_empty_successor_segment_truncates() {
+        // Rotation fsyncs the active tail before creating its successor,
+        // so a tear can only exist in the newest *non-empty* segment.
+        // Recovery must accept exactly that shape — a torn segment
+        // followed only by empty files — rather than calling it corrupt.
+        let dir = temp_dir("torn-rotate");
+        let config = WalConfig::new(&dir).with_shards(1);
+        let (wal, _) = Wal::open(config.clone(), WalObs::default(), 0, |_| {}).unwrap();
+        for i in 0..10u32 {
+            wal.append_put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        drop(wal);
+
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|ext| ext == "log"))
+            .unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 3).unwrap(); // tear the last frame
+        drop(file);
+        // The empty successor a crashed rotation would have left behind.
+        std::fs::File::create(dir.join("wal-000-0000000001.log")).unwrap();
+
+        let mut state = BTreeMap::new();
+        let (_wal, report) =
+            Wal::open(config, WalObs::default(), 0, replay_into(&mut state)).unwrap();
+        assert_eq!(report.records_replayed, 9);
+        assert!(report.truncated_bytes > 0);
+        assert!(!state.contains_key(b"k9".as_slice()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_under_the_shard_lock_returns_results_and_skips_unlogged_ops() {
+        let dir = temp_dir("apply");
+        let config = WalConfig::new(&dir).with_shards(2);
+        let (wal, _) = Wal::open(config.clone(), WalObs::default(), 0, |_| {}).unwrap();
+        let (stored, lsn) = wal.append_put_with(b"k", b"v", || 42usize).unwrap();
+        assert_eq!(stored, 42);
+        assert_eq!(lsn, 1);
+        // A delete that found nothing logs nothing and assigns no LSN.
+        let (existed, lsn) = wal.append_delete_with(b"ghost", || (false, false)).unwrap();
+        assert!(!existed);
+        assert_eq!(lsn, None);
+        let (existed, lsn) = wal.append_delete_with(b"k", || (true, true)).unwrap();
+        assert!(existed);
+        assert!(lsn.is_some());
+        drop(wal);
+
+        let mut state = BTreeMap::new();
+        let (_wal, report) =
+            Wal::open(config, WalObs::default(), 0, replay_into(&mut state)).unwrap();
+        assert_eq!(report.records_replayed, 2, "the ghost delete never hit the log");
+        assert!(state.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

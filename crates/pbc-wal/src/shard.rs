@@ -35,7 +35,7 @@ use std::time::Instant;
 use pbc_obs::Event;
 
 use crate::config::Durability;
-use crate::error::Result;
+use crate::error::{Result, WalError};
 use crate::format;
 use crate::obs::WalObs;
 
@@ -66,6 +66,24 @@ fn write_all_at(file: &File, buf: &[u8], offset: u64) -> io::Result<()> {
         let mut f = file;
         f.seek(SeekFrom::Start(offset))?;
         f.write_all(buf)
+    }
+}
+
+/// Fsync a directory so file creations/deletions inside it are durable.
+/// Without this, a power loss can lose a freshly created segment's
+/// directory entry even though its (fsynced) data blocks are on disk —
+/// acknowledged records gone with no torn tail to show for it.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        // Directory handles cannot be fsynced portably off unix; metadata
+        // ordering is left to the filesystem there.
+        let _ = dir;
+        Ok(())
     }
 }
 
@@ -102,6 +120,13 @@ pub(crate) struct ShardState {
     /// Highest mark any checkpoint marker on this shard has recorded —
     /// lets an idle shard skip appending redundant markers.
     last_mark: u64,
+    /// Set when an fsync on the active segment failed. On Linux a failed
+    /// fsync can drop the dirty pages *and clear the error flag*, so a
+    /// retry on the same fd may report success without the data being
+    /// durable (fsyncgate). Once set, every append/sync/checkpoint on
+    /// this shard fails with [`crate::WalError::Poisoned`] until the log
+    /// is reopened (recovery reads what actually reached disk).
+    poisoned: bool,
     sealed: Vec<SealedSegment>,
 }
 
@@ -149,6 +174,7 @@ impl WalShard {
                 sync_in_flight: false,
                 last_sync: Instant::now(),
                 last_mark,
+                poisoned: false,
                 sealed,
             }),
             synced: Condvar::new(),
@@ -159,12 +185,45 @@ impl WalShard {
         self.state.lock().expect("wal shard poisoned")
     }
 
-    /// Append one record and honor the shard's durability level before
-    /// returning. Returns the record's LSN.
-    pub(crate) fn append_with(&self, encode: impl FnOnce(u64) -> Vec<u8>) -> Result<u64> {
+    fn check_usable(&self, state: &ShardState) -> Result<()> {
+        if state.poisoned {
+            return Err(WalError::Poisoned { shard: self.index });
+        }
+        Ok(())
+    }
+
+    /// Mark the shard unusable after a failed fsync and wake every
+    /// group-commit waiter so it observes the poison instead of electing
+    /// itself leader and retrying `sync_data` on the same fd.
+    fn poison(&self, state: &mut ShardState) {
+        state.poisoned = true;
+        self.synced.notify_all();
+    }
+
+    /// Run the caller's mutation and append its record as one atomic
+    /// step under the shard lock, then honor the shard's durability
+    /// level before returning. `apply` returns `(result, log)`; when
+    /// `log` is false nothing is appended (no LSN assigned, no
+    /// durability wait).
+    ///
+    /// Running `apply` under the same lock that assigns the LSN is what
+    /// makes a caller's store-application order equal LSN order for
+    /// same-key operations — the property replay relies on (a key maps
+    /// to exactly one shard). Returns `(result, Some(lsn))` when a
+    /// record was logged.
+    pub(crate) fn append_with<T>(
+        &self,
+        apply: impl FnOnce() -> (T, bool),
+        encode: impl FnOnce(u64) -> Vec<u8>,
+    ) -> Result<(T, Option<u64>)> {
         let mut state = self.lock();
+        self.check_usable(&state)?;
         if state.file_bytes >= self.segment_bytes {
             self.rotate(&mut state)?;
+        }
+        let (result, log) = apply();
+        if !log {
+            return Ok((result, None));
         }
         let lsn = state.next_lsn;
         let frame = encode(lsn);
@@ -184,7 +243,7 @@ impl WalShard {
             }
             Durability::PerBatch => {
                 self.group_commit(state, lsn)?;
-                return Ok(lsn);
+                return Ok((result, Some(lsn)));
             }
             Durability::Periodic(interval) => {
                 if !state.sync_in_flight
@@ -194,19 +253,24 @@ impl WalShard {
                     // Leader-style sync, but nobody waits on the result:
                     // Periodic acknowledges before durability.
                     drop(self.lead_sync(state)?);
-                    return Ok(lsn);
+                    return Ok((result, Some(lsn)));
                 }
             }
         }
-        Ok(lsn)
+        Ok((result, Some(lsn)))
     }
 
-    /// `sync_data` while holding the lock; publishes `synced_lsn`.
+    /// `sync_data` while holding the lock; publishes `synced_lsn`. A
+    /// failure poisons the shard (see [`ShardState::poisoned`]).
     fn sync_locked(&self, state: &mut ShardState) -> Result<()> {
         let timer = self.obs.fsync_ns.start_timer();
-        state.file.sync_data()?;
+        let outcome = state.file.sync_data();
         timer.observe();
         self.obs.fsyncs.inc();
+        if let Err(e) = outcome {
+            self.poison(state);
+            return Err(e.into());
+        }
         self.obs
             .batch_records
             .record(state.appended_lsn - state.synced_lsn);
@@ -225,8 +289,14 @@ impl WalShard {
     ) -> Result<()> {
         loop {
             if state.synced_lsn >= my_lsn {
+                // A completed sync covered us — a truthful ack even if a
+                // later fsync failed and poisoned the shard.
                 return Ok(());
             }
+            // A leader's fsync failed while we waited: our record may or
+            // may not have hit disk, and retrying the fsync could falsely
+            // succeed (fsyncgate) — report the failure instead.
+            self.check_usable(&state)?;
             if state.sync_in_flight {
                 state = self.synced.wait(state).expect("wal shard poisoned");
                 continue;
@@ -279,9 +349,12 @@ impl WalShard {
                 Ok(state)
             }
             Err(e) => {
-                // Wake waiters so one of them retries as the next leader
-                // (or observes its own append error path).
-                self.synced.notify_all();
+                // A failed fsync may have dropped the dirty pages and
+                // cleared the fd's error flag (fsyncgate): a waiter
+                // retrying `sync_data` here could report success without
+                // the data being durable. Poison the shard — waiters and
+                // all future appends fail until reopen.
+                self.poison(&mut state);
                 Err(e.into())
             }
         }
@@ -290,9 +363,12 @@ impl WalShard {
     /// Seal the active segment (fsync — so its max LSN is final and every
     /// group-commit waiter is satisfied) and open a successor.
     fn rotate(&self, state: &mut ShardState) -> Result<()> {
+        // Seal *before* the successor exists: recovery only truncates a
+        // torn tail in the newest non-empty segment, so the old tail must
+        // be durably complete before a newer segment can appear on disk.
+        self.sync_locked(state)?;
         let next_seq = state.seq + 1;
         let next_file = create_segment(&self.dir, self.index, next_seq)?;
-        self.sync_locked(state)?;
         let sealed = SealedSegment {
             seq: state.seq,
             max_lsn: state.active_max_lsn,
@@ -327,6 +403,7 @@ impl WalShard {
     /// and no segment is deletable.
     pub(crate) fn checkpoint(&self, mark: u64, generation: u64) -> Result<Vec<(PathBuf, u64)>> {
         let mut state = self.lock();
+        self.check_usable(&state)?;
         let covered_any = state.sealed.iter().any(|s| s.max_lsn <= mark);
         if mark <= state.last_mark && !covered_any {
             return Ok(Vec::new());
@@ -358,6 +435,7 @@ impl WalShard {
     /// Force everything appended so far durable (clean shutdown, tests).
     pub(crate) fn sync(&self) -> Result<()> {
         let mut state = self.lock();
+        self.check_usable(&state)?;
         if state.synced_lsn < state.appended_lsn && !state.sync_in_flight {
             self.sync_locked(&mut state)?;
         }
@@ -371,6 +449,7 @@ impl WalShard {
             return Ok(());
         };
         let mut state = self.lock();
+        self.check_usable(&state)?;
         if state.synced_lsn < state.appended_lsn
             && !state.sync_in_flight
             && state.last_sync.elapsed() >= interval
@@ -396,10 +475,14 @@ impl WalShard {
 
 fn create_segment(dir: &Path, shard: usize, seq: u64) -> Result<File> {
     let path = dir.join(segment_file_name(shard, seq));
-    Ok(OpenOptions::new()
+    let file = OpenOptions::new()
         .create(true)
         .read(true)
         .write(true)
         .truncate(true)
-        .open(path)?)
+        .open(path)?;
+    // The directory entry must be durable before any acknowledged record
+    // lands in this file — `sync_data` on the file does not cover it.
+    sync_dir(dir)?;
+    Ok(file)
 }

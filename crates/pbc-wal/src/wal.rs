@@ -1,6 +1,7 @@
 //! The sharded log: open/recover, append, checkpoint, stats.
 
 use std::fs;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use pbc_obs::Event;
@@ -9,12 +10,52 @@ use crate::config::WalConfig;
 use crate::error::{Result, WalError};
 use crate::format::{self, DecodeOutcome, Record};
 use crate::obs::WalObs;
-use crate::shard::{parse_segment_name, SealedSegment, WalShard};
+use crate::shard::{parse_segment_name, sync_dir, SealedSegment, WalShard};
+
+/// Meta file recording the directory's shard count. Written (atomically,
+/// via rename) before the first segment is created, so a crash during
+/// `Wal::open` — after some shards created segments, or after recovery
+/// swept a shard's empty segments — cannot make the count look smaller
+/// than it is: a shard with no surviving files simply recovers as empty.
+const META_FILE: &str = "wal.meta";
+
+/// Read the shard count from `wal.meta`, `None` when the file does not
+/// exist (fresh directory, or one written before the meta file existed).
+fn read_shard_meta(dir: &Path) -> Result<Option<usize>> {
+    let raw = match fs::read_to_string(dir.join(META_FILE)) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(count) if count > 0 => Ok(Some(count)),
+        _ => Err(WalError::Corrupt {
+            context: format!("{META_FILE} does not hold a shard count: {raw:?}"),
+        }),
+    }
+}
+
+/// Durably record the shard count: write + fsync a temp file, rename it
+/// over `wal.meta`, fsync the directory.
+fn write_shard_meta(dir: &Path, shards: usize) -> Result<()> {
+    let tmp = dir.join("wal.meta.tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(format!("{shards}\n").as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join(META_FILE))?;
+    sync_dir(dir)?;
+    Ok(())
+}
 
 /// A logical operation handed back to the caller during replay, in the
-/// order it must be applied. Same-key operations always replay in their
-/// original order (a key maps to one shard, and a shard replays in LSN
-/// order).
+/// order it must be applied. Same-key operations replay in LSN order (a
+/// key maps to one shard, and a shard replays in LSN order) — and when
+/// the caller mirrors writes into its own store through
+/// [`Wal::append_put_with`] / [`Wal::append_delete_with`], LSN order
+/// *is* the order the store applied them in, so replay reproduces
+/// exactly the acknowledged pre-crash state.
 #[derive(Debug)]
 pub enum ReplayOp<'a> {
     /// Re-apply a put.
@@ -69,6 +110,7 @@ pub struct WalStats {
 /// the format and protocol; see [`WalConfig`] for the knobs.
 #[derive(Debug)]
 pub struct Wal {
+    dir: PathBuf,
     shards: Vec<WalShard>,
     obs: WalObs,
 }
@@ -76,9 +118,9 @@ pub struct Wal {
 impl Wal {
     /// Open (and recover) the log at `config.dir`.
     ///
-    /// Existing segments are scanned front to back: the newest segment's
-    /// torn tail — anything from the first bad frame on — is truncated,
-    /// a bad frame anywhere *earlier* is reported as
+    /// Existing segments are scanned front to back: the newest non-empty
+    /// segment's torn tail — anything from the first bad frame on — is
+    /// truncated, a bad frame anywhere *earlier* is reported as
     /// [`WalError::Corrupt`], and every put/delete past the last
     /// checkpoint mark whose generation is visible in the caller's
     /// manifest (`manifest_generation`) is handed to `apply` in order.
@@ -105,15 +147,44 @@ impl Wal {
             };
             max_shard_seen = Some(max_shard_seen.map_or(shard, |m| m.max(shard)));
             if shard >= shards {
-                continue; // counted above; the mismatch check below fires
+                continue; // counted above; the mismatch checks below fire
             }
             files[shard].push((seq, entry.path()));
         }
+        // The shard count lives in `wal.meta`, written before the first
+        // segment: a shard whose files are all gone (crash mid-open, or
+        // recovery swept its empty segments) recovers as empty rather
+        // than bricking the log with a count mismatch. Directories from
+        // before the meta file fall back to inferring the count from the
+        // segment files, where every shard index must be present.
+        match read_shard_meta(&config.dir)? {
+            Some(on_disk) => {
+                if on_disk != shards {
+                    return Err(WalError::ShardCountMismatch {
+                        on_disk,
+                        configured: shards,
+                    });
+                }
+            }
+            None => {
+                if let Some(max_shard) = max_shard_seen {
+                    let on_disk = max_shard + 1;
+                    if on_disk != shards {
+                        return Err(WalError::ShardCountMismatch {
+                            on_disk,
+                            configured: shards,
+                        });
+                    }
+                }
+                write_shard_meta(&config.dir, shards)?;
+            }
+        }
         if let Some(max_shard) = max_shard_seen {
-            let on_disk = max_shard + 1;
-            if on_disk != shards {
+            if max_shard >= shards {
+                // Stray segments above the recorded count: refuse rather
+                // than silently dropping their records.
                 return Err(WalError::ShardCountMismatch {
-                    on_disk,
+                    on_disk: max_shard + 1,
                     configured: shards,
                 });
             }
@@ -121,6 +192,7 @@ impl Wal {
 
         let mut report = RecoveryReport::default();
         let mut shard_handles = Vec::with_capacity(shards);
+        let mut removed_any = false;
         for (index, mut shard_files) in files.into_iter().enumerate() {
             shard_files.sort_by_key(|(seq, _)| *seq);
             let recovered = recover_shard(
@@ -130,6 +202,7 @@ impl Wal {
                 &mut apply,
                 &mut report,
             )?;
+            removed_any |= recovered.removed_any;
             shard_handles.push(WalShard::open(
                 index,
                 &config.dir,
@@ -142,6 +215,12 @@ impl Wal {
                 recovered.sealed,
             )?);
         }
+        if removed_any {
+            // Make recovery's empty-segment deletions durable so the same
+            // sweep does not repeat (and lexical order stays clean) after
+            // a power loss.
+            sync_dir(&config.dir)?;
+        }
 
         obs.records_replayed.add(report.records_replayed);
         obs.truncated_bytes.add(report.truncated_bytes);
@@ -152,6 +231,7 @@ impl Wal {
             segments: report.segments,
         });
         let wal = Wal {
+            dir: config.dir.clone(),
             shards: shard_handles,
             obs,
         };
@@ -167,14 +247,54 @@ impl Wal {
     /// Log a put and honor the configured durability before returning.
     /// Returns the record's LSN on its shard.
     pub fn append_put(&self, key: &[u8], value: &[u8]) -> Result<u64> {
-        let shard = &self.shards[format::shard_of(key, self.shards.len())];
-        shard.append_with(|lsn| format::encode_put(lsn, key, value))
+        let ((), lsn) = self.append_put_with(key, value, || ())?;
+        Ok(lsn)
     }
 
     /// Log a delete and honor the configured durability before returning.
     pub fn append_delete(&self, key: &[u8]) -> Result<u64> {
+        let ((), lsn) = self.append_delete_with(key, || ((), true))?;
+        Ok(lsn.expect("unconditional delete is always logged"))
+    }
+
+    /// Run `apply` and log a put as one atomic step under the key's
+    /// shard lock, then honor the configured durability before
+    /// returning.
+    ///
+    /// Callers that mirror the log into a store of their own (the tiered
+    /// store's hot tier) must perform the store mutation inside `apply`:
+    /// the closure runs under the same lock that assigns the record's
+    /// LSN, so same-key operations hit the store in exactly their LSN
+    /// order — which is replay order. Mutating outside the closure lets
+    /// a concurrent same-key writer apply in one order but log in the
+    /// other, and recovery would then contradict acknowledged pre-crash
+    /// state.
+    pub fn append_put_with<T>(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        apply: impl FnOnce() -> T,
+    ) -> Result<(T, u64)> {
         let shard = &self.shards[format::shard_of(key, self.shards.len())];
-        shard.append_with(|lsn| format::encode_delete(lsn, key))
+        let (result, lsn) = shard.append_with(
+            || (apply(), true),
+            |lsn| format::encode_put(lsn, key, value),
+        )?;
+        Ok((result, lsn.expect("put is always logged")))
+    }
+
+    /// Conditional twin of [`Wal::append_put_with`] for deletes: `apply`
+    /// returns `(result, log)`, and the delete record is appended (and
+    /// made durable per the configured level) only when `log` is true —
+    /// so a delete that removed nothing costs no log record. Returns the
+    /// LSN when one was assigned.
+    pub fn append_delete_with<T>(
+        &self,
+        key: &[u8],
+        apply: impl FnOnce() -> (T, bool),
+    ) -> Result<(T, Option<u64>)> {
+        let shard = &self.shards[format::shard_of(key, self.shards.len())];
+        shard.append_with(apply, |lsn| format::encode_delete(lsn, key))
     }
 
     /// Snapshot each shard's highest assigned LSN. Because callers apply
@@ -202,6 +322,12 @@ impl Wal {
                 summary.segments_deleted += 1;
                 summary.bytes_deleted += bytes;
             }
+        }
+        if summary.segments_deleted > 0 {
+            // Make the unlinks durable. Resurrected covered segments are
+            // harmless to correctness (recovery skips them by the marker)
+            // but would silently regress the bounded-log guarantee.
+            sync_dir(&self.dir)?;
         }
         self.obs.checkpoints.inc();
         self.obs.segments_deleted.add(summary.segments_deleted);
@@ -255,6 +381,9 @@ struct RecoveredShard {
     max_lsn: u64,
     mark: u64,
     sealed: Vec<SealedSegment>,
+    /// Recovery deleted at least one empty segment file (the caller
+    /// fsyncs the directory once when any shard did).
+    removed_any: bool,
 }
 
 /// Scan one shard's segments oldest-first: find the effective checkpoint
@@ -272,12 +401,22 @@ fn recover_shard(
         max_lsn: 0,
         mark: 0,
         sealed: Vec::new(),
+        removed_any: false,
     };
+
+    // A torn tail is only legal in the newest segment that holds any
+    // bytes: rotation fsyncs the old tail before its successor is
+    // created, so a sealed segment followed by a non-empty one can never
+    // tear. Segments *after* the last non-empty one (a successor created
+    // by rotation that never received a record before the crash) are
+    // legitimately empty and do not disqualify the tear.
+    let last_nonempty = shard_files
+        .iter()
+        .rposition(|(_, path)| fs::metadata(path).map(|m| m.len()).unwrap_or(0) > 0);
 
     // Pass 1: validate frames, find the best visible checkpoint mark,
     // truncate the torn tail. Buffers are kept for pass 2.
     let mut scanned: Vec<(u64, &Path, Vec<u8>, u64)> = Vec::new(); // (seq, path, buf, max_lsn)
-    let last = shard_files.len().saturating_sub(1);
     for (pos, (seq, path)) in shard_files.iter().enumerate() {
         let mut buf = fs::read(path)?;
         let mut offset = 0usize;
@@ -304,11 +443,12 @@ fn recover_shard(
                     if offset == buf.len() {
                         break; // clean end of file
                     }
-                    if pos != last {
+                    if last_nonempty != Some(pos) {
                         return Err(WalError::Corrupt {
                             context: format!(
                                 "shard {index} segment {seq} has a bad frame at byte {offset} \
-                                 but is not the newest segment (sealed segments are fully synced)"
+                                 but a newer segment holds records (sealed segments are fully \
+                                 synced before a successor is created)"
                             ),
                         });
                     }
@@ -357,6 +497,7 @@ fn recover_shard(
         }
         if buf.is_empty() {
             fs::remove_file(path)?;
+            recovered.removed_any = true;
         } else {
             recovered.sealed.push(SealedSegment {
                 seq,

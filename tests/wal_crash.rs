@@ -234,6 +234,9 @@ fn torn_tail_after_acknowledged_writes_is_truncated() {
     let mut newest: BTreeMap<String, PathBuf> = BTreeMap::new();
     for entry in std::fs::read_dir(dir.join("wal")).unwrap() {
         let path = entry.unwrap().path();
+        if path.extension().is_none_or(|ext| ext != "log") {
+            continue; // skip wal.meta
+        }
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let shard = name[..7].to_string(); // "wal-NNN"
         let replace = newest.get(&shard).is_none_or(|prev| {
@@ -255,6 +258,57 @@ fn torn_tail_after_acknowledged_writes_is_truncated() {
     let report = store.wal_recovery().unwrap();
     assert!(report.truncated_bytes >= 12, "both torn tails truncated");
     assert_matches_model(&store, &model, n);
+}
+
+/// Same-key application order must equal WAL order: the hot-tier
+/// mutation runs inside the WAL append's critical section, so a
+/// concurrent set/delete pair on one key cannot apply to the hot tier in
+/// one order but log in the other. Hammer a handful of keys from racing
+/// writers, then check that a reopen (pure WAL replay) answers exactly
+/// what the live store answered — an acknowledged delete must not be
+/// resurrected by a put that was applied earlier but logged later.
+#[test]
+fn concurrent_same_key_writes_replay_to_the_live_state() {
+    use std::sync::Arc;
+    for round in 0..8 {
+        let (dir, _guard) = temp_dir(&format!("same-key-{round}"));
+        // Durability::None keeps the race tight (no fsync serialization
+        // stretching the windows) and this test kills nothing mid-write.
+        let live: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
+            let store =
+                Arc::new(TieredStore::open(wal_config(&dir, Durability::None)).unwrap());
+            let keys = 4usize;
+            let handles: Vec<_> = (0..4usize)
+                .map(|t| {
+                    let store = Arc::clone(&store);
+                    std::thread::spawn(move || {
+                        for i in 0..300usize {
+                            let k = key(i % keys);
+                            if (t + i) % 5 == 0 {
+                                store.delete(&k).unwrap();
+                            } else {
+                                store.set(&k, format!("t{t}i{i}").as_bytes()).unwrap();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            (0..keys)
+                .map(|i| (key(i), store.get(&key(i)).unwrap()))
+                .collect()
+        };
+        let store = TieredStore::open(wal_config(&dir, Durability::None)).unwrap();
+        for (k, want) in live {
+            assert_eq!(
+                store.get(&k).unwrap(),
+                want,
+                "replayed state diverged from the live pre-drop state"
+            );
+        }
+    }
 }
 
 /// The durability ladder: at every level, a kill after N acknowledged

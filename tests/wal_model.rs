@@ -118,9 +118,11 @@ proptest! {
         drop(wal);
 
         // Sanity: the modelled layout matches what the writer produced.
+        // Only segment files count — the directory also holds `wal.meta`.
         let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "log"))
             .collect();
         files.sort();
         // Ignore the (empty) active segment the writer opened last if no
