@@ -40,10 +40,15 @@
 //! ```
 
 #![warn(missing_docs)]
+// `unsafe` is allowed in exactly one place: the audited `mmap` module
+// (which opts back in with a module-level `allow`). `deny` rather than
+// `forbid` because `forbid` cannot be overridden even by that one module.
+#![deny(unsafe_code)]
 
 pub mod codec;
 pub mod error;
 pub mod format;
+pub mod mmap;
 pub mod obs;
 pub mod positioned;
 pub mod reader;
@@ -51,8 +56,9 @@ pub mod writer;
 
 pub use codec::{build_codec, select_codec_over_blocks, BlockCodec, CodecSpec, Entry};
 pub use error::{ArchiveError, Result};
+pub use mmap::MappedFile;
 pub use obs::{ReaderObs, WriterObs};
-pub use reader::{RangeScan, Scan, SegmentReader};
+pub use reader::{RangeScan, ReadMode, Scan, SegmentReader};
 pub use writer::{
     entry_size_estimate, spread_sample_indices, SegmentConfig, SegmentSummary, SegmentWriter,
 };

@@ -16,6 +16,11 @@ pub struct ReaderObs {
     /// Nanoseconds per whole-block decompression (codec work only; the
     /// `pread` + CRC check is not included).
     pub decode_ns: Histogram,
+    /// Bytes copied from disk into fresh heap buffers by block fetches —
+    /// the cost the mmap backend avoids. Stays 0 on a mapped reader; on
+    /// the `pread` backend it grows by one compressed block length per
+    /// fetch.
+    pub bytes_copied: Counter,
 }
 
 impl ReaderObs {

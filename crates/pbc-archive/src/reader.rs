@@ -1,25 +1,83 @@
 //! Reading segments back: open, verify, random access, scans.
 
+use std::borrow::Cow;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::codec::{BlockCodec, Entry};
 use crate::error::{ArchiveError, Result};
 use crate::format::{
     crc32, decode_index, decode_trailer, BlockMeta, Header, FLAG_SORTED_KEYS, TRAILER_LEN,
 };
+use crate::mmap::MappedFile;
 use crate::obs::ReaderObs;
 use crate::positioned::PositionedFile;
 
+/// How a [`SegmentReader`] fetches bytes from disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Memory-map the segment when the platform/build supports it
+    /// ([`MappedFile::supported`]), otherwise fall back to `pread`.
+    #[default]
+    Auto,
+    /// Require the mmap backend; [`SegmentReader::open_with`] errors where
+    /// it is unavailable (non-unix targets or the `mmap` feature off).
+    Mmap,
+    /// Always use the `pread` backend ([`PositionedFile`]), even where
+    /// mmap is available.
+    Pread,
+}
+
+/// Where block bytes come from: a positional-read file handle (every
+/// fetch copies into a fresh buffer) or a page-cache mapping (fetches
+/// borrow the mapped bytes — zero copies).
+enum BlockSource {
+    Pread(PositionedFile),
+    Mapped(MappedFile),
+}
+
+impl BlockSource {
+    /// Fetch `len` bytes at `offset`. Borrowed straight from the mapping
+    /// on the mmap backend; copied into an owned buffer on pread.
+    ///
+    /// Callers validate ranges against the file length captured at open,
+    /// so an out-of-bounds request means the file shrank underneath us —
+    /// reported as [`ArchiveError::Truncated`] with the caller's context.
+    fn bytes_at(&self, offset: u64, len: usize, context: &'static str) -> Result<Cow<'_, [u8]>> {
+        match self {
+            BlockSource::Pread(file) => {
+                let mut buf = vec![0u8; len];
+                file.read_exact_at(&mut buf, offset)?;
+                Ok(Cow::Owned(buf))
+            }
+            BlockSource::Mapped(map) => usize::try_from(offset)
+                .ok()
+                .and_then(|start| start.checked_add(len).map(|end| (start, end)))
+                .and_then(|(start, end)| map.as_slice().get(start..end))
+                .map(Cow::Borrowed)
+                .ok_or(ArchiveError::Truncated { context }),
+        }
+    }
+
+    fn mode(&self) -> ReadMode {
+        match self {
+            BlockSource::Pread(_) => ReadMode::Pread,
+            BlockSource::Mapped(_) => ReadMode::Mmap,
+        }
+    }
+}
+
 /// A reopened segment. All methods take `&self`; block reads go through
-/// [`PositionedFile`] (`pread` on unix), so concurrent readers sharing one
-/// `SegmentReader` do not serialize on a file cursor.
+/// either a read-only mmap (unix default — fetches borrow the page-cache
+/// mapping with zero copies) or [`PositionedFile`] (`pread`), so
+/// concurrent readers sharing one `SegmentReader` never serialize on a
+/// file cursor. Pick the backend with [`SegmentReader::open_with`].
 ///
 /// The `Debug` form reports geometry only (no block payloads).
 pub struct SegmentReader {
     path: PathBuf,
-    file: PositionedFile,
+    source: BlockSource,
     header: Header,
     codec: BlockCodec,
     /// Shared instance backing the per-block raw-fallback path.
@@ -30,6 +88,10 @@ pub struct SegmentReader {
     record_count: u64,
     /// On-disk file size in bytes, captured at open.
     file_len: u64,
+    /// One bit per block, set once that block's payload CRC has been
+    /// verified; later fetches of the same (immutable) block skip the
+    /// checksum pass.
+    verified: Vec<AtomicU64>,
     /// Decode instrumentation; no-op unless [`SegmentReader::set_obs`]
     /// attached real handles.
     obs: ReaderObs,
@@ -40,6 +102,7 @@ impl std::fmt::Debug for SegmentReader {
         f.debug_struct("SegmentReader")
             .field("path", &self.path)
             .field("codec", &self.codec.name())
+            .field("backend", &self.source.mode())
             .field("blocks", &self.blocks.len())
             .field("records", &self.record_count)
             .finish()
@@ -47,21 +110,41 @@ impl std::fmt::Debug for SegmentReader {
 }
 
 impl SegmentReader {
-    /// Open and verify a segment: header magic/version/CRC, trailer magic,
-    /// index CRC. Block payloads are verified lazily as they are read.
+    /// Open and verify a segment with [`ReadMode::Auto`] backend
+    /// selection: header magic/version/CRC, trailer magic, index CRC.
+    /// Block payloads are verified lazily as they are read.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(path, ReadMode::Auto)
+    }
+
+    /// [`SegmentReader::open`] with an explicit backend choice.
+    pub fn open_with(path: impl AsRef<Path>, mode: ReadMode) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
+        let file = File::open(&path)?;
         let file_len = file.metadata()?.len();
+        let source = match mode {
+            ReadMode::Pread => BlockSource::Pread(PositionedFile::new(file)),
+            ReadMode::Mmap => BlockSource::Mapped(MappedFile::map(&file, file_len)?),
+            // Auto: mmap wherever it works, pread everywhere else (non-unix
+            // targets, the `mmap` feature off, or a filesystem refusing the
+            // mapping).
+            ReadMode::Auto => match MappedFile::map(&file, file_len) {
+                Ok(map) => BlockSource::Mapped(map),
+                Err(_) => BlockSource::Pread(PositionedFile::new(file)),
+            },
+        };
 
         // Header: magic(8) + version(2) + codec(1) + flags(1) + varint
-        // artifact length (≤10) tells us how much more to read.
-        let prefix_len = file_len.min(22) as usize;
-        let mut prefix = vec![0u8; prefix_len];
-        file.read_exact(&mut prefix)?;
+        // artifact length (≤10) + the artifacts themselves + CRC. One
+        // bounded prefix read covers the fixed part and, in practice, the
+        // whole header; only a header whose trained artifacts outgrow the
+        // prefix costs a second fetch.
+        const HEADER_PREFIX: u64 = 16 * 1024;
+        let prefix_len = file_len.min(HEADER_PREFIX) as usize;
         if prefix_len < 13 {
             return Err(ArchiveError::Truncated { context: "header" });
         }
+        let prefix = source.bytes_at(0, prefix_len, "header")?;
         let (artifact_len, artifacts_start) = pbc_codecs::varint::read_usize(&prefix, 12)
             .map_err(|_| ArchiveError::Truncated { context: "header" })?;
         let header_len = artifacts_start
@@ -69,20 +152,28 @@ impl SegmentReader {
             .and_then(|n| n.checked_add(4))
             .filter(|&n| (n as u64) <= file_len)
             .ok_or(ArchiveError::Truncated { context: "header" })?;
-        let mut header_bytes = vec![0u8; header_len];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut header_bytes)?;
+        let header_bytes: Cow<'_, [u8]> = if header_len <= prefix.len() {
+            Cow::Borrowed(&prefix[..header_len])
+        } else {
+            source.bytes_at(0, header_len, "header")?
+        };
         let (header, _) = Header::decode(&header_bytes)?;
         let codec = BlockCodec::from_parts(header.codec_id, &header.artifacts)?;
+        drop(header_bytes);
+        drop(prefix);
 
         // Trailer and index.
         if file_len < (header_len + TRAILER_LEN) as u64 {
             return Err(ArchiveError::Truncated { context: "trailer" });
         }
-        let mut trailer = [0u8; TRAILER_LEN];
-        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
-        file.read_exact(&mut trailer)?;
-        let (index_offset, index_len, index_crc) = decode_trailer(&trailer)?;
+        let trailer_bytes =
+            source.bytes_at(file_len - TRAILER_LEN as u64, TRAILER_LEN, "trailer")?;
+        let trailer: &[u8; TRAILER_LEN] = trailer_bytes
+            .as_ref()
+            .try_into()
+            .map_err(|_| ArchiveError::Truncated { context: "trailer" })?;
+        let (index_offset, index_len, index_crc) = decode_trailer(trailer)?;
+        drop(trailer_bytes);
         index_offset
             .checked_add(index_len as u64)
             .and_then(|end| end.checked_add(TRAILER_LEN as u64))
@@ -90,9 +181,7 @@ impl SegmentReader {
             .ok_or(ArchiveError::Truncated {
                 context: "block index",
             })?;
-        let mut index_bytes = vec![0u8; index_len as usize];
-        file.seek(SeekFrom::Start(index_offset))?;
-        file.read_exact(&mut index_bytes)?;
+        let index_bytes = source.bytes_at(index_offset, index_len as usize, "block index")?;
         let computed = crc32(&index_bytes);
         if computed != index_crc {
             return Err(ArchiveError::CrcMismatch {
@@ -103,6 +192,7 @@ impl SegmentReader {
             });
         }
         let blocks = decode_index(&index_bytes, header.version)?;
+        drop(index_bytes);
 
         // Validate block geometry against the file before trusting offsets.
         let mut starts = Vec::with_capacity(blocks.len());
@@ -121,10 +211,13 @@ impl SegmentReader {
                 }
             })?;
         }
+        let verified = (0..blocks.len().div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect();
 
         Ok(SegmentReader {
             path,
-            file: PositionedFile::new(file),
+            source,
             header,
             codec,
             raw_codec: BlockCodec::Raw,
@@ -132,8 +225,15 @@ impl SegmentReader {
             starts,
             record_count,
             file_len,
+            verified,
             obs: ReaderObs::noop(),
         })
+    }
+
+    /// Which backend this reader resolved to: [`ReadMode::Mmap`] or
+    /// [`ReadMode::Pread`] (never [`ReadMode::Auto`]).
+    pub fn read_mode(&self) -> ReadMode {
+        self.source.mode()
     }
 
     /// Attach decode instrumentation (blocks-decoded counter + decode
@@ -213,19 +313,42 @@ impl SegmentReader {
         self.codec.is_per_record()
     }
 
-    /// Read and CRC-check one compressed block.
-    fn read_block_bytes(&self, block: usize) -> Result<Vec<u8>> {
-        let meta = &self.blocks[block];
-        let mut bytes = vec![0u8; meta.comp_len as usize];
-        self.file.read_exact_at(&mut bytes, meta.file_offset)?;
-        let computed = crc32(&bytes);
-        if computed != meta.crc {
-            return Err(ArchiveError::CrcMismatch {
-                what: "block",
-                index: block,
-                stored: meta.crc,
-                computed,
-            });
+    /// Whether block `block`'s payload CRC has already been verified by a
+    /// previous fetch through this reader.
+    fn crc_already_verified(&self, block: usize) -> bool {
+        self.verified[block / 64].load(Ordering::Relaxed) & (1u64 << (block % 64)) != 0
+    }
+
+    /// Fetch the compressed bytes of one block: borrowed from the mapping
+    /// on the mmap backend (zero copy), copied into an owned buffer on
+    /// pread. The payload CRC is verified on the **first** fetch of each
+    /// block and skipped afterwards — sound because segment files are
+    /// immutable once written (they are only ever unlinked, never
+    /// modified), so a block that checked out once cannot change.
+    pub fn block_bytes(&self, block: usize) -> Result<Cow<'_, [u8]>> {
+        let meta = self
+            .blocks
+            .get(block)
+            .ok_or_else(|| ArchiveError::Corrupt {
+                context: format!("block {block} out of range ({} blocks)", self.blocks.len()),
+            })?;
+        let bytes = self
+            .source
+            .bytes_at(meta.file_offset, meta.comp_len as usize, "block")?;
+        if let Cow::Owned(copied) = &bytes {
+            self.obs.bytes_copied.add(copied.len() as u64);
+        }
+        if !self.crc_already_verified(block) {
+            let computed = crc32(&bytes);
+            if computed != meta.crc {
+                return Err(ArchiveError::CrcMismatch {
+                    what: "block",
+                    index: block,
+                    stored: meta.crc,
+                    computed,
+                });
+            }
+            self.verified[block / 64].fetch_or(1u64 << (block % 64), Ordering::Relaxed);
         }
         Ok(bytes)
     }
@@ -250,17 +373,11 @@ impl SegmentReader {
 
     /// Decompress a whole block into its entries.
     pub fn read_block(&self, block: usize) -> Result<Vec<Entry>> {
-        let meta = self
-            .blocks
-            .get(block)
-            .ok_or_else(|| ArchiveError::Corrupt {
-                context: format!("block {block} out of range ({} blocks)", self.blocks.len()),
-            })?;
-        let bytes = self.read_block_bytes(block)?;
+        let bytes = self.block_bytes(block)?;
         let timer = self.obs.decode_ns.start_timer();
         let entries = self
             .block_codec(block)?
-            .decompress_block(&bytes, meta.record_count as usize);
+            .decompress_block(&bytes, self.blocks[block].record_count as usize);
         timer.observe();
         self.obs.blocks_decoded.inc();
         entries
@@ -283,7 +400,7 @@ impl SegmentReader {
     pub fn get_entry(&self, i: u64) -> Result<Entry> {
         let block = self.block_of(i)?;
         let within = (i - self.starts[block]) as usize;
-        let bytes = self.read_block_bytes(block)?;
+        let bytes = self.block_bytes(block)?;
         self.block_codec(block)?
             .entry_at(&bytes, within, self.blocks[block].record_count as usize)
     }
@@ -340,7 +457,7 @@ impl SegmentReader {
         // interval contains the key; duplicates may straddle block borders,
         // so for last-wins semantics scan the range back to front.
         for block in self.candidate_blocks_for_key(key)?.rev() {
-            let bytes = self.read_block_bytes(block)?;
+            let bytes = self.block_bytes(block)?;
             let hit = self.block_codec(block)?.find_by_key(
                 &bytes,
                 key,

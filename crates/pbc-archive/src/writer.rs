@@ -49,6 +49,10 @@ pub struct SegmentConfig {
     /// For [`CodecSpec::Auto`]: how many blocks, spread evenly across the
     /// buffered window, the trial selection samples (at most 4 by default).
     pub auto_sample_blocks: usize,
+    /// How readers opened against this segment fetch bytes (carried here so
+    /// hosts that embed a `SegmentConfig` — e.g. `pbc-tier` — pick one knob
+    /// for both writing and reopening). The writer itself ignores it.
+    pub read_mode: crate::ReadMode,
 }
 
 impl Default for SegmentConfig {
@@ -60,6 +64,7 @@ impl Default for SegmentConfig {
             workers: 1,
             auto_sample_window: 16,
             auto_sample_blocks: 4,
+            read_mode: crate::ReadMode::Auto,
         }
     }
 }
@@ -76,6 +81,12 @@ impl SegmentConfig {
     /// Convenience: set the worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Convenience: set the read mode used when reopening this segment.
+    pub fn with_read_mode(mut self, read_mode: crate::ReadMode) -> Self {
+        self.read_mode = read_mode;
         self
     }
 

@@ -6,7 +6,7 @@
 //!
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
-//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal
+//!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal readpath
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -89,6 +89,7 @@ fn main() {
                 "scans",
                 "obs",
                 "wal",
+                "readpath",
             ]
             .into_iter()
             .map(String::from)
@@ -110,7 +111,8 @@ fn print_usage() {
     println!(
         "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
-         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal all quick"
+         fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal \
+         readpath all quick"
     );
 }
 
@@ -283,6 +285,10 @@ fn run_experiment(name: &str, scale: f64) {
         "scans" => println!("{}", pbc_bench::scans::scans_throughput(scale).render()),
         "obs" => println!("{}", pbc_bench::obs::obs_throughput(scale).render()),
         "wal" => println!("{}", pbc_bench::wal::wal_throughput(scale).render()),
+        "readpath" => println!(
+            "{}",
+            pbc_bench::readpath::readpath_throughput(scale).render()
+        ),
         other => die(&format!("unknown experiment '{other}'")),
     }
     eprintln!(

@@ -26,9 +26,12 @@
 //! | Range-scan throughput + bytes/row (beyond the paper) | [`scans::scans_throughput`] |
 //! | Observability: exported percentiles + overhead (beyond the paper) | [`obs::obs_throughput`] |
 //! | WAL durability ladder + group commit (beyond the paper) | [`wal::wal_throughput`] |
+//! | Read path: pread vs mmap, LRU vs 2Q, decode tables (beyond the paper) | [`readpath::readpath_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
+
+#![forbid(unsafe_code)]
 
 pub mod archive;
 pub mod compaction;
@@ -38,6 +41,7 @@ pub mod figures;
 pub mod leveling;
 pub mod measure;
 pub mod obs;
+pub mod readpath;
 pub mod report;
 pub mod scans;
 pub mod tier;

@@ -248,6 +248,151 @@ impl DecodeTable {
     }
 }
 
+/// First-level table bits for the table-driven decoder — chosen by the
+/// `readpath` repro sweep (`repro --experiment readpath` prints ns/byte for
+/// table sizes around this value): 11 bits covers every code the encoder
+/// emits on realistic skew while keeping the table at 2K entries (4 KiB,
+/// comfortably L1-resident); larger tables measured no faster and evict
+/// more of the caller's working set.
+pub const DEFAULT_DECODE_BITS: u8 = 11;
+
+/// Two-level decode structure for the table-driven fast path: a
+/// `2^bits`-entry first-level table resolves every code of ≤ `bits` bits in
+/// one lookup; rarer longer codes escape to a canonical per-length search.
+struct FastDecodeTable {
+    /// First-level table size in bits (1..=[`MAX_CODE_LEN`]).
+    bits: u8,
+    /// `entries[prefix] = (symbol, len)`; `len == 0` marks an escape —
+    /// either a code longer than `bits` or an invalid prefix.
+    entries: Vec<(u8, u8)>,
+    /// `first_code[len]` = canonical code value of the first code of each
+    /// length (the canonical construction assigns codes in (length, symbol)
+    /// order, so codes of one length form one contiguous value range).
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    /// Number of codes of each length.
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    /// `offset[len]` = index into `symbols` of the first symbol of `len`.
+    offset: [u32; MAX_CODE_LEN as usize + 1],
+    /// All coded symbols in canonical (length, symbol) order.
+    symbols: Vec<u8>,
+}
+
+impl FastDecodeTable {
+    fn build(table: &HuffmanTable, bits: u8) -> Self {
+        let bits = bits.clamp(1, MAX_CODE_LEN);
+        let mut entries = vec![(0u8, 0u8); 1usize << bits];
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        for symbol in 0..ALPHABET {
+            let len = table.lengths[symbol];
+            if len == 0 {
+                continue;
+            }
+            count[len as usize] += 1;
+            if len <= bits {
+                let code = table.codes[symbol] as usize;
+                let shift = bits - len;
+                let start = code << shift;
+                let end = (code + 1) << shift;
+                for entry in entries.iter_mut().take(end).skip(start) {
+                    *entry = (symbol as u8, len);
+                }
+            }
+        }
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut offset = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        let mut total = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            first_code[len] = code;
+            offset[len] = total;
+            code = (code + count[len]) << 1;
+            total += count[len];
+        }
+        let mut symbols: Vec<u8> = (0..ALPHABET as u16)
+            .filter(|&s| table.lengths[s as usize] > 0)
+            .map(|s| s as u8)
+            .collect();
+        symbols.sort_by_key(|&s| (table.lengths[s as usize], s));
+        FastDecodeTable {
+            bits,
+            entries,
+            first_code,
+            count,
+            offset,
+            symbols,
+        }
+    }
+
+    /// Resolve a code longer than `self.bits` from a [`MAX_CODE_LEN`]-bit
+    /// peek via the canonical per-length ranges.
+    #[inline]
+    fn decode_long(&self, peek: u32) -> Result<(u8, u8)> {
+        for len in (self.bits + 1)..=MAX_CODE_LEN {
+            let code = peek >> (MAX_CODE_LEN - len);
+            let first = self.first_code[len as usize];
+            if code >= first && code - first < self.count[len as usize] {
+                let idx = self.offset[len as usize] + (code - first);
+                return Ok((self.symbols[idx as usize], len));
+            }
+        }
+        Err(CodecError::corrupt("invalid huffman code in stream"))
+    }
+}
+
+/// Word-buffered MSB-first bit cursor for the table-driven decoder. The
+/// top `nbits` bits of `bitbuf` are the next bits of the stream; the bits
+/// below them are always zero, so peeking past the end of the stream
+/// naturally zero-pads — exactly the semantics the branchy decoder gets
+/// from `read_bits(available) << (MAX_CODE_LEN - available)`.
+struct FastBits<'a> {
+    buf: &'a [u8],
+    /// Next byte of `buf` to load into the buffer.
+    next: usize,
+    bitbuf: u64,
+    nbits: u32,
+}
+
+impl<'a> FastBits<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        FastBits {
+            buf,
+            next: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Top up the bit buffer to ≥ 56 valid bits (or the end of the stream).
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.next < self.buf.len() {
+            self.bitbuf |= u64::from(self.buf[self.next]) << (56 - self.nbits);
+            self.next += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Bits of stream left (buffered + not yet loaded).
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.nbits as usize + (self.buf.len() - self.next) * 8
+    }
+
+    /// The next `k` bits, MSB-aligned to the low `k` bits of the result;
+    /// zero-padded past the end of the stream. `k` in 1..=32.
+    #[inline]
+    fn peek(&self, k: u8) -> u64 {
+        self.bitbuf >> (64 - k)
+    }
+
+    /// Drop `n` buffered bits. Callers guarantee `n <= self.nbits`.
+    #[inline]
+    fn consume(&mut self, n: u8) {
+        self.bitbuf <<= n;
+        self.nbits -= u32::from(n);
+    }
+}
+
 /// Compress `input` with a canonical Huffman code trained on its own byte
 /// frequencies. Output layout: varint raw length, 128-byte code-length table,
 /// varint bit count, packed code bits.
@@ -274,11 +419,17 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompress a buffer produced by [`compress`].
-pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+/// Parsed [`compress`] header: the declared raw length plus, for non-empty
+/// streams, the code-length table and the bit-packed payload.
+type ParsedStream<'a> = (usize, Option<(HuffmanTable, &'a [u8])>);
+
+/// Parse the shared header of a [`compress`] buffer: raw length, code
+/// lengths, bit count. Returns `(raw_len, table, payload)`; `raw_len == 0`
+/// short-circuits with an empty table.
+fn parse_stream(input: &[u8]) -> Result<ParsedStream<'_>> {
     let (raw_len, pos) = varint::read_usize(input, 0)?;
     if raw_len == 0 {
-        return Ok(Vec::new());
+        return Ok((0, None));
     }
     let (table, pos) = HuffmanTable::read_lengths(input, pos)?;
     let (bits, pos) = varint::read_u64(input, pos)?;
@@ -288,6 +439,62 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
             context: "huffman payload",
         });
     }
+    Ok((raw_len, Some((table, payload))))
+}
+
+/// Decompress a buffer produced by [`compress`] — the table-driven fast
+/// path at [`DEFAULT_DECODE_BITS`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    decompress_with_table_bits(input, DEFAULT_DECODE_BITS)
+}
+
+/// [`decompress`] with an explicit first-level table size (clamped to
+/// `1..=`[`MAX_CODE_LEN`]). Exposed so the `readpath` repro experiment can
+/// sweep table bits; every size decodes identically, only speed differs.
+pub fn decompress_with_table_bits(input: &[u8], table_bits: u8) -> Result<Vec<u8>> {
+    let (raw_len, parsed) = parse_stream(input)?;
+    let Some((table, payload)) = parsed else {
+        return Ok(Vec::new());
+    };
+    let decode = FastDecodeTable::build(&table, table_bits);
+    let mut out = Vec::with_capacity(raw_len);
+    let mut bits = FastBits::new(payload);
+    while out.len() < raw_len {
+        bits.refill();
+        let remaining = bits.remaining();
+        if remaining == 0 {
+            return Err(CodecError::UnexpectedEof {
+                context: "huffman codes",
+            });
+        }
+        // Codes never exceed MAX_CODE_LEN; near the end of the stream fewer
+        // real bits remain and the peek is zero-padded, so a decoded length
+        // must fit in what is actually left.
+        let available = remaining.min(MAX_CODE_LEN as usize) as u8;
+        let (symbol, len) = decode.entries[bits.peek(decode.bits) as usize];
+        let (symbol, len) = if len != 0 {
+            (symbol, len)
+        } else {
+            decode.decode_long(bits.peek(MAX_CODE_LEN) as u32)?
+        };
+        if len > available {
+            return Err(CodecError::corrupt("invalid huffman code in stream"));
+        }
+        bits.consume(len);
+        out.push(symbol);
+    }
+    Ok(out)
+}
+
+/// The pre-table reference decoder: one flat [`MAX_CODE_LEN`]-bit lookup
+/// per symbol, peeking through a cloned [`BitReader`]. Kept as the
+/// differential-testing and benchmarking baseline for the table-driven
+/// fast path ([`decompress`] must produce byte-identical output).
+pub fn decompress_branchy(input: &[u8]) -> Result<Vec<u8>> {
+    let (raw_len, parsed) = parse_stream(input)?;
+    let Some((table, payload)) = parsed else {
+        return Ok(Vec::new());
+    };
     let decode = DecodeTable::build(&table);
     let mut out = Vec::with_capacity(raw_len);
     let mut reader = BitReader::new(payload);
@@ -439,5 +646,75 @@ mod tests {
         }
         let compressed = compress(&data);
         assert_eq!(decompress(&compressed).unwrap(), data);
+    }
+
+    /// A few corpora with very different code-length shapes: flat 8-bit
+    /// codes, extreme skew (1-bit hot symbol + long tails), and mixed text.
+    fn differential_corpora() -> Vec<Vec<u8>> {
+        let mut skewed = vec![b'a'; 20_000];
+        for i in 0..ALPHABET {
+            skewed.extend(std::iter::repeat_n(i as u8, i % 5 + 1));
+        }
+        let mut lcg = 0x2545_f491_4f6c_dd1du64;
+        let noisy: Vec<u8> = (0..8_192)
+            .map(|_| {
+                lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (lcg >> 33) as u8
+            })
+            .collect();
+        vec![
+            b"the quick brown fox jumps over the lazy dog".repeat(50),
+            skewed,
+            noisy,
+            (0..=255u8).cycle().take(4_096).collect(),
+            b"x".repeat(3_000),
+            b"ab".repeat(1_500),
+        ]
+    }
+
+    #[test]
+    fn table_driven_decoders_agree_with_branchy_at_every_table_size() {
+        for data in differential_corpora() {
+            let compressed = compress(&data);
+            let branchy = decompress_branchy(&compressed).unwrap();
+            assert_eq!(branchy, data);
+            for bits in 1..=MAX_CODE_LEN {
+                assert_eq!(
+                    decompress_with_table_bits(&compressed, bits).unwrap(),
+                    branchy,
+                    "table bits {bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_and_branchy_decoders_reject_the_same_corrupt_streams() {
+        let data = b"hello hello hello hello hello hello hello".to_vec();
+        let good = compress(&data);
+        // Truncations at every point of the payload, plus single bit flips:
+        // the two decoders must agree that each stream is bad (the exact
+        // error message may differ, failing at all must not).
+        for cut in (good.len() - 6)..good.len() {
+            let mut bad = good.clone();
+            bad.truncate(cut);
+            assert_eq!(
+                decompress_branchy(&bad).is_err(),
+                decompress(&bad).is_err(),
+                "truncation at {cut}"
+            );
+        }
+        for byte in 0..good.len() {
+            for bit in [0u8, 4] {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                let (a, b) = (decompress_branchy(&bad), decompress(&bad));
+                match (a, b) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "flip {byte}/{bit}"),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("decoders disagree on flip {byte}/{bit}: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 }

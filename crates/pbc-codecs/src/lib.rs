@@ -41,6 +41,8 @@
 //! assert_eq!(codec.decompress(&compressed).unwrap(), data);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bitstream;
 pub mod dict;
 pub mod error;

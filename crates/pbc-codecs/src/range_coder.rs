@@ -32,6 +32,7 @@ impl BitModel {
         Self::default()
     }
 
+    #[inline]
     fn update(&mut self, bit: u8) {
         if bit == 0 {
             self.0 += ((1 << PROB_BITS) - u32::from(self.0)) as u16 >> MOVE_BITS;
@@ -164,6 +165,7 @@ impl<'a> RangeDecoder<'a> {
         Ok(dec)
     }
 
+    #[inline]
     fn next_byte(&mut self) -> u8 {
         let b = self.input.get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
@@ -171,6 +173,13 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decode one bit under the given adaptive model.
+    ///
+    /// Unlike the huffman path, this loop cannot be table-driven: the
+    /// probability (and with it the `bound` split point) mutates after
+    /// every single bit, so there is no static code→symbol mapping to
+    /// precompute. The fast-path work here is keeping the per-bit state
+    /// machine inlined into the `lzmalike` decode loops.
+    #[inline]
     pub fn decode_bit(&mut self, model: &mut BitModel) -> u8 {
         let bound = (self.range >> PROB_BITS) * u32::from(model.0);
         let bit = if self.code < bound {
@@ -190,6 +199,7 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decode `bits` direct bits (fixed probability 0.5), MSB first.
+    #[inline]
     pub fn decode_direct(&mut self, bits: u32) -> u32 {
         let mut value = 0u32;
         for _ in 0..bits {
@@ -210,6 +220,7 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decode a bit-tree coded value of `bits` bits.
+    #[inline]
     pub fn decode_bittree(&mut self, models: &mut [BitModel], bits: u32) -> u32 {
         debug_assert!(models.len() >= (1 << bits));
         let mut node = 1usize;

@@ -45,8 +45,20 @@ pub fn encoded_len(value: u64) -> usize {
 
 /// Read an unsigned LEB128 varint from `input` starting at `pos`.
 ///
-/// Returns `(value, new_pos)`.
-pub fn read_u64(input: &[u8], mut pos: usize) -> Result<(u64, usize)> {
+/// Returns `(value, new_pos)`. The one-byte case (values < 128 — block
+/// entry framing, literal/match lengths in the LZ-family decoders) is a
+/// branch-free-ish fast path; longer encodings take the cold loop.
+#[inline]
+pub fn read_u64(input: &[u8], pos: usize) -> Result<(u64, usize)> {
+    match input.get(pos) {
+        Some(&byte) if byte < 0x80 => Ok((u64::from(byte), pos + 1)),
+        Some(_) => read_u64_multibyte(input, pos),
+        None => Err(CodecError::UnexpectedEof { context: "varint" }),
+    }
+}
+
+/// Continuation-byte decode loop behind [`read_u64`]'s fast path.
+fn read_u64_multibyte(input: &[u8], mut pos: usize) -> Result<(u64, usize)> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
@@ -66,6 +78,7 @@ pub fn read_u64(input: &[u8], mut pos: usize) -> Result<(u64, usize)> {
 }
 
 /// Read a varint and narrow it to `usize`.
+#[inline]
 pub fn read_usize(input: &[u8], pos: usize) -> Result<(usize, usize)> {
     let (v, p) = read_u64(input, pos)?;
     Ok((v as usize, p))

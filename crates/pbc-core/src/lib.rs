@@ -41,6 +41,8 @@
 //! assert_eq!(pbc.decompress(&compressed).unwrap(), records[250]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod clustering;
 pub mod compressor;

@@ -22,6 +22,8 @@
 //! All generators are seeded and deterministic, so experiment runs are
 //! reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod kv;
 pub mod logs;

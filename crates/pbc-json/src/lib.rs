@@ -22,6 +22,8 @@
 //! numbers are obtained by the benchmark harness by concatenating encoded
 //! records and applying a block compressor.
 
+#![forbid(unsafe_code)]
+
 pub mod binpack;
 pub mod error;
 pub mod ionlike;

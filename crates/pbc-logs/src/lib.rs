@@ -19,6 +19,8 @@
 //! comparable ratio on logs, but no random access and no applicability to
 //! non-log data.
 
+#![forbid(unsafe_code)]
+
 pub mod drain;
 pub mod logreducer;
 pub mod template;

@@ -17,6 +17,8 @@
 //! * [`block`] — block-wise storage used by the Figure 5 lookup experiment;
 //! * [`workload`] — a single-threaded SET/GET driver measuring throughput.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod engine;
 pub mod store;

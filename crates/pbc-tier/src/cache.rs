@@ -1,10 +1,32 @@
-//! LRU block cache for cold reads.
+//! Scan-resistant block cache for cold reads.
 //!
 //! LeCo's lesson (PAPERS.md) is that lightweight per-block codecs pay off
 //! when random access stays cheap through a block-granular cache: a cold
 //! `get` decodes a whole ~64 KiB block anyway, so keeping the decoded block
 //! around makes the next hit on it free. Capacity is accounted in decoded
 //! **bytes**, not block count, so mixed block sizes cannot blow the budget.
+//!
+//! # Replacement policy: 2Q
+//!
+//! A pure LRU has a failure mode this store actively triggers: a wide
+//! `range_scan` streams every candidate block through the cache exactly
+//! once, and under LRU each of those single-use blocks lands at the MRU
+//! position — flushing the point-lookup working set. The default
+//! [`CachePolicy::TwoQ`] splits the budget into two recency queues:
+//!
+//! ```text
+//!   insert ──► [ probation (≤ ¼ capacity) ] ──evict──► gone
+//!                     │ re-referenced
+//!                     ▼ promote
+//!              [ protected (rest) ] ──over target──► demoted to probation MRU
+//! ```
+//!
+//! Every admission enters **probation**; a block only reaches **protected**
+//! by being referenced again while still resident. Capacity evictions take
+//! the probation LRU first, so a scan's one-touch blocks churn through the
+//! small probationary region and the re-referenced hot set in protected
+//! survives. [`CachePolicy::Lru`] (inserts go straight to protected, no
+//! promotion) is kept for comparison in the `readpath` repro experiment.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -16,48 +38,128 @@ use pbc_obs::Counter;
 /// Cache key: `(segment id, block index)`.
 pub type BlockKey = (u64, usize);
 
+/// Replacement policy for a [`BlockCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Scan-resistant two-queue policy (the default): admissions are
+    /// probationary and must be re-referenced to reach the protected
+    /// region; evictions drain probation first.
+    #[default]
+    TwoQ,
+    /// Classic least-recently-used: every insert is immediately as
+    /// protected as a re-referenced block. A single wide scan evicts the
+    /// point-lookup working set — kept as the baseline policy.
+    Lru,
+}
+
+/// Fraction of capacity reserved for the probationary queue under
+/// [`CachePolicy::TwoQ`]: ¼, the classic 2Q "Kin" sizing.
+const PROBATION_FRACTION: usize = 4;
+
 /// A decoded block kept by the cache.
 struct Slot {
     entries: Arc<Vec<Entry>>,
     bytes: usize,
-    /// LRU tick of the most recent touch; also this slot's key in the
-    /// recency index.
+    /// Recency tick of the most recent touch; also this slot's key in its
+    /// queue's recency index.
     tick: u64,
+    /// Which queue the slot currently lives in.
+    protected: bool,
 }
 
 #[derive(Default)]
 struct CacheInner {
     map: HashMap<BlockKey, Slot>,
-    /// Recency index: tick -> block. Ticks are unique, so the smallest
-    /// entry is always the least recently used block.
-    by_recency: BTreeMap<u64, BlockKey>,
-    bytes: usize,
+    /// Probationary recency index: tick -> block. Ticks are unique, so the
+    /// smallest entry is always the least recently used block.
+    probation: BTreeMap<u64, BlockKey>,
+    /// Protected recency index.
+    protected: BTreeMap<u64, BlockKey>,
+    probation_bytes: usize,
+    protected_bytes: usize,
     tick: u64,
 }
 
-/// A shared, thread-safe LRU cache of decoded blocks with byte-capacity
-/// eviction and hit/miss/eviction counters.
+impl CacheInner {
+    fn total_bytes(&self) -> usize {
+        self.probation_bytes + self.protected_bytes
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Remove `key` wherever it lives, fixing queue byte accounting.
+    fn remove(&mut self, key: &BlockKey) -> Option<Slot> {
+        let slot = self.map.remove(key)?;
+        if slot.protected {
+            self.protected.remove(&slot.tick);
+            self.protected_bytes -= slot.bytes;
+        } else {
+            self.probation.remove(&slot.tick);
+            self.probation_bytes -= slot.bytes;
+        }
+        Some(slot)
+    }
+
+    /// Demote the protected LRU block to the probation MRU position.
+    fn demote_protected_lru(&mut self) {
+        let (&lru_tick, &lru_key) = self
+            .protected
+            .iter()
+            .next()
+            .expect("caller checked protected is non-empty");
+        self.protected.remove(&lru_tick);
+        let tick = self.next_tick();
+        let slot = self.map.get_mut(&lru_key).expect("index and map agree");
+        slot.protected = false;
+        slot.tick = tick;
+        let bytes = slot.bytes;
+        self.protected_bytes -= bytes;
+        self.probation_bytes += bytes;
+        self.probation.insert(tick, lru_key);
+    }
+}
+
+/// A shared, thread-safe cache of decoded blocks with byte-capacity
+/// eviction, a scan-resistant [`CachePolicy`], and
+/// hit/miss/eviction/admission counters.
 pub struct BlockCache {
     capacity: usize,
+    /// Byte budget of the protected queue under 2Q; probation gets the
+    /// rest. Unused under [`CachePolicy::Lru`].
+    protected_target: usize,
+    policy: CachePolicy,
     inner: Mutex<CacheInner>,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
     invalidations: Counter,
+    admissions: Counter,
+    promotions: Counter,
+    probation_evictions: Counter,
 }
 
-/// The four counters a [`BlockCache`] records into, so callers with a
-/// metrics registry can hand the cache registry-backed handles.
+/// The counters a [`BlockCache`] records into, so callers with a metrics
+/// registry can hand the cache registry-backed handles.
 #[derive(Clone, Debug, Default)]
 pub struct CacheCounters {
     /// Lookups that found the block cached.
     pub hits: Counter,
     /// Lookups that did not.
     pub misses: Counter,
-    /// Blocks evicted under capacity pressure.
+    /// Blocks evicted under capacity pressure (either queue).
     pub evictions: Counter,
     /// Blocks dropped because their segment was retired.
     pub invalidations: Counter,
+    /// Blocks admitted into the cache (2Q: into probation).
+    pub admissions: Counter,
+    /// Probationary blocks promoted to protected on re-reference.
+    pub promotions: Counter,
+    /// Capacity evictions that took a probationary block — the scan-churn
+    /// share of `evictions`.
+    pub probation_evictions: Counter,
 }
 
 impl CacheCounters {
@@ -69,6 +171,9 @@ impl CacheCounters {
             misses: Counter::standalone(),
             evictions: Counter::standalone(),
             invalidations: Counter::standalone(),
+            admissions: Counter::standalone(),
+            promotions: Counter::standalone(),
+            probation_evictions: Counter::standalone(),
         }
     }
 }
@@ -78,7 +183,10 @@ impl std::fmt::Debug for BlockCache {
         let inner = self.inner.lock();
         f.debug_struct("BlockCache")
             .field("capacity", &self.capacity)
-            .field("cached_bytes", &inner.bytes)
+            .field("policy", &self.policy)
+            .field("cached_bytes", &inner.total_bytes())
+            .field("probation_bytes", &inner.probation_bytes)
+            .field("protected_bytes", &inner.protected_bytes)
             .field("blocks", &inner.map.len())
             .field("hits", &self.hits.value())
             .field("misses", &self.misses.value())
@@ -98,7 +206,7 @@ pub fn entries_bytes(entries: &[Entry]) -> usize {
 }
 
 impl BlockCache {
-    /// Create a cache bounded to `capacity` decoded bytes (0 disables
+    /// Create a 2Q cache bounded to `capacity` decoded bytes (0 disables
     /// caching: every get misses and nothing is kept). Counts into
     /// standalone counters; use [`BlockCache::with_counters`] to count
     /// into registry-backed handles instead.
@@ -109,13 +217,23 @@ impl BlockCache {
     /// Like [`BlockCache::new`], but recording into the given handles
     /// (typically obtained from a `pbc_obs::MetricsRegistry`).
     pub fn with_counters(capacity: usize, counters: CacheCounters) -> Self {
+        BlockCache::with_policy(capacity, CachePolicy::TwoQ, counters)
+    }
+
+    /// Full constructor: capacity, replacement policy, counter handles.
+    pub fn with_policy(capacity: usize, policy: CachePolicy, counters: CacheCounters) -> Self {
         BlockCache {
             capacity,
+            protected_target: capacity - capacity / PROBATION_FRACTION,
+            policy,
             inner: Mutex::new(CacheInner::default()),
             hits: counters.hits,
             misses: counters.misses,
             evictions: counters.evictions,
             invalidations: counters.invalidations,
+            admissions: counters.admissions,
+            promotions: counters.promotions,
+            probation_evictions: counters.probation_evictions,
         }
     }
 
@@ -124,9 +242,24 @@ impl BlockCache {
         self.capacity
     }
 
+    /// The configured replacement policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
     /// Decoded bytes currently cached (always `<= capacity`).
     pub fn cached_bytes(&self) -> usize {
-        self.inner.lock().bytes
+        self.inner.lock().total_bytes()
+    }
+
+    /// Decoded bytes in the probationary queue (2Q; always 0 under LRU).
+    pub fn probation_bytes(&self) -> usize {
+        self.inner.lock().probation_bytes
+    }
+
+    /// Decoded bytes in the protected queue.
+    pub fn protected_bytes(&self) -> usize {
+        self.inner.lock().protected_bytes
     }
 
     /// Cached blocks.
@@ -169,72 +302,132 @@ impl BlockCache {
         self.invalidations.value()
     }
 
-    /// Look a block up, refreshing its recency on a hit.
-    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<Entry>>> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&key) {
-            Some(slot) => {
-                let old_tick = slot.tick;
-                slot.tick = tick;
-                let entries = Arc::clone(&slot.entries);
-                inner.by_recency.remove(&old_tick);
-                inner.by_recency.insert(tick, key);
-                drop(inner);
-                self.hits.inc();
-                Some(entries)
-            }
-            None => {
-                drop(inner);
-                self.misses.inc();
-                None
-            }
-        }
+    /// Blocks admitted into the cache.
+    pub fn admissions(&self) -> u64 {
+        self.admissions.value()
     }
 
-    /// Insert a decoded block, evicting least-recently-used blocks until the
-    /// byte budget holds. Blocks larger than the whole capacity are not
-    /// cached at all.
+    /// Probationary blocks promoted to protected on re-reference.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.value()
+    }
+
+    /// Capacity evictions that took a probationary block.
+    pub fn probation_evictions(&self) -> u64 {
+        self.probation_evictions.value()
+    }
+
+    /// Look a block up, refreshing its recency on a hit. Under 2Q a
+    /// probationary hit promotes the block to protected (demoting the
+    /// protected LRU back to probation if that overflows the protected
+    /// budget).
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<Entry>>> {
+        let mut promoted = false;
+        let entries = {
+            let mut inner = self.inner.lock();
+            let tick = inner.next_tick();
+            let Some(slot) = inner.map.get_mut(&key) else {
+                drop(inner);
+                self.misses.inc();
+                return None;
+            };
+            let old_tick = slot.tick;
+            let was_protected = slot.protected;
+            let bytes = slot.bytes;
+            let entries = Arc::clone(&slot.entries);
+            slot.tick = tick;
+            match self.policy {
+                _ if was_protected => {
+                    inner.protected.remove(&old_tick);
+                    inner.protected.insert(tick, key);
+                }
+                CachePolicy::TwoQ => {
+                    // Probationary re-reference: promote.
+                    let slot = inner.map.get_mut(&key).expect("present above");
+                    slot.protected = true;
+                    inner.probation.remove(&old_tick);
+                    inner.probation_bytes -= bytes;
+                    inner.protected.insert(tick, key);
+                    inner.protected_bytes += bytes;
+                    promoted = true;
+                    // Promotion moves bytes between queues, never past total
+                    // capacity; only the protected budget needs rebalancing.
+                    while inner.protected_bytes > self.protected_target
+                        && !inner.protected.is_empty()
+                    {
+                        inner.demote_protected_lru();
+                    }
+                }
+                CachePolicy::Lru => {
+                    // LRU keeps everything in one (protected) queue; a
+                    // probationary slot can't exist, but stay robust.
+                    inner.probation.remove(&old_tick);
+                    inner.probation.insert(tick, key);
+                }
+            }
+            entries
+        };
+        self.hits.inc();
+        if promoted {
+            self.promotions.inc();
+        }
+        Some(entries)
+    }
+
+    /// Insert a decoded block, evicting blocks until the byte budget holds
+    /// (probation LRU first under 2Q). Blocks larger than the whole
+    /// capacity are not cached at all.
     pub fn insert(&self, key: BlockKey, entries: Arc<Vec<Entry>>) {
         let bytes = entries_bytes(&entries);
         if bytes > self.capacity {
             return;
         }
         let mut evicted = 0u64;
+        let mut evicted_probation = 0u64;
         {
             let mut inner = self.inner.lock();
             // Replacing an existing slot first keeps accounting exact.
-            if let Some(old) = inner.map.remove(&key) {
-                inner.bytes -= old.bytes;
-                inner.by_recency.remove(&old.tick);
+            inner.remove(&key);
+            let tick = inner.next_tick();
+            // 2Q: all admissions are probationary. LRU: straight to the
+            // protected queue (one flat recency list, no promotion step).
+            let protected = matches!(self.policy, CachePolicy::Lru);
+            if protected {
+                inner.protected.insert(tick, key);
+                inner.protected_bytes += bytes;
+            } else {
+                inner.probation.insert(tick, key);
+                inner.probation_bytes += bytes;
             }
-            while inner.bytes + bytes > self.capacity {
-                let (&lru_tick, &lru_key) = inner
-                    .by_recency
-                    .iter()
-                    .next()
-                    .expect("bytes > 0 implies a resident block");
-                let slot = inner.map.remove(&lru_key).expect("index and map agree");
-                inner.bytes -= slot.bytes;
-                inner.by_recency.remove(&lru_tick);
-                evicted += 1;
-            }
-            inner.tick += 1;
-            let tick = inner.tick;
-            inner.by_recency.insert(tick, key);
             inner.map.insert(
                 key,
                 Slot {
                     entries,
                     bytes,
                     tick,
+                    protected,
                 },
             );
-            inner.bytes += bytes;
+            while inner.total_bytes() > self.capacity {
+                let from_probation = !inner.probation.is_empty();
+                let (&lru_tick, &lru_key) = if from_probation {
+                    inner.probation.iter().next()
+                } else {
+                    inner.protected.iter().next()
+                }
+                .expect("bytes > 0 implies a resident block");
+                let _ = lru_tick;
+                inner.remove(&lru_key).expect("index and map agree");
+                evicted += 1;
+                evicted_probation += u64::from(from_probation);
+            }
         }
+        self.admissions.inc();
         if evicted > 0 {
             self.evictions.add(evicted);
+        }
+        if evicted_probation > 0 {
+            self.probation_evictions.add(evicted_probation);
         }
     }
 
@@ -242,7 +435,7 @@ impl BlockCache {
     /// compaction). Returns how many blocks were dropped. Called on every
     /// retirement so a retired segment's decoded blocks stop occupying
     /// budget the moment it leaves the manifest, instead of lingering
-    /// until natural LRU eviction.
+    /// until natural eviction.
     pub fn evict_segment(&self, segment: u64) -> usize {
         self.evict_segments(std::slice::from_ref(&segment))
     }
@@ -261,9 +454,7 @@ impl BlockCache {
                 .copied()
                 .collect();
             for key in &doomed {
-                let slot = inner.map.remove(key).expect("listed above");
-                inner.bytes -= slot.bytes;
-                inner.by_recency.remove(&slot.tick);
+                inner.remove(key).expect("listed above");
             }
             doomed.len()
         };
@@ -277,8 +468,10 @@ impl BlockCache {
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.map.clear();
-        inner.by_recency.clear();
-        inner.bytes = 0;
+        inner.probation.clear();
+        inner.protected.clear();
+        inner.probation_bytes = 0;
+        inner.protected_bytes = 0;
     }
 }
 
@@ -292,6 +485,10 @@ mod tests {
                 .map(|i| (vec![tag, i as u8], vec![tag; value_len]))
                 .collect(),
         )
+    }
+
+    fn lru_cache(capacity: usize) -> BlockCache {
+        BlockCache::with_policy(capacity, CachePolicy::Lru, CacheCounters::standalone())
     }
 
     #[test]
@@ -323,6 +520,8 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.admissions(), 1);
+        assert_eq!(cache.promotions(), 1, "first re-reference promotes");
         assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
@@ -375,5 +574,117 @@ mod tests {
         cache.insert((3, 0), block(1, 4, 50));
         assert_eq!(cache.cached_bytes(), once);
         assert_eq!(cache.block_count(), 1);
+    }
+
+    #[test]
+    fn admissions_are_probationary_until_rereferenced() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert((1, 0), block(1, 4, 50));
+        assert_eq!(cache.probation_bytes(), cache.cached_bytes());
+        assert_eq!(cache.protected_bytes(), 0);
+        // The re-reference moves exactly this block's bytes across.
+        assert!(cache.get((1, 0)).is_some());
+        assert_eq!(cache.probation_bytes(), 0);
+        assert_eq!(cache.protected_bytes(), cache.cached_bytes());
+        assert_eq!(cache.promotions(), 1);
+        // A second hit on a protected block is not another promotion.
+        assert!(cache.get((1, 0)).is_some());
+        assert_eq!(cache.promotions(), 1);
+    }
+
+    #[test]
+    fn capacity_evictions_take_probation_before_protected() {
+        let one_block = entries_bytes(&block(0, 4, 100));
+        let cache = BlockCache::new(one_block * 4);
+        // Two promoted (hot) blocks, two one-touch (probationary) blocks.
+        cache.insert((1, 0), block(1, 4, 100));
+        cache.insert((1, 1), block(2, 4, 100));
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((1, 1)).is_some());
+        cache.insert((2, 0), block(3, 4, 100));
+        cache.insert((2, 1), block(4, 4, 100));
+        assert_eq!(cache.block_count(), 4);
+        // Two more one-touch inserts: the probationary pair churns, the
+        // promoted pair survives untouched.
+        cache.insert((2, 2), block(5, 4, 100));
+        cache.insert((2, 3), block(6, 4, 100));
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.probation_evictions(), 2, "all victims probationary");
+        assert!(
+            cache.get((1, 0)).is_some(),
+            "protected block survives scans"
+        );
+        assert!(
+            cache.get((1, 1)).is_some(),
+            "protected block survives scans"
+        );
+        assert!(cache.get((2, 0)).is_none(), "one-touch block churned out");
+        assert!(cache.get((2, 1)).is_none(), "one-touch block churned out");
+    }
+
+    #[test]
+    fn protected_overflow_demotes_its_lru_back_to_probation() {
+        let one_block = entries_bytes(&block(0, 4, 100));
+        // Capacity of 4 blocks → protected budget 3 blocks.
+        let cache = BlockCache::new(one_block * 4);
+        for b in 0..4usize {
+            cache.insert((1, b), block(b as u8 + 1, 4, 100));
+        }
+        // Promote all four: the fourth promotion overflows protected and
+        // demotes its LRU, (1, 0), back to probation.
+        for b in 0..4usize {
+            assert!(cache.get((1, b)).is_some());
+        }
+        assert_eq!(cache.promotions(), 4);
+        assert_eq!(cache.protected_bytes(), one_block * 3);
+        assert_eq!(cache.probation_bytes(), one_block);
+        assert_eq!(cache.block_count(), 4, "demotion never drops a block");
+        // The demoted block is the next capacity victim...
+        cache.insert((9, 0), block(9, 4, 100));
+        assert!(cache.get((1, 0)).is_none(), "demoted LRU evicted first");
+        // ...while the still-protected blocks survive.
+        for b in 1..4usize {
+            assert!(cache.get((1, b)).is_some(), "block {b} stays protected");
+        }
+    }
+
+    #[test]
+    fn byte_accounting_balances_across_queues_under_churn() {
+        let cache = BlockCache::new(8 * entries_bytes(&block(0, 4, 64)));
+        for round in 0..6u64 {
+            for b in 0..12usize {
+                cache.insert((round, b), block(b as u8, 4, 64));
+                if b % 3 == 0 {
+                    let _ = cache.get((round, b));
+                }
+            }
+        }
+        let inner_total = cache.cached_bytes();
+        assert_eq!(
+            cache.probation_bytes() + cache.protected_bytes(),
+            inner_total
+        );
+        assert!(inner_total <= cache.capacity());
+        assert_eq!(
+            cache.admissions(),
+            cache.evictions() + cache.block_count() as u64,
+            "every admitted block is either resident or was evicted"
+        );
+    }
+
+    #[test]
+    fn pure_lru_policy_promotes_nothing_and_scans_evict_hot_blocks() {
+        let one_block = entries_bytes(&block(0, 4, 100));
+        let cache = lru_cache(one_block * 2 + 1);
+        cache.insert((1, 0), block(1, 4, 100));
+        assert!(cache.get((1, 0)).is_some());
+        assert_eq!(cache.promotions(), 0, "LRU has no promotion step");
+        assert_eq!(cache.probation_bytes(), 0, "LRU keeps one flat queue");
+        // A "scan" of one-touch blocks flushes the previously-hot block —
+        // the behaviour 2Q exists to prevent.
+        cache.insert((2, 0), block(2, 4, 100));
+        cache.insert((2, 1), block(3, 4, 100));
+        assert!(cache.get((1, 0)).is_none(), "LRU let the scan evict it");
+        assert_eq!(cache.probation_evictions(), 0);
     }
 }

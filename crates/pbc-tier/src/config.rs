@@ -3,10 +3,11 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use pbc_archive::SegmentConfig;
+use pbc_archive::{ReadMode, SegmentConfig};
 use pbc_store::ValueCodec;
 use pbc_wal::Durability;
 
+use crate::cache::CachePolicy;
 use crate::planner::PlannerConfig;
 
 /// Write-ahead-log knobs for a [`crate::TieredStore`] (see
@@ -87,6 +88,11 @@ pub struct TierConfig {
     pub spill_target_fraction: f64,
     /// Byte capacity of the read-through block cache (0 disables caching).
     pub cache_capacity_bytes: usize,
+    /// Replacement policy of the block cache. The default
+    /// [`CachePolicy::TwoQ`] keeps the point-lookup working set resident
+    /// across wide range scans; [`CachePolicy::Lru`] is the pre-2Q
+    /// behavior, kept for comparison.
+    pub cache_policy: CachePolicy,
     /// How spill and compaction segments are written (block size, codec
     /// selection, workers).
     pub segment: SegmentConfig,
@@ -147,6 +153,7 @@ impl TierConfig {
             memory_watermark_bytes: 64 * 1024 * 1024,
             spill_target_fraction: 0.5,
             cache_capacity_bytes: 8 * 1024 * 1024,
+            cache_policy: CachePolicy::default(),
             segment: SegmentConfig::default(),
             hot_codec: ValueCodec::None,
             reuse_spill_codec: true,
@@ -169,6 +176,21 @@ impl TierConfig {
     /// Set the block cache capacity in bytes.
     pub fn with_cache_capacity(mut self, bytes: usize) -> Self {
         self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Set the block cache's replacement policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Set how segment files are read back: memory-mapped, positioned
+    /// reads, or (the default) mmap with automatic pread fallback. Stored
+    /// on [`TierConfig::segment`] and applied to every segment the store
+    /// opens — spill outputs, compaction outputs, and the boot-time scan.
+    pub fn with_read_mode(mut self, read_mode: ReadMode) -> Self {
+        self.segment.read_mode = read_mode;
         self
     }
 

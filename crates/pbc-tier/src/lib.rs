@@ -100,6 +100,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod compact;
@@ -112,12 +113,13 @@ pub mod planner;
 pub mod scan;
 pub mod store;
 
-pub use cache::{BlockCache, BlockKey, CacheCounters};
+pub use cache::{BlockCache, BlockKey, CacheCounters, CachePolicy};
 pub use compact::{MergeOutcome, MergeOutput};
 pub use config::{TierConfig, WalOptions};
 pub use error::{Result, TierError};
 pub use manifest::{Manifest, ManifestEntry, SegmentStatsRecord};
 pub use obs::BackgroundErrorRecord;
+pub use pbc_archive::ReadMode;
 pub use pbc_wal::{CheckpointSummary, Durability, RecoveryReport, WalStats};
 pub use planner::{
     CompactionJob, CompactionPlanner, KeyRange, PlannerConfig, SegmentStats, LEVEL_L0, LEVEL_L1,

@@ -137,6 +137,7 @@ impl TierObs {
             reader: ReaderObs {
                 blocks_decoded: counter("pbc_archive_blocks_decoded_total"),
                 decode_ns: histogram("pbc_archive_block_decode_ns"),
+                bytes_copied: counter("pbc_archive_bytes_copied_total"),
             },
             writer: WriterObs {
                 blocks_encoded: counter("pbc_archive_blocks_encoded_total"),
@@ -158,13 +159,18 @@ impl TierObs {
         pbc_wal::WalObs::new(&self.registry, Some(Arc::clone(&self.trace)))
     }
 
-    /// Registry-backed handles for the block cache's four counters.
+    /// Registry-backed handles for the block cache's counters.
     pub(crate) fn cache_counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.registry.counter("pbc_tier_cache_hits_total"),
             misses: self.registry.counter("pbc_tier_cache_misses_total"),
             evictions: self.registry.counter("pbc_tier_cache_evictions_total"),
             invalidations: self.registry.counter("pbc_tier_cache_invalidations_total"),
+            admissions: self.registry.counter("pbc_tier_cache_admissions_total"),
+            promotions: self.registry.counter("pbc_tier_cache_promotions_total"),
+            probation_evictions: self
+                .registry
+                .counter("pbc_tier_cache_probation_evictions_total"),
         }
     }
 

@@ -608,7 +608,7 @@ impl TieredStore {
         let mut max_id = 0u64;
         for entry in &manifest.segments {
             let path = config.dir.join(&entry.file_name);
-            let mut reader = SegmentReader::open(&path)?;
+            let mut reader = SegmentReader::open_with(&path, config.segment.read_mode)?;
             reader.set_obs(obs.reader.clone());
             max_id = max_id.max(entry.id);
             // v2+ manifests carry the stats; a v1 manifest (or a line
@@ -695,7 +695,11 @@ impl TieredStore {
             }
             None => (None, None),
         };
-        let cache = BlockCache::with_counters(config.cache_capacity_bytes, obs.cache_counters());
+        let cache = BlockCache::with_policy(
+            config.cache_capacity_bytes,
+            config.cache_policy,
+            obs.cache_counters(),
+        );
         let planner = CompactionPlanner::new(config.planner.clone());
         let background = config.background_compaction;
         let inner = Arc::new(TierInner {
@@ -1082,10 +1086,8 @@ impl TierInner {
         // write that was never acknowledged.
         let stored = match &self.wal {
             Some(wal) => {
-                wal.append_put_with(key, value, || {
-                    self.hot.set_and_clear_tombstone(key, value)
-                })?
-                .0
+                wal.append_put_with(key, value, || self.hot.set_and_clear_tombstone(key, value))?
+                    .0
             }
             None => self.hot.set_and_clear_tombstone(key, value),
         };
@@ -1611,7 +1613,7 @@ impl TierInner {
         // fsynced the file) — never from a re-stat whose transient failure
         // would silently record a 0-byte segment.
         let segment = match written.and_then(|summary| {
-            SegmentReader::open(&path)
+            SegmentReader::open_with(&path, self.config.segment.read_mode)
                 .map(|mut r| {
                     r.set_obs(self.obs.reader.clone());
                     (summary, r)
@@ -1997,15 +1999,16 @@ impl TierInner {
         // names any of them yet, so remove them all.
         let mut replacements: Vec<Arc<ColdSegment>> = Vec::with_capacity(outcome.outputs.len());
         for output in &outcome.outputs {
-            let mut reader = match SegmentReader::open(&output.path) {
-                Ok(reader) => reader,
-                Err(e) => {
-                    for output in &outcome.outputs {
-                        let _ = std::fs::remove_file(&output.path);
+            let mut reader =
+                match SegmentReader::open_with(&output.path, self.config.segment.read_mode) {
+                    Ok(reader) => reader,
+                    Err(e) => {
+                        for output in &outcome.outputs {
+                            let _ = std::fs::remove_file(&output.path);
+                        }
+                        return Err(e.into());
                     }
-                    return Err(e.into());
-                }
-            };
+                };
             reader.set_obs(self.obs.reader.clone());
             replacements.push(Arc::new(ColdSegment {
                 id: output.id,

@@ -256,8 +256,13 @@ mod tests {
         assert!(removed > 0, "shard 3 held at least its active segment");
 
         let mut state = BTreeMap::new();
-        let (wal, report) =
-            Wal::open(config.clone(), WalObs::default(), 0, replay_into(&mut state)).unwrap();
+        let (wal, report) = Wal::open(
+            config.clone(),
+            WalObs::default(),
+            0,
+            replay_into(&mut state),
+        )
+        .unwrap();
         assert!(report.records_replayed > 0);
         // The empty shard accepts fresh appends and a further reopen
         // still agrees on the count.
@@ -351,7 +356,10 @@ mod tests {
         let mut state = BTreeMap::new();
         let (_wal, report) =
             Wal::open(config, WalObs::default(), 0, replay_into(&mut state)).unwrap();
-        assert_eq!(report.records_replayed, 2, "the ghost delete never hit the log");
+        assert_eq!(
+            report.records_replayed, 2,
+            "the ghost delete never hit the log"
+        );
         assert!(state.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }

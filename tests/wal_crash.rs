@@ -275,8 +275,7 @@ fn concurrent_same_key_writes_replay_to_the_live_state() {
         // Durability::None keeps the race tight (no fsync serialization
         // stretching the windows) and this test kills nothing mid-write.
         let live: Vec<(Vec<u8>, Option<Vec<u8>>)> = {
-            let store =
-                Arc::new(TieredStore::open(wal_config(&dir, Durability::None)).unwrap());
+            let store = Arc::new(TieredStore::open(wal_config(&dir, Durability::None)).unwrap());
             let keys = 4usize;
             let handles: Vec<_> = (0..4usize)
                 .map(|t| {
