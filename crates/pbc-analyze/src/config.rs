@@ -1,0 +1,188 @@
+//! `analyze.toml` — the checked-in, reviewable scope of every pass.
+//!
+//! Hand-rolled parser for the small TOML subset the config uses:
+//! `[section]` headers, `key = "string"`, and `key = [ "a", "b" ]`
+//! arrays (single- or multi-line). Anything else is a hard error — the
+//! config is part of the invariant surface and must not silently rot.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed `analyze.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Files allowed to contain the `unsafe` keyword.
+    pub unsafe_allowed_files: Vec<String>,
+    /// Crate roots carrying `#![deny(unsafe_code)]` instead of
+    /// `#![forbid(unsafe_code)]` (needed when one audited module opts
+    /// out via `#[allow]`, which `forbid` would reject).
+    pub unsafe_deny_roots: Vec<String>,
+    /// Modules under the determinism lint (workspace-relative paths).
+    pub determinism_modules: Vec<String>,
+    /// Crates whose sources feed the lock-order analysis.
+    pub lock_order_crates: Vec<String>,
+    /// Crates exempt from the panic-path and dropped-result audits
+    /// (abort-on-failure CLI drivers, not library code).
+    pub panic_exempt_crates: Vec<String>,
+    /// README (workspace-relative) holding the metric-name tables.
+    pub obs_readme: String,
+    /// Crates exempt from the obs-names registration scan.
+    pub obs_exempt_crates: Vec<String>,
+    /// Path prefixes excluded from every pass (fixtures, vendored code).
+    pub exclude_paths: Vec<String>,
+}
+
+/// Load and parse the config file.
+pub fn load(path: &Path) -> Result<Config, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Parse the config from its text.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("analyze.toml:{}: expected `key = value`", n + 1))?;
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: keep consuming until the closing bracket.
+        while value.starts_with('[') && !value.ends_with(']') {
+            let (_, next) = lines
+                .next()
+                .ok_or_else(|| format!("analyze.toml:{}: unterminated array", n + 1))?;
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        let items = parse_value(&value).map_err(|e| format!("analyze.toml:{}: {e}", n + 1))?;
+        if current.is_empty() {
+            return Err(format!("analyze.toml:{}: key outside any [section]", n + 1));
+        }
+        sections
+            .entry(current.clone())
+            .or_default()
+            .insert(key, items);
+    }
+
+    let mut config = Config::default();
+    let mut take = |section: &str, key: &str| -> Vec<String> {
+        sections
+            .get_mut(section)
+            .and_then(|s| s.remove(key))
+            .unwrap_or_default()
+    };
+    config.unsafe_allowed_files = take("unsafe", "allowed_files");
+    config.unsafe_deny_roots = take("unsafe", "deny_roots");
+    config.determinism_modules = take("determinism", "modules");
+    config.lock_order_crates = take("lock-order", "crates");
+    config.panic_exempt_crates = take("panic", "exempt_crates");
+    config.obs_readme = take("obs-names", "readme")
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "README.md".to_string());
+    config.obs_exempt_crates = take("obs-names", "exempt_crates");
+    config.exclude_paths = take("workspace", "exclude_paths");
+
+    // Reject unknown keys: a typo'd scope entry must fail loudly, not
+    // silently exempt a module from its lint.
+    for (section, keys) in &sections {
+        if let Some(key) = keys.keys().next() {
+            return Err(format!("analyze.toml: unknown key `{key}` in [{section}]"));
+        }
+        if !matches!(
+            section.as_str(),
+            "unsafe" | "determinism" | "lock-order" | "panic" | "obs-names" | "workspace"
+        ) {
+            return Err(format!("analyze.toml: unknown section [{section}]"));
+        }
+    }
+    Ok(config)
+}
+
+/// `"a"` or `[ "a", "b" ]` → the string items.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse_string)
+            .collect()
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+/// `"text"` → `text`.
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{s}`"))
+}
+
+/// Drop a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let config = parse(
+            r#"
+            # top comment
+            [unsafe]
+            allowed_files = ["a/mmap.rs"] # trailing
+            deny_roots = [
+                "a/lib.rs",  # multi-line
+                "b/lib.rs",
+            ]
+            [determinism]
+            modules = []
+            [obs-names]
+            readme = "README.md"
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(config.unsafe_allowed_files, vec!["a/mmap.rs"]);
+        assert_eq!(config.unsafe_deny_roots, vec!["a/lib.rs", "b/lib.rs"]);
+        assert!(config.determinism_modules.is_empty());
+        assert_eq!(config.obs_readme, "README.md");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(parse("[unsafe]\nallowed = []\n").is_err());
+        assert!(parse("[mystery]\nx = []\n").is_err());
+        assert!(parse("key_without_section = []\n").is_err());
+    }
+}

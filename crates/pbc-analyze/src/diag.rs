@@ -1,0 +1,180 @@
+//! Diagnostics: the lint identifiers, the finding record, and the
+//! text / JSON renderings.
+
+use std::fmt;
+
+/// Every lint the checker can emit, by its stable id. The id doubles
+/// as the suppression key: `// pbc-allow(<id>): <reason>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// `unsafe` outside the audited allowlist, or a crate root missing
+    /// its `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`.
+    Unsafe,
+    /// Nondeterministic construct in a declared deterministic module.
+    Determinism,
+    /// Undeclared or cyclic lock nesting.
+    LockOrder,
+    /// `unwrap()` / `expect()` / `panic!`-family in production code.
+    Panic,
+    /// `let _ =` discarding an `io::Result` (fsyncgate class).
+    DropResult,
+    /// Metric name registered but undocumented, or vice versa.
+    ObsNames,
+    /// Malformed `pbc-allow` / `lock-order` / `lock-wrapper` annotation.
+    Suppression,
+}
+
+impl Lint {
+    /// The stable string id (used in output and as the suppression key).
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::Unsafe => "unsafe",
+            Lint::Determinism => "determinism",
+            Lint::LockOrder => "lock-order",
+            Lint::Panic => "panic",
+            Lint::DropResult => "drop-result",
+            Lint::ObsNames => "obs-names",
+            Lint::Suppression => "suppression",
+        }
+    }
+
+    /// Parse a lint id (for `--lint` filters and `pbc-allow` keys).
+    pub fn from_id(s: &str) -> Option<Lint> {
+        Some(match s {
+            "unsafe" => Lint::Unsafe,
+            "determinism" => Lint::Determinism,
+            "lock-order" => Lint::LockOrder,
+            "panic" => Lint::Panic,
+            "drop-result" => Lint::DropResult,
+            "obs-names" => Lint::ObsNames,
+            "suppression" => Lint::Suppression,
+            _ => return None,
+        })
+    }
+
+    /// Every lint, for `--list-lints` style output.
+    pub fn all() -> &'static [Lint] {
+        &[
+            Lint::Unsafe,
+            Lint::Determinism,
+            Lint::LockOrder,
+            Lint::Panic,
+            Lint::DropResult,
+            Lint::ObsNames,
+            Lint::Suppression,
+        ]
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding, anchored to a workspace-relative file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable description, including the suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(lint: Lint, file: &str, line: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            lint,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// `file:line: [lint] message` — the text-mode rendering.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Render diagnostics (sorted by file, line, lint) as the machine
+/// format: `{"diagnostics": [...], "summary": {...}}`.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (n, d) in diags.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(d.lint.id()),
+            json_string(&d.file),
+            d.line,
+            json_string(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"files_scanned\": {}, \"diagnostics\": {}}}\n}}\n",
+        files_scanned,
+        diags.len()
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for lint in Lint::all() {
+            assert_eq!(Lint::from_id(lint.id()), Some(*lint));
+        }
+        assert_eq!(Lint::from_id("nope"), None);
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![Diagnostic::new(Lint::Panic, "a/b.rs", 3, "say \"hi\"\n")];
+        let json = render_json(&diags, 7);
+        assert!(json.contains("\"say \\\"hi\\\"\\n\""));
+        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"diagnostics\": 1"));
+    }
+
+    #[test]
+    fn empty_json_is_clean() {
+        let json = render_json(&[], 0);
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,355 @@
+//! A minimal Rust lexer: just enough to walk real token boundaries.
+//!
+//! The passes only need identifiers, punctuation, and string-literal
+//! values, with comments and literals reliably *excluded* from code
+//! scans (so `"unwrap()"` inside a string or a doc comment can never
+//! trip the panic-path audit). Comments are collected separately —
+//! they carry the `pbc-allow(...)`, `lock-order:`, and `lock-wrapper:`
+//! annotations.
+
+/// What a token is. Literal *contents* are only retained for strings
+/// (the obs-name pass reads registered metric names out of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_` and raw `r#ident`s).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, ...).
+    Punct,
+    /// String literal (`"..."`, `r"..."`, `b"..."`, `r#"..."#`); the
+    /// token text is the raw literal body, escapes unprocessed.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier/punct text, or the string literal's body.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block) with the line it starts on. Doc
+/// comments are included; the text excludes the comment markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without `//`/`/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Unterminated literals are tolerated (the rest of
+/// the file is swallowed into the literal) — the checker must never
+/// panic on weird input, it reports on what it could read.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            line += b[$range].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: src[start..i].trim_start_matches(['/', '!']).to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: src[start..end].trim_start_matches(['*', '!']).to_string(),
+                });
+            }
+            b'"' => {
+                let (end, text) = cooked_string(b, src, i);
+                bump_lines!(i..end);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                i = end;
+            }
+            b'b' | b'r' if string_prefix(b, i).is_some() => {
+                let (delim, raw) = string_prefix(b, i).unwrap_or((i, false));
+                let (end, text) = if raw {
+                    raw_string(b, src, delim)
+                } else {
+                    cooked_string(b, src, delim)
+                };
+                bump_lines!(i..end);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = b.get(i + 1).copied().unwrap_or(0);
+                let after = b.get(i + 2).copied().unwrap_or(0);
+                if (next.is_ascii_alphabetic() || next == b'_') && after != b'\'' {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += if b[j] == b'\\' { 2 } else { 1 };
+                    }
+                    let end = (j + 1).min(b.len());
+                    bump_lines!(i..end);
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If position `i` starts a prefixed string literal (`b"`, `r"`,
+/// `br"`, `r#"`, `br#"`...), the index of the delimiter — the quote
+/// for cooked strings, the first `#` (or the quote) for raw strings —
+/// and whether the string is raw. `r#ident` (raw identifier) and plain
+/// identifiers return `None`.
+fn string_prefix(b: &[u8], i: usize) -> Option<(usize, bool)> {
+    let mut j = i;
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match b.get(j) {
+            Some(b'b') if !saw_r => j += 1,
+            Some(b'r') => {
+                saw_r = true;
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    match b.get(j) {
+        Some(b'"') => Some((j, saw_r)),
+        Some(b'#') if saw_r => {
+            // `r#...#"` raw string vs `r#ident`: raw strings have only
+            // `#`s between the `r` and the quote.
+            let mut k = j;
+            while b.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            (b.get(k) == Some(&b'"')).then_some((j, true))
+        }
+        _ => None,
+    }
+}
+
+/// Lex a cooked (escaped) string starting at the opening quote.
+/// Returns (index past the closing quote, body text).
+fn cooked_string(b: &[u8], src: &str, quote: usize) -> (usize, String) {
+    let mut j = quote + 1;
+    while j < b.len() && b[j] != b'"' {
+        j += if b[j] == b'\\' { 2 } else { 1 };
+    }
+    let end = (j + 1).min(b.len());
+    (end, src[quote + 1..j.min(b.len())].to_string())
+}
+
+/// Lex a raw string starting at the first `#` or the quote. Returns
+/// (index past the closing delimiter, body text).
+fn raw_string(b: &[u8], src: &str, mut j: usize) -> (usize, String) {
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&b'"'));
+    let body_start = j + 1;
+    let mut k = body_start;
+    'outer: while k < b.len() {
+        if b[k] == b'"' {
+            let mut h = 0;
+            while h < hashes {
+                if b.get(k + 1 + h) != Some(&b'#') {
+                    k += 1;
+                    continue 'outer;
+                }
+                h += 1;
+            }
+            return (k + 1 + hashes, src[body_start..k].to_string());
+        }
+        k += 1;
+    }
+    (b.len(), src[body_start.min(b.len())..].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unwrap() in a comment
+            /* unsafe in a block
+               comment */
+            let x = "unwrap() unsafe"; // trailing
+            let y = r#"panic!("still a string")"#;
+            let z = b"unsafe";
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "unwrap" || i == "unsafe" || i == "panic"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[0].text.contains("unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.iter().any(|i| i == "type"));
+    }
+
+    #[test]
+    fn string_values_and_lines_are_preserved() {
+        let lexed = lex("let a = 1;\nlet m = counter(\"pbc_x_total\");\n");
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("string token");
+        assert_eq!(s.text, "pbc_x_total");
+        assert_eq!(s.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(idents("/* a /* b */ c */ fn f() {}").contains(&"fn".to_string()));
+    }
+}

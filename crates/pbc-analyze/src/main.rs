@@ -1,0 +1,106 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! pbc-analyze --workspace-root <dir> [--config <file>] [--format text|json] [--list-lints]
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or configuration error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pbc_analyze::{config, diag, lint_table, run};
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("pbc-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workspace-root" => {
+                root = PathBuf::from(argv.next().ok_or("--workspace-root needs a path")?);
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(argv.next().ok_or("--config needs a path")?));
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    return Err(format!(
+                        "--format must be `text` or `json`, got `{}`",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--list-lints" => {
+                print!("{}", lint_table());
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: pbc-analyze --workspace-root <dir> [--config <file>] \
+                     [--format text|json] [--list-lints]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("analyze.toml"));
+    let config = config::load(&config_path)?;
+    let report = run(&root, &config)?;
+
+    match format {
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render_text());
+            }
+            if report.diagnostics.is_empty() {
+                eprintln!(
+                    "pbc-analyze: clean ({} files scanned)",
+                    report.files_scanned
+                );
+            } else {
+                eprintln!(
+                    "pbc-analyze: {} finding(s) across {} files",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+            }
+        }
+        Format::Json => {
+            print!(
+                "{}",
+                diag::render_json(&report.diagnostics, report.files_scanned)
+            );
+        }
+    }
+
+    Ok(if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+#[derive(Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}

@@ -1,0 +1,9 @@
+//! The five analysis passes. Each is a pure function from lexed
+//! source (plus config) to diagnostics; `lib.rs` orchestrates them
+//! over the workspace.
+
+pub mod determinism;
+pub mod lockorder;
+pub mod obsnames;
+pub mod panics;
+pub mod unsafe_pass;

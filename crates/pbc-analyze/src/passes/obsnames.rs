@@ -1,0 +1,165 @@
+//! Pass 5 — metric-name consistency.
+//!
+//! Every metric registered through `pbc-obs` (a
+//! `counter("pbc_...")` / `gauge("pbc_...")` / `histogram("pbc_...")`
+//! call in production code) must appear in the README's observability
+//! tables, and every `pbc_`-prefixed name in those tables must be
+//! registered somewhere — the README is the contract dashboards are
+//! built against, and an undocumented (or stale) name silently breaks
+//! it. Table cells may use `{a,b}` brace shorthand
+//! (`pbc_tier_cache_{hits,misses}_total` expands to both names).
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// A registered or documented metric name and where it was seen.
+pub type NameSites = BTreeMap<String, (String, u32)>;
+
+/// Collect `pbc_`-prefixed registration literals from one file.
+pub fn collect_registered(file: &SourceFile, registered: &mut NameSites) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let is_ctor = t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "counter" | "gauge" | "histogram");
+        if !is_ctor || file.in_test_code(t.line) {
+            continue;
+        }
+        let Some(open) = toks.get(i + 1) else {
+            continue;
+        };
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if open.is_punct('(') && arg.kind == TokKind::Str && arg.text.starts_with("pbc_") {
+            registered
+                .entry(arg.text.clone())
+                .or_insert_with(|| (file.rel.clone(), arg.line));
+        }
+    }
+}
+
+/// Collect documented names from README table rows (`| \`pbc_...\` | ... |`).
+pub fn collect_documented(readme_rel: &str, readme_text: &str, documented: &mut NameSites) {
+    for (n, line) in readme_text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        for raw in backticked(trimmed) {
+            if !raw.starts_with("pbc_") {
+                continue;
+            }
+            for name in expand_braces(&raw) {
+                documented
+                    .entry(name)
+                    .or_insert_with(|| (readme_rel.to_string(), n as u32 + 1));
+            }
+        }
+    }
+}
+
+/// Diff the two sets into diagnostics.
+pub fn diff(registered: &NameSites, documented: &NameSites, diags: &mut Vec<Diagnostic>) {
+    for (name, (file, line)) in registered {
+        if !documented.contains_key(name) {
+            diags.push(Diagnostic::new(
+                Lint::ObsNames,
+                file,
+                *line,
+                format!("metric `{name}` is registered but missing from the README metric tables"),
+            ));
+        }
+    }
+    for (name, (file, line)) in documented {
+        if !registered.contains_key(name) {
+            diags.push(Diagnostic::new(
+                Lint::ObsNames,
+                file,
+                *line,
+                format!("metric `{name}` is documented but never registered; drop the row or fix the name"),
+            ));
+        }
+    }
+}
+
+/// The backtick-quoted spans of a line.
+fn backticked(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        out.push(after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+/// Expand `{a,b}` groups: `x_{a,b}_total` → `x_a_total`, `x_b_total`.
+/// Multiple groups multiply out; no nesting.
+fn expand_braces(name: &str) -> Vec<String> {
+    let Some(open) = name.find('{') else {
+        return vec![name.to_string()];
+    };
+    let Some(close) = name[open..].find('}').map(|c| open + c) else {
+        return vec![name.to_string()];
+    };
+    let mut out = Vec::new();
+    for alt in name[open + 1..close].split(',') {
+        let candidate = format!("{}{}{}", &name[..open], alt.trim(), &name[close + 1..]);
+        out.extend(expand_braces(&candidate));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn braces_expand_multiplicatively() {
+        assert_eq!(
+            expand_braces("pbc_{a,b}_x_{c,d}"),
+            vec!["pbc_a_x_c", "pbc_a_x_d", "pbc_b_x_c", "pbc_b_x_d"]
+        );
+        assert_eq!(expand_braces("pbc_plain"), vec!["pbc_plain"]);
+    }
+
+    #[test]
+    fn registration_and_tables_diff_both_ways() {
+        let file = SourceFile::new(
+            PathBuf::from("x.rs"),
+            "crates/x/src/obs.rs".into(),
+            "x".into(),
+            "fn f(r: &R) { let c = r.counter(\"pbc_x_total\"); let g = r.gauge(\"pbc_y\"); }\n",
+        );
+        let mut registered = NameSites::new();
+        collect_registered(&file, &mut registered);
+        assert_eq!(registered.len(), 2);
+
+        let mut documented = NameSites::new();
+        collect_documented(
+            "README.md",
+            "| `pbc_x_total` | counter | things |\n| `pbc_ghost` | gauge | stale |\n",
+            &mut documented,
+        );
+        let mut diags = Vec::new();
+        diff(&registered, &documented, &mut diags);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("pbc_y")));
+        assert!(diags.iter().any(|d| d.message.contains("pbc_ghost")));
+    }
+
+    #[test]
+    fn prose_mentions_outside_tables_are_ignored() {
+        let mut documented = NameSites::new();
+        collect_documented(
+            "README.md",
+            "see `pbc_mentioned_in_prose` for details\n",
+            &mut documented,
+        );
+        assert!(documented.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Pass 4 — panic-path audit and dropped-`io::Result` audit.
+//!
+//! Production code (not tests, benches, or examples) must not reach a
+//! panic on recoverable paths: `unwrap()` / `expect(...)` /
+//! `panic!` / `todo!` / `unimplemented!` are flagged unless a
+//! `// pbc-allow(panic): <reason>` justifies them. `unreachable!` is
+//! deliberately exempt — it asserts impossibility rather than handling
+//! failure, and converting it to an error would invent an unreachable
+//! error path.
+//!
+//! The dropped-result audit flags `let _ = <expr>` where the
+//! expression involves a filesystem call whose `io::Result` carries a
+//! durability or correctness signal (the PR 7 "fsyncgate" class: a
+//! dropped `sync_all` once turned a failed fsync into a silent ack).
+
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Methods whose `Result` must not be discarded via `let _ =`.
+const IO_RESULT_CALLS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "sync_dir",
+    "fsync",
+    "flush",
+    "write_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "rename",
+    "set_len",
+    "persist",
+];
+
+/// Run both audits over one production source file.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.in_test_code(t.line) {
+            continue;
+        }
+        match t.text.as_str() {
+            // `.unwrap()` — method position only.
+            "unwrap"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(')')) =>
+            {
+                flag(
+                    file,
+                    t.line,
+                    "`unwrap()` in production code; return a typed error (or justify with `// pbc-allow(panic): <reason>`)",
+                    diags,
+                );
+            }
+            // `.expect(...)` — method position only.
+            "expect"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct('(')) =>
+            {
+                flag(
+                    file,
+                    t.line,
+                    "`expect()` in production code; return a typed error (or justify with `// pbc-allow(panic): <reason>`)",
+                    diags,
+                );
+            }
+            // `panic!` / `todo!` / `unimplemented!` macro invocations.
+            "panic" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+                    && !toks.get(i.wrapping_sub(1)).is_some_and(|a| a.is_punct('.')) =>
+            {
+                flag(
+                    file,
+                    t.line,
+                    &format!(
+                        "`{}!` in production code; return a typed error (or justify with `// pbc-allow(panic): <reason>`)",
+                        t.text
+                    ),
+                    diags,
+                );
+            }
+            // `let _ = <expr involving an io::Result call>;`
+            "let"
+                if toks.get(i + 1).is_some_and(|a| a.is_ident("_"))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct('=')) =>
+            {
+                let mut j = i + 3;
+                let mut depth = 0i32;
+                let mut culprit: Option<String> = None;
+                while let Some(tok) = toks.get(j) {
+                    if tok.is_punct('(') || tok.is_punct('{') || tok.is_punct('[') {
+                        depth += 1;
+                    } else if tok.is_punct(')') || tok.is_punct('}') || tok.is_punct(']') {
+                        depth -= 1;
+                    } else if tok.is_punct(';') && depth <= 0 {
+                        break;
+                    } else if tok.kind == TokKind::Ident
+                        && culprit.is_none()
+                        && IO_RESULT_CALLS.contains(&tok.text.as_str())
+                        && toks.get(j + 1).is_some_and(|a| a.is_punct('('))
+                    {
+                        culprit = Some(tok.text.clone());
+                    }
+                    j += 1;
+                }
+                if let Some(call) = culprit {
+                    if !file.suppressed(Lint::DropResult, t.line) {
+                        diags.push(Diagnostic::new(
+                            Lint::DropResult,
+                            &file.rel,
+                            t.line,
+                            format!(
+                                "`let _ =` discards the io::Result of `{call}` (fsyncgate class); handle it, propagate it, or justify with `// pbc-allow(drop-result): <reason>`"
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn flag(file: &SourceFile, line: u32, message: &str, diags: &mut Vec<Diagnostic>) {
+    if !file.suppressed(Lint::Panic, line) {
+        diags.push(Diagnostic::new(Lint::Panic, &file.rel, line, message));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::collect_suppressions;
+    use std::path::PathBuf;
+
+    fn check_src(src: &str) -> Vec<Diagnostic> {
+        let mut f = SourceFile::new(
+            PathBuf::from("x.rs"),
+            "crates/x/src/io.rs".into(),
+            "x".into(),
+            src,
+        );
+        let mut diags = Vec::new();
+        collect_suppressions(&mut f, &mut diags);
+        check(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_are_flagged_in_prod() {
+        let diags =
+            check_src("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_and_unreachable_are_not_flagged() {
+        let diags = check_src(
+            "fn f() {\n    x.unwrap_or(0);\n    x.unwrap_or_else(|| 0);\n    x.unwrap_or_default();\n    unreachable!(\"loop returns\");\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_sync_result_is_flagged_but_fmt_writes_are_not() {
+        let diags = check_src(
+            "fn f(file: &File, out: &mut String) {\n    let _ = file.sync_all();\n    let _ = writeln!(out, \"ok\");\n}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].lint, Lint::DropResult);
+        assert!(diags[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn suppressed_sites_pass() {
+        let diags = check_src(
+            "fn f() {\n    // pbc-allow(panic): poisoned lock means a writer already panicked\n    m.lock().unwrap();\n    // pbc-allow(drop-result): best-effort cleanup of debris\n    let _ = fs::remove_file(p);\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn field_access_named_panic_is_not_a_macro() {
+        let diags = check_src("fn f() { let x = stats.panic; g(x); }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

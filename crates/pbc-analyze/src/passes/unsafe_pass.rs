@@ -1,0 +1,111 @@
+//! Pass 1 — unsafe confinement.
+//!
+//! Two rules: (a) every workspace crate root carries
+//! `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]` when listed
+//! in `analyze.toml [unsafe] deny_roots` — needed by the one crate
+//! whose audited module opts back in with `#[allow]`); (b) the
+//! `unsafe` keyword appears nowhere outside `allowed_files`. The token
+//! scan covers tests, benches, and examples too — those compile as
+//! separate crates that the root attribute does not reach.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Lint};
+use crate::scan::SourceFile;
+
+/// Scan one file for the `unsafe` keyword.
+pub fn check_tokens(file: &SourceFile, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if config.unsafe_allowed_files.iter().any(|f| f == &file.rel) {
+        return;
+    }
+    for token in &file.tokens {
+        if token.is_ident("unsafe") && !file.suppressed(Lint::Unsafe, token.line) {
+            diags.push(Diagnostic::new(
+                Lint::Unsafe,
+                &file.rel,
+                token.line,
+                format!(
+                    "`unsafe` outside the audited allowlist ({}); move the code behind a safe API in an allowed module",
+                    config.unsafe_allowed_files.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Check one crate root for its `unsafe_code` lint attribute.
+pub fn check_crate_root(file: &SourceFile, config: &Config, diags: &mut Vec<Diagnostic>) {
+    let want_deny = config.unsafe_deny_roots.iter().any(|f| f == &file.rel);
+    let required = if want_deny { "deny" } else { "forbid" };
+    // `#![forbid(unsafe_code)]` → # ! [ forbid ( unsafe_code ) ]
+    let found = file.tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(required)
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !found {
+        diags.push(Diagnostic::new(
+            Lint::Unsafe,
+            &file.rel,
+            1,
+            format!("crate root is missing `#![{required}(unsafe_code)]`"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from(rel), rel.into(), "x".into(), src)
+    }
+
+    fn config() -> Config {
+        Config {
+            unsafe_allowed_files: vec!["crates/x/src/mmap.rs".into()],
+            unsafe_deny_roots: vec!["crates/x/src/lib.rs".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged() {
+        let mut diags = Vec::new();
+        check_tokens(
+            &file("crates/x/src/other.rs", "fn f() { unsafe { g() } }"),
+            &config(),
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        check_tokens(
+            &file("crates/x/src/mmap.rs", "fn f() { unsafe { g() } }"),
+            &config(),
+            &mut Vec::new(),
+        );
+    }
+
+    #[test]
+    fn crate_roots_need_their_attribute() {
+        let mut diags = Vec::new();
+        check_crate_root(
+            &file("crates/y/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            &config(),
+            &mut diags,
+        );
+        assert!(diags.is_empty());
+        // The deny-listed root needs deny, not forbid.
+        check_crate_root(
+            &file("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            &config(),
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("deny"));
+    }
+}

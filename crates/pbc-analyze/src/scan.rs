@@ -1,0 +1,316 @@
+//! The per-file scanning model shared by every pass: lexed tokens,
+//! comments, test-code ranges, and `pbc-allow` suppressions.
+
+use std::path::PathBuf;
+
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// How a file participates in the build — decides which passes apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library/binary source under `src/`.
+    Src,
+    /// Integration test, bench, or example — exempt from the
+    /// production-code audits (panic, drop-result, determinism).
+    TestLike,
+}
+
+/// One `pbc-allow(<lint>): <reason>` suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The suppressed lint.
+    pub lint: Lint,
+    /// 1-based line of the annotation comment.
+    pub line: u32,
+}
+
+/// One lexed and classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Workspace member package the file belongs to.
+    pub crate_name: String,
+    /// Production source or test-like.
+    pub kind: FileKind,
+    /// Token stream (comments and literal bodies excluded).
+    pub tokens: Vec<Token>,
+    /// Every comment, for annotations.
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Parsed `pbc-allow` annotations.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lex and classify `text`.
+    pub fn new(path: PathBuf, rel: String, crate_name: String, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let kind = if rel.contains("/tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/")
+            || rel.starts_with("tests/")
+            || rel.starts_with("examples/")
+        {
+            FileKind::TestLike
+        } else {
+            FileKind::Src
+        };
+        let test_ranges = test_ranges(&lexed.tokens);
+        SourceFile {
+            path,
+            rel,
+            crate_name,
+            kind,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_ranges,
+            suppressions: Vec::new(),
+        }
+    }
+
+    /// Whether `line` falls inside test-only code.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.kind == FileKind::TestLike
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(start, end)| line >= start && line <= end)
+    }
+
+    /// Whether a diagnostic of `lint` at `line` is suppressed by a
+    /// `pbc-allow` annotation on the same line or the line above.
+    pub fn suppressed(&self, lint: Lint, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.lint == lint && (s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Parse `pbc-allow(<lint>): <reason>` annotations out of a file's
+/// comments, reporting malformed ones (unknown lint id, missing or
+/// empty reason) — a typo must not silently disable a lint. Only
+/// comments that *begin* with `pbc-allow` count; a mid-sentence
+/// mention in prose (like this doc comment's) is not an annotation.
+pub fn collect_suppressions(file: &mut SourceFile, diags: &mut Vec<Diagnostic>) {
+    let comments = std::mem::take(&mut file.comments);
+    for comment in &comments {
+        let trimmed = comment.text.trim_start();
+        if let Some(tail) = trimmed.strip_prefix("pbc-allow") {
+            let mut rest = tail;
+            let Some(inner) = rest.strip_prefix('(') else {
+                diags.push(Diagnostic::new(
+                    Lint::Suppression,
+                    &file.rel,
+                    comment.line,
+                    "malformed pbc-allow: expected `pbc-allow(<lint>): <reason>`",
+                ));
+                continue;
+            };
+            let Some(close) = inner.find(')') else {
+                diags.push(Diagnostic::new(
+                    Lint::Suppression,
+                    &file.rel,
+                    comment.line,
+                    "malformed pbc-allow: missing `)`",
+                ));
+                continue;
+            };
+            let key = inner[..close].trim();
+            rest = &inner[close + 1..];
+            let Some(lint) = Lint::from_id(key) else {
+                diags.push(Diagnostic::new(
+                    Lint::Suppression,
+                    &file.rel,
+                    comment.line,
+                    format!("pbc-allow names unknown lint `{key}`"),
+                ));
+                continue;
+            };
+            let reason = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                diags.push(Diagnostic::new(
+                    Lint::Suppression,
+                    &file.rel,
+                    comment.line,
+                    format!(
+                        "pbc-allow({key}) requires a justification: `pbc-allow({key}): <reason>`"
+                    ),
+                ));
+                continue;
+            }
+            file.suppressions.push(Suppression {
+                lint,
+                line: comment.line,
+            });
+        }
+    }
+    file.comments = comments;
+}
+
+/// Inclusive line ranges of items gated behind `#[cfg(test)]`-style
+/// attributes or marked `#[test]`: the attribute line through the
+/// closing brace of the item's body.
+fn test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') || !tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let attr_start = i;
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut is_test_attr = false;
+        let mut seen_cfg = false;
+        // Paren depths at which a `not(` group opened: `cfg(not(test))`
+        // gates *production* code and must not count as a test range.
+        let mut paren_depth = 0i32;
+        let mut not_depths: Vec<i32> = Vec::new();
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct('(') {
+                paren_depth += 1;
+                if tokens[j - 1].is_ident("not") {
+                    not_depths.push(paren_depth);
+                }
+            } else if t.is_punct(')') {
+                if not_depths.last() == Some(&paren_depth) {
+                    not_depths.pop();
+                }
+                paren_depth -= 1;
+            } else if t.kind == TokKind::Ident && t.text == "cfg" {
+                seen_cfg = true;
+            } else if t.kind == TokKind::Ident && t.text == "test" && not_depths.is_empty() {
+                // `#[test]` directly, or `test` inside `#[cfg(...)]`
+                // outside any `not(...)` group.
+                is_test_attr = seen_cfg || j == attr_start + 2;
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip over any further attributes, then the item header, to
+        // the item's opening brace; range ends at its matching brace.
+        let mut k = j + 1;
+        while k < tokens.len() && tokens[k].is_punct('#') {
+            let mut d = 0i32;
+            k += 1;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    d += 1;
+                } else if tokens[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        }
+        let mut brace = None;
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                brace = Some(k);
+                break;
+            }
+            if tokens[k].is_punct(';') {
+                // Item without a body (`#[cfg(test)] use ...;`).
+                break;
+            }
+            k += 1;
+        }
+        let Some(open) = brace else {
+            ranges.push((
+                tokens[attr_start].line,
+                tokens[k.min(tokens.len() - 1)].line,
+            ));
+            i = k + 1;
+            continue;
+        };
+        let mut d = 0i32;
+        let mut end = open;
+        for (n, t) in tokens.iter().enumerate().skip(open) {
+            if t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    end = n;
+                    break;
+                }
+            }
+        }
+        ranges.push((tokens[attr_start].line, tokens[end].line));
+        i = end + 1;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new(
+            PathBuf::from("/x/src/lib.rs"),
+            "crates/x/src/lib.rs".into(),
+            "x".into(),
+            src,
+        )
+    }
+
+    #[test]
+    fn cfg_test_modules_are_detected() {
+        let f = file(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n",
+        );
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(5));
+        assert!(f.in_test_code(6));
+        assert!(!f.in_test_code(7));
+    }
+
+    #[test]
+    fn test_fn_outside_module_is_detected() {
+        let f = file("#[test]\nfn t() {\n    boom();\n}\nfn prod() {}\n");
+        assert!(f.in_test_code(3));
+        assert!(!f.in_test_code(5));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_test_range() {
+        let f = file("#[cfg(unix)]\nfn unix_only() {\n    x();\n}\n");
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn suppressions_parse_and_reject_bad_forms() {
+        let mut f = file(
+            "// pbc-allow(panic): poisoning is fatal by design\nx.unwrap();\n// pbc-allow(panic):\ny();\n// pbc-allow(nonsense): hm\n",
+        );
+        let mut diags = Vec::new();
+        collect_suppressions(&mut f, &mut diags);
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(f.suppressed(Lint::Panic, 2));
+        assert!(!f.suppressed(Lint::Panic, 4));
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+}

@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+// Fixture: a typo'd lint id and a missing justification must fail
+// loudly, and must NOT suppress the underlying panic findings.
+
+pub fn first(x: Option<u32>) -> u32 {
+    // pbc-allow(panics): wrong lint id
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    // pbc-allow(panic):
+    x.unwrap()
+}

@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+// Fixture: nondeterminism in a module declared deterministic.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn train(samples: &[Vec<u8>]) -> usize {
+    let mut counts: HashMap<Vec<u8>, u64> = HashMap::new();
+    for sample in samples {
+        *counts.entry(sample.clone()).or_insert(0) += 1;
+    }
+    let started = Instant::now();
+    counts.len() + started.elapsed().subsec_nanos() as usize
+}
+
+pub fn order_key(buf: &[u8]) -> usize {
+    buf.as_ptr() as usize
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders with no declaration — an undeclared nesting each way, plus a
+// two-party cycle across the union graph.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,20 @@
+#![forbid(unsafe_code)]
+// Fixture: the same nesting as lock_cycle's `forward`, but declared —
+// the analyzer must accept it without diagnostics. The harness mounts
+// this file as crates/fix/src/lib.rs, so the lock ids are `lib.*`.
+
+use std::sync::Mutex;
+
+// lock-order: lib.a < lib.b
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+// Fixture: registers a metric missing from the README tables; the
+// harness README documents a ghost metric that is never registered.
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter(&self, _name: &str) -> u64 {
+        0
+    }
+}
+
+pub fn register(registry: &Registry) -> u64 {
+    registry.counter("pbc_fix_undocumented_total")
+}

@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+// Fixture: panics on recoverable paths and a dropped io::Result.
+
+use std::fs::File;
+
+pub fn commit(file: &File, value: Option<u32>) -> u32 {
+    let _ = file.sync_all();
+    if value.is_none() {
+        panic!("value must be present");
+    }
+    value.unwrap()
+}
+
+pub fn read_header(bytes: &[u8]) -> u32 {
+    let array: [u8; 4] = bytes[..4].try_into().expect("short header");
+    u32::from_le_bytes(array)
+}

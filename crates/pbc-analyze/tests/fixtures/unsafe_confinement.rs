@@ -1,0 +1,6 @@
+// Fixture: `unsafe` outside the allowlist, in a crate root that is
+// also missing its `#![forbid(unsafe_code)]` attribute.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -487,6 +487,7 @@ pub fn select_codec_over_blocks(sample_blocks: &[&[Entry]]) -> BlockCodec {
             best = Some((size, codec));
         }
     }
+    // pbc-allow(panic): the scoring loop above always pushes at least one candidate
     best.expect("candidate list is non-empty").1
 }
 

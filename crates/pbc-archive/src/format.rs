@@ -315,8 +315,11 @@ pub fn decode_trailer(trailer: &[u8; TRAILER_LEN]) -> Result<(u64, u32, u32)> {
             found,
         });
     }
+    // pbc-allow(panic): subslice of the checked 16-byte trailer; try_into is infallible
     let index_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    // pbc-allow(panic): subslice of the checked 16-byte trailer; try_into is infallible
     let index_len = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
+    // pbc-allow(panic): subslice of the checked 16-byte trailer; try_into is infallible
     let index_crc = u32::from_le_bytes(trailer[12..16].try_into().unwrap());
     Ok((index_offset, index_len, index_crc))
 }

@@ -248,6 +248,7 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("pbc-archive-compress-{worker}"))
                     .spawn(move || loop {
+                        // pbc-allow(panic): queue mutex poisoning means a sibling worker panicked; abort this one too
                         let job = work_rx.lock().expect("worker queue poisoned").recv();
                         match job {
                             Ok((seq, block)) => {
@@ -263,6 +264,7 @@ impl Pool {
                             Err(_) => return,
                         }
                     })
+                    // pbc-allow(panic): OS thread-spawn failure at pool creation is not a recoverable write error
                     .expect("spawning compression worker")
             })
             .collect();
@@ -477,6 +479,7 @@ impl SegmentWriter {
         let codec = Arc::clone(
             self.codec
                 .as_ref()
+                // pbc-allow(panic): commit_codec runs before any block dispatch
                 .expect("codec committed before dispatch"),
         );
         let seq = self.next_seq;
@@ -491,11 +494,14 @@ impl SegmentWriter {
             }
             self.pool
                 .as_ref()
+                // pbc-allow(panic): pool created in the branch above
                 .expect("pool spawned above")
                 .work_tx
                 .as_ref()
+                // pbc-allow(panic): work channel closes only when the pool is dropped
                 .expect("work channel open while writing")
                 .send((seq, job))
+                // pbc-allow(panic): workers only exit after the work channel closes; send cannot fail here
                 .expect("compression workers alive while writer holds the pool");
             self.drain_results(false)?;
         } else {
@@ -552,6 +558,7 @@ impl SegmentWriter {
         }
         let header = Header {
             version: VERSION,
+            // pbc-allow(panic): codec committed before the header rewrite
             codec_id: self.codec.as_ref().expect("codec set with header").id(),
             flags: if self.sorted { FLAG_SORTED_KEYS } else { 0 },
             artifacts,
@@ -577,6 +584,7 @@ impl SegmentWriter {
                 .peek()
                 .is_some_and(|Reverse(b)| b.seq == self.next_write)
             {
+                // pbc-allow(panic): peeked Some on the line above
                 let Reverse(SeqBlock { seq, block }) = self.reorder.pop().expect("peeked above");
                 self.write_block(seq, block)?;
             }
@@ -584,6 +592,7 @@ impl SegmentWriter {
                 return Ok(()); // everything submitted has been written
             }
             let received = {
+                // pbc-allow(panic): pool presence checked at fn entry
                 let pool = self.pool.as_ref().expect("pool presence checked above");
                 if blocking {
                     match pool.result_rx.recv() {
@@ -662,6 +671,7 @@ impl SegmentWriter {
             block_count: self.index.len(),
             raw_bytes: self.raw_bytes,
             compressed_bytes: self.compressed_bytes,
+            // pbc-allow(panic): stats are read after commit_codec
             codec: self.codec.as_ref().expect("codec committed above").name(),
             flagged_count: self.flagged_count,
             file_bytes: index_offset + index.len() as u64 + trailer.len() as u64,

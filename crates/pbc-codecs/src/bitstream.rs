@@ -61,6 +61,7 @@ impl BitWriter {
             let take = free.min(remaining);
             let shift = remaining - take;
             let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            // pbc-allow(panic): a byte is pushed before any partial-bit write; buf is never empty here
             let last = self.buf.last_mut().expect("buffer has a current byte");
             *last |= chunk << (free - take);
             self.bit_pos = (self.bit_pos + take) % 8;

@@ -34,6 +34,7 @@ impl Dictionary {
             return Dictionary { bytes: Vec::new() };
         }
         // Count fragments of several lengths across the samples.
+        // pbc-allow(determinism): counts drain into a fully tie-broken sort (score, then fragment bytes); iteration order never reaches the output
         let mut counts: HashMap<&[u8], u64> = HashMap::new();
         for &sample in samples {
             for &len in &FRAGMENT_LENGTHS {

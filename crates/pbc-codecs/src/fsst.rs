@@ -186,6 +186,7 @@ impl TrainableCodec for FsstCodec {
             .collect();
 
         for _ in 0..TRAIN_ITERATIONS {
+            // pbc-allow(determinism): gains drain into a fully tie-broken sort (gain, then symbol bytes); iteration order never reaches the output
             let mut gains: HashMap<Vec<u8>, u64> = HashMap::new();
             for &sample in &sample_slice {
                 // Walk the sample as the current table would encode it and

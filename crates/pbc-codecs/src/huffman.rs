@@ -142,7 +142,9 @@ fn build_code_lengths(freqs: &[u64; ALPHABET]) -> [u8; ALPHABET] {
         heap.push(Reverse((freqs[s], nodes.len() - 1)));
     }
     while heap.len() > 1 {
+        // pbc-allow(panic): loop guard: heap.len() > 1
         let Reverse((fa, a)) = heap.pop().expect("heap has two items");
+        // pbc-allow(panic): loop guard: heap.len() > 1
         let Reverse((fb, b)) = heap.pop().expect("heap has two items");
         nodes.push(Node {
             left: a,
@@ -151,6 +153,7 @@ fn build_code_lengths(freqs: &[u64; ALPHABET]) -> [u8; ALPHABET] {
         });
         heap.push(Reverse((fa + fb, nodes.len() - 1)));
     }
+    // pbc-allow(panic): the merge loop leaves exactly the root in the heap
     let root = heap.pop().expect("root").0 .1;
 
     // Iterative depth-first traversal to assign depths.

@@ -237,7 +237,9 @@ pub fn common_prefix(a: &[u8], b: &[u8], max: usize) -> usize {
     let mut i = 0;
     // Compare 8 bytes at a time.
     while i + 8 <= limit {
+        // pbc-allow(panic): the loop bound guarantees an exact 8-byte subslice
         let wa = u64::from_le_bytes(a[i..i + 8].try_into().expect("8 bytes"));
+        // pbc-allow(panic): the loop bound guarantees an exact 8-byte subslice
         let wb = u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
         let x = wa ^ wb;
         if x != 0 {

@@ -200,6 +200,7 @@ impl Codec for LzmaLike {
                     let b = out[start + i];
                     out.push(b);
                 }
+                // pbc-allow(panic): the match copy above pushed at least one byte
                 prev_byte = *out.last().expect("match produced bytes");
             }
             dec.check_consumed()?;

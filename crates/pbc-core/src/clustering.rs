@@ -105,6 +105,7 @@ impl PartialOrd for Candidate {
 /// configuration.
 pub fn cluster_records(samples: &[Vec<u8>], config: &ClusteringConfig) -> ClusteringResult {
     // --- Deduplicate identical records (they trivially share a pattern). ---
+    // pbc-allow(determinism): lookup-only dedup index, never iterated; slot order follows input order
     let mut first_index: HashMap<&[u8], usize> = HashMap::new();
     let mut weights: Vec<usize> = Vec::new();
     let mut representatives: Vec<usize> = Vec::new();

@@ -171,6 +171,7 @@ impl PbcCompressor {
                 let pattern = self
                     .dictionary
                     .get(id)
+                    // pbc-allow(panic): the matcher only returns ids minted by this dictionary
                     .expect("matcher only returns dictionary ids");
                 let encoders = pattern.field_encoders();
                 for (enc, &(s, e)) in encoders.iter().zip(m.field_spans.iter()) {
@@ -247,6 +248,7 @@ impl PbcCompressor {
             }
             _ => {
                 enc.encode(value, out)
+                    // pbc-allow(panic): the matcher validated the encoder constraints for this span
                     .expect("matcher validated encoder constraints");
             }
         }

@@ -125,10 +125,12 @@ impl FieldEncoder {
                 out.extend_from_slice(value);
             }
             FieldEncoder::Int { bytes, .. } => {
+                // pbc-allow(panic): accepts() filtered non-digit values before encode
                 let v = parse_digits(value).expect("accepts() guarantees digits");
                 out.extend_from_slice(&v.to_le_bytes()[..bytes as usize]);
             }
             FieldEncoder::Varint => {
+                // pbc-allow(panic): accepts() filtered non-digit values before encode
                 let v = parse_digits(value).expect("accepts() guarantees digits");
                 varint::write_u64(out, v);
             }

@@ -44,6 +44,7 @@ impl Pattern {
                 (Some(Segment::Field(_)), Segment::Field(_)) => {
                     // Coalesce into a single VARCHAR field: the combined
                     // content varies in both halves, so only VARCHAR is safe.
+                    // pbc-allow(panic): the match arm just destructured Some
                     let last = out.last_mut().expect("just matched Some");
                     *last = Segment::Field(FieldEncoder::Varchar);
                 }
@@ -129,6 +130,7 @@ impl Pattern {
             .segments
             .iter()
             .map(|s| match s {
+                // pbc-allow(panic): the encoder iterator is built with one entry per field
                 Segment::Field(_) => Segment::Field(*it.next().expect("one encoder per field")),
                 Segment::Literal(l) => Segment::Literal(l.clone()),
             })

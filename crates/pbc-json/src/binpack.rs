@@ -141,6 +141,7 @@ fn encode_with_schema(schema: &Schema, value: &JsonValue, out: &mut Vec<u8>) {
                         Some(_) => out.push(1),
                     }
                 }
+                // pbc-allow(panic): matches() verified required fields before packing
                 let v = found.expect("matches() guarantees required fields are present");
                 encode_with_schema(&field.schema, v, out);
             }

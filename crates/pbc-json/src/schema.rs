@@ -113,6 +113,7 @@ fn infer_values(values: &[&JsonValue]) -> Schema {
         }
         _ => return Schema::Any,
     }
+    // pbc-allow(panic): the match arm above established the set is non-empty
     match *non_null_kinds.iter().next().expect("one kind") {
         "bool" => Schema::Bool,
         "int" => Schema::Int,

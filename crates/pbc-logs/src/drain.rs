@@ -104,6 +104,7 @@ impl DrainMiner {
             }
             _ if bucket.len() >= self.config.max_templates_per_bucket => {
                 // Bucket full: absorb into the closest template anyway.
+                // pbc-allow(panic): a full bucket has at least one template, so one was scored
                 let id = best.map(|(id, _)| id).expect("bucket is non-empty");
                 self.templates[id].absorb(&tokens);
                 id

@@ -123,6 +123,7 @@ impl LogReducer {
             let tokens = tokenize(line);
             let vars = miner.templates()[tid]
                 .extract(&tokens)
+                // pbc-allow(panic): assignments come from the miner that built these templates
                 .expect("line fits the template it was assigned to");
             for (slot, value) in vars.iter().enumerate() {
                 match classify(value) {

@@ -62,6 +62,7 @@ impl std::fmt::Debug for MetricsRegistry {
         match &self.metrics {
             None => write!(f, "MetricsRegistry(disabled)"),
             Some(m) => {
+                // pbc-allow(panic): registry mutex poisoning only follows a panic elsewhere; keep that panic primary
                 let names = m.lock().expect("metrics registry poisoned").len();
                 write!(f, "MetricsRegistry({names} metrics)")
             }
@@ -104,10 +105,12 @@ impl MetricsRegistry {
         get: impl FnOnce(&Metric) -> Option<T>,
     ) -> Option<T> {
         let metrics = self.metrics.as_ref()?;
+        // pbc-allow(panic): registry mutex poisoning only follows a panic elsewhere; keep that panic primary
         let mut map = metrics.lock().expect("metrics registry poisoned");
         let metric = map.entry(name.to_string()).or_insert_with(make);
         match get(metric) {
             Some(handle) => Some(handle),
+            // pbc-allow(panic): re-registering a name as a different metric type is a programmer error, not a runtime condition
             None => panic!(
                 "metric `{name}` already registered as a {}, requested as a {kind}",
                 metric.kind()
@@ -163,6 +166,7 @@ impl MetricsRegistry {
         let Some(metrics) = self.metrics.as_ref() else {
             return snap;
         };
+        // pbc-allow(panic): registry mutex poisoning only follows a panic elsewhere; keep that panic primary
         let map = metrics.lock().expect("metrics registry poisoned");
         for (name, metric) in map.iter() {
             match metric {

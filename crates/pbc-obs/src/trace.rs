@@ -243,6 +243,7 @@ pub struct TraceRing {
 
 impl std::fmt::Debug for TraceRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // pbc-allow(panic): trace ring mutex poisoning only follows a panic elsewhere
         let inner = self.inner.lock().expect("trace ring poisoned");
         write!(
             f,
@@ -274,6 +275,7 @@ impl TraceRing {
             return;
         }
         let micros = self.origin.elapsed().as_micros() as u64;
+        // pbc-allow(panic): trace ring mutex poisoning only follows a panic elsewhere
         let mut inner = self.inner.lock().expect("trace ring poisoned");
         if inner.events.len() == self.capacity {
             inner.events.pop_front();
@@ -284,17 +286,20 @@ impl TraceRing {
 
     /// The retained events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
+        // pbc-allow(panic): trace ring mutex poisoning only follows a panic elsewhere
         let inner = self.inner.lock().expect("trace ring poisoned");
         inner.events.iter().cloned().collect()
     }
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // pbc-allow(panic): trace ring mutex poisoning only follows a panic elsewhere
         self.inner.lock().expect("trace ring poisoned").dropped
     }
 
     /// Events currently retained.
     pub fn len(&self) -> usize {
+        // pbc-allow(panic): trace ring mutex poisoning only follows a panic elsewhere
         self.inner.lock().expect("trace ring poisoned").events.len()
     }
 

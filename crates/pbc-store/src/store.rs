@@ -44,6 +44,7 @@ struct TombstoneState {
 }
 
 struct Shard {
+    // lock-order: store.state < store.tombstones
     state: RwLock<ShardState>,
     tombstones: RwLock<TombstoneState>,
     /// Epoch of the most recent access (set/get/delete) — the LRU signal

@@ -109,9 +109,11 @@ impl CacheInner {
             .protected
             .iter()
             .next()
+            // pbc-allow(panic): caller checked protected is non-empty
             .expect("caller checked protected is non-empty");
         self.protected.remove(&lru_tick);
         let tick = self.next_tick();
+        // pbc-allow(panic): the protected index and the map are updated together
         let slot = self.map.get_mut(&lru_key).expect("index and map agree");
         slot.protected = false;
         slot.tick = tick;
@@ -343,6 +345,7 @@ impl BlockCache {
                 }
                 CachePolicy::TwoQ => {
                     // Probationary re-reference: promote.
+                    // pbc-allow(panic): presence established by the lookup above
                     let slot = inner.map.get_mut(&key).expect("present above");
                     slot.protected = true;
                     inner.probation.remove(&old_tick);
@@ -415,8 +418,10 @@ impl BlockCache {
                 } else {
                     inner.protected.iter().next()
                 }
+                // pbc-allow(panic): bytes > 0 implies a resident block in one of the queues
                 .expect("bytes > 0 implies a resident block");
                 let _ = lru_tick;
+                // pbc-allow(panic): the queue indexes and the map are updated together
                 inner.remove(&lru_key).expect("index and map agree");
                 evicted += 1;
                 evicted_probation += u64::from(from_probation);
@@ -454,6 +459,7 @@ impl BlockCache {
                 .copied()
                 .collect();
             for key in &doomed {
+                // pbc-allow(panic): keys were collected from the map just above
                 inner.remove(key).expect("listed above");
             }
             doomed.len()

@@ -175,9 +175,11 @@ pub fn merge_segments(
             // Every file this merge created is unreachable (no manifest
             // names it); remove them all so a failed job leaves no debris.
             for output in &outputs {
+                // pbc-allow(drop-result): failed-merge cleanup; the outputs are unreachable debris no manifest names
                 let _ = std::fs::remove_file(&output.path);
             }
             if let Some(open) = open {
+                // pbc-allow(drop-result): failed-merge cleanup; the open partition is unreachable debris
                 let _ = std::fs::remove_file(&open.path);
             }
             Err(e)
@@ -239,6 +241,7 @@ fn merge_into(
         let mut winner: Option<Vec<u8>> = None;
         for source in sources.iter_mut() {
             if source.current.as_ref().is_some_and(|(k, _)| *k == min_key) {
+                // pbc-allow(panic): key equality with min_key was checked in this iteration
                 let (_, value) = source.current.take().expect("matched above");
                 if winner.is_none() {
                     winner = Some(value);
@@ -248,6 +251,7 @@ fn merge_into(
                 source.advance()?;
             }
         }
+        // pbc-allow(panic): min_key was taken from one of the sources this round
         let value = winner.expect("min key came from some source");
         let tombstone = is_tombstone(&value);
         if tombstone && drop_tombstones {
@@ -258,6 +262,7 @@ fn merge_into(
         // stream is sorted, so consecutive outputs cover disjoint ranges.
         if let (Some(limit), Some(current)) = (split_bytes, open.as_mut()) {
             if current.estimated_bytes >= limit {
+                // pbc-allow(panic): open was matched Some in the tuple pattern above
                 let finished = open.take().expect("checked above");
                 outputs.push(finish_or_remove(finished)?);
             }
@@ -321,6 +326,7 @@ fn finish_or_remove(open: OpenOutput) -> Result<MergeOutput> {
             tombstones_kept,
         }),
         Err(e) => {
+            // pbc-allow(drop-result): failed-partition cleanup; no manifest names the file
             let _ = std::fs::remove_file(&path);
             Err(e.into())
         }

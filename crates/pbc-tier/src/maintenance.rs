@@ -49,6 +49,7 @@ impl MaintSignal {
 
     /// Wake the thread now (a spill just added a segment).
     pub(crate) fn notify(&self) {
+        // pbc-allow(panic): signal mutex poisoning only follows a panic elsewhere; maintenance aborts with it
         let mut state = self.state.lock().expect("maintenance signal poisoned");
         state.0 += 1;
         self.cv.notify_all();
@@ -56,12 +57,14 @@ impl MaintSignal {
 
     /// Ask the thread to exit and wake it.
     pub(crate) fn request_shutdown(&self) {
+        // pbc-allow(panic): signal mutex poisoning only follows a panic elsewhere; maintenance aborts with it
         let mut state = self.state.lock().expect("maintenance signal poisoned");
         state.1 = true;
         self.cv.notify_all();
     }
 
     pub(crate) fn is_shutdown(&self) -> bool {
+        // pbc-allow(panic): signal mutex poisoning only follows a panic elsewhere; maintenance aborts with it
         self.state.lock().expect("maintenance signal poisoned").1
     }
 
@@ -92,6 +95,7 @@ impl MaintSignal {
     /// Sleep until notified, shut down, or `tick` elapses. Returns whether
     /// shutdown was requested.
     fn wait(&self, tick: Duration) -> bool {
+        // pbc-allow(panic): signal mutex poisoning only follows a panic elsewhere; maintenance aborts with it
         let mut state = self.state.lock().expect("maintenance signal poisoned");
         if state.1 {
             return true;
@@ -100,6 +104,7 @@ impl MaintSignal {
             state = self
                 .cv
                 .wait_timeout(state, tick)
+                // pbc-allow(panic): signal mutex poisoning only follows a panic elsewhere; maintenance aborts with it
                 .expect("maintenance signal poisoned")
                 .0;
         }

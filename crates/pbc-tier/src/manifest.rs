@@ -306,10 +306,12 @@ impl Manifest {
             // The rename did not happen; the tmp is this failed commit's
             // own debris. Best-effort sweep — reopen would remove it too,
             // but a long-lived store should not accumulate it meanwhile.
+            // pbc-allow(drop-result): the rename did not happen; the tmp is this failed commit's own debris (see comment above)
             let _ = fs::remove_file(&tmp);
             return Err(e);
         }
         #[cfg(unix)]
+        // pbc-allow(drop-result): post-commit directory fsync is deliberately best-effort; see the doc comment on store()
         let _ = fs::File::open(dir).and_then(|d| d.sync_all());
         Ok(())
     }

@@ -435,6 +435,7 @@ impl Iterator for RangeScan<'_> {
                 let better = match winner_idx {
                     None => true,
                     Some(j) => {
+                        // pbc-allow(panic): sources with exhausted heads are skipped before selection
                         let (best, _) = self.sources[j].current.as_ref().expect("tracked head");
                         key < best
                     }
@@ -447,6 +448,7 @@ impl Iterator for RangeScan<'_> {
                 self.done = true;
                 return None;
             };
+            // pbc-allow(panic): winner_idx tracks only sources with a live head
             let (key, value) = self.sources[idx].current.take().expect("tracked head");
             if beyond_end(&key, &self.end) {
                 self.done = true;

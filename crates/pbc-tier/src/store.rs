@@ -285,6 +285,7 @@ struct ReservationGuard<'a> {
 
 impl Drop for ReservationGuard<'_> {
     fn drop(&mut self) {
+        // pbc-allow(panic): reservation mutex poisoning only follows a panic elsewhere
         let mut set = self.table.inner.lock().expect("reservation table poisoned");
         set.active.retain(|(ticket, _)| *ticket != self.ticket);
         drop(set);
@@ -303,6 +304,7 @@ impl ReservationTable {
     /// Reserve `range` if it conflicts with no in-flight reservation and
     /// no waiting claim (waiters would starve otherwise).
     fn try_reserve(&self, range: KeyRange) -> Option<ReservationGuard<'_>> {
+        // pbc-allow(panic): reservation mutex poisoning only follows a panic elsewhere
         let mut set = self.inner.lock().expect("reservation table poisoned");
         if set.conflicts_any(&range) {
             return None;
@@ -320,10 +322,12 @@ impl ReservationTable {
     /// key space). The claim is registered immediately, so new
     /// `try_reserve` calls over the range fail while this caller waits.
     fn reserve_blocking(&self, range: KeyRange) -> ReservationGuard<'_> {
+        // pbc-allow(panic): reservation mutex poisoning only follows a panic elsewhere
         let mut set = self.inner.lock().expect("reservation table poisoned");
         let ticket = set.claim_ticket();
         set.pending.push((ticket, range.clone()));
         while set.blocks_pending(ticket, &range) {
+            // pbc-allow(panic): reservation mutex poisoning only follows a panic elsewhere
             set = self.released.wait(set).expect("reservation table poisoned");
         }
         set.pending.retain(|(t, _)| *t != ticket);
@@ -337,6 +341,7 @@ impl ReservationTable {
     /// Every claimed range, active and pending alike (what the planner
     /// must avoid proposing jobs over).
     fn snapshot(&self) -> Vec<KeyRange> {
+        // pbc-allow(panic): reservation mutex poisoning only follows a panic elsewhere
         let set = self.inner.lock().expect("reservation table poisoned");
         set.active
             .iter()
@@ -505,6 +510,7 @@ pub(crate) struct TierInner {
     /// readers never wait out a manifest fsync. Lock order:
     /// `commit_lock` before `cold`; nothing takes `commit_lock` while
     /// holding `cold`.
+    // lock-order: store.spill_lock < store.staging < store.commit_lock < store.cold
     commit_lock: Mutex<()>,
     /// The shared trained codec spills reuse (when
     /// [`TierConfig::reuse_spill_codec`] is on): selected on the first
@@ -1601,11 +1607,13 @@ impl TierInner {
         let path = self.config.dir.join(&file_name);
         let (written, min_key, max_key) = {
             let staging = self.staging.read();
+            // pbc-allow(panic): spill_shards only runs on a non-empty staging shard
             let min_key = staging.keys().next().cloned().expect("staging non-empty");
             let max_key = staging
                 .keys()
                 .next_back()
                 .cloned()
+                // pbc-allow(panic): spill_shards only runs on a non-empty staging shard
                 .expect("staging non-empty");
             (self.write_spill_segment(&path, &staging), min_key, max_key)
         };
@@ -1633,6 +1641,7 @@ impl TierInner {
             Err(e) => {
                 // Put the data back; the half-written file is debris.
                 self.restore_staging_to_hot();
+                // pbc-allow(drop-result): failed-spill cleanup; the half-written segment is unreachable debris
                 let _ = std::fs::remove_file(&path);
                 return Err(e);
             }
@@ -1657,6 +1666,7 @@ impl TierInner {
                 Ok(generation) => generation,
                 Err(e) => {
                     self.restore_staging_to_hot();
+                    // pbc-allow(drop-result): failed-commit cleanup; the old manifest is still live and does not name this file
                     let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
                     return Err(e);
                 }
@@ -1749,6 +1759,7 @@ impl TierInner {
                 current_records = 0;
             }
         }
+        // pbc-allow(panic): block_starts is seeded with one entry before the loop
         if block_starts.len() > 1 && *block_starts.last().expect("non-empty") == merged.len() {
             block_starts.pop();
         }
@@ -2004,6 +2015,7 @@ impl TierInner {
                     Ok(reader) => reader,
                     Err(e) => {
                         for output in &outcome.outputs {
+                            // pbc-allow(drop-result): failed-open cleanup; the outputs are unreachable debris
                             let _ = std::fs::remove_file(&output.path);
                         }
                         return Err(e.into());
@@ -2032,6 +2044,7 @@ impl TierInner {
         // the pointer swap, so readers never wait on the fsync.
         let remove_outputs = |outputs: &[crate::compact::MergeOutput]| {
             for output in outputs {
+                // pbc-allow(drop-result): failed-open cleanup; the outputs are unreachable debris
                 let _ = std::fs::remove_file(&output.path);
             }
         };
@@ -2095,6 +2108,7 @@ impl TierInner {
         self.cache
             .evict_segments(retired.iter().map(|s| s.id).collect::<Vec<_>>().as_slice());
         for segment in &retired {
+            // pbc-allow(drop-result): retired segments are removed best-effort after the commit; recovery sweeps leftovers
             let _ = std::fs::remove_file(self.config.dir.join(&segment.file_name));
         }
         self.obs.segments_retired.add(retired.len() as u64);

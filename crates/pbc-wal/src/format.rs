@@ -195,12 +195,14 @@ pub fn decode_frame(buf: &[u8]) -> DecodeOutcome<'_> {
     if buf.len() < FRAME_HEADER_LEN {
         return DecodeOutcome::Incomplete;
     }
+    // pbc-allow(panic): offset 0 of a buffer checked >= FRAME_HEADER_LEN
     let payload_len = read_u32(buf, 0).expect("checked len") as usize;
     if !(9..=MAX_PAYLOAD_LEN).contains(&payload_len) {
         // A real payload carries at least lsn + op. A wild length is a
         // torn header, not a short buffer.
         return DecodeOutcome::Corrupt;
     }
+    // pbc-allow(panic): offset 4 of a buffer checked >= FRAME_HEADER_LEN
     let expected_crc = read_u32(buf, 4).expect("checked len");
     let Some(payload) = buf.get(FRAME_HEADER_LEN..FRAME_HEADER_LEN + payload_len) else {
         return DecodeOutcome::Incomplete;
@@ -208,6 +210,7 @@ pub fn decode_frame(buf: &[u8]) -> DecodeOutcome<'_> {
     if crc32(payload) != expected_crc {
         return DecodeOutcome::Corrupt;
     }
+    // pbc-allow(panic): payload_len was range-checked to hold lsn + op
     let lsn = read_u64(payload, 0).expect("payload_len >= 9");
     let op = payload[8];
     let body = &payload[9..];

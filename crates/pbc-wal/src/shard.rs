@@ -181,7 +181,9 @@ impl WalShard {
         })
     }
 
+    // lock-wrapper: lock = shard.state
     fn lock(&self) -> MutexGuard<'_, ShardState> {
+        // pbc-allow(panic): shard mutex poisoning only follows a panic elsewhere; WAL state is then undefined
         self.state.lock().expect("wal shard poisoned")
     }
 
@@ -298,6 +300,7 @@ impl WalShard {
             // succeed (fsyncgate) — report the failure instead.
             self.check_usable(&state)?;
             if state.sync_in_flight {
+                // pbc-allow(panic): condvar re-locks the same shard mutex; poisoning only follows a panic elsewhere
                 state = self.synced.wait(state).expect("wal shard poisoned");
                 continue;
             }

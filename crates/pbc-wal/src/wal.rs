@@ -254,6 +254,7 @@ impl Wal {
     /// Log a delete and honor the configured durability before returning.
     pub fn append_delete(&self, key: &[u8]) -> Result<u64> {
         let ((), lsn) = self.append_delete_with(key, || ((), true))?;
+        // pbc-allow(panic): the closure unconditionally logs, so an LSN is always assigned
         Ok(lsn.expect("unconditional delete is always logged"))
     }
 
@@ -280,6 +281,7 @@ impl Wal {
             || (apply(), true),
             |lsn| format::encode_put(lsn, key, value),
         )?;
+        // pbc-allow(panic): the closure unconditionally logs, so an LSN is always assigned
         Ok((result, lsn.expect("put is always logged")))
     }
 

@@ -52,6 +52,8 @@
 //! assert_eq!(compressor.decompress(&compressed[17]).unwrap(), records[17]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pbc_archive as archive;
 pub use pbc_codecs as codecs;
 pub use pbc_core as core;
