@@ -7,6 +7,7 @@
 //! Experiments:
 //!   table2 table3 table4 table5 table6 table7 table8
 //!   fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal readpath
+//!   serve
 //!   all            run everything (takes several minutes)
 //!   quick          a reduced sanity pass over the main results
 //! ```
@@ -90,6 +91,7 @@ fn main() {
                 "obs",
                 "wal",
                 "readpath",
+                "serve",
             ]
             .into_iter()
             .map(String::from)
@@ -112,7 +114,7 @@ fn print_usage() {
         "Usage: repro [--scale <f64>] [--smoke] [--experiment <name>] <experiment>...\n\
          Experiments: table2 table3 table4 table5 table6 table7 table8 \
          fig5 fig6 fig7 fig8 fig9a fig9b archive tier compaction leveling scans obs wal \
-         readpath all quick"
+         readpath serve all quick"
     );
 }
 
@@ -285,6 +287,7 @@ fn run_experiment(name: &str, scale: f64) {
         "scans" => println!("{}", pbc_bench::scans::scans_throughput(scale).render()),
         "obs" => println!("{}", pbc_bench::obs::obs_throughput(scale).render()),
         "wal" => println!("{}", pbc_bench::wal::wal_throughput(scale).render()),
+        "serve" => println!("{}", pbc_bench::serve::serve_throughput(scale).render()),
         "readpath" => println!(
             "{}",
             pbc_bench::readpath::readpath_throughput(scale).render()

@@ -27,6 +27,7 @@
 //! | Observability: exported percentiles + overhead (beyond the paper) | [`obs::obs_throughput`] |
 //! | WAL durability ladder + group commit (beyond the paper) | [`wal::wal_throughput`] |
 //! | Read path: pread vs mmap, LRU vs 2Q, decode tables (beyond the paper) | [`readpath::readpath_throughput`] |
+//! | Serving: sharded router, admission control, tenants (beyond the paper) | [`serve::serve_throughput`] |
 //!
 //! Record counts are laptop-scale by default and can be shrunk further with
 //! a scale factor (`repro --scale 0.25 ...`) for quick smoke runs.
@@ -44,6 +45,7 @@ pub mod obs;
 pub mod readpath;
 pub mod report;
 pub mod scans;
+pub mod serve;
 pub mod tier;
 pub mod wal;
 

@@ -1,0 +1,168 @@
+//! Typed errors for the serving layer.
+//!
+//! The split matters to clients: [`ServeError::Busy`] is *server*
+//! pressure — the engine is falling behind and the request should be
+//! retried after the hinted delay; [`ServeError::QuotaExceeded`] is a
+//! *client* budget decision that retrying will not fix until the quota
+//! is raised or usage drops. Neither is ever a silent drop: an
+//! unacknowledged write was never applied (see the router docs for the
+//! exact guarantee).
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use pbc_tier::TierError;
+
+/// Which backpressure signal refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The write's router shard queue is at capacity — appliers are not
+    /// keeping up with the offered load.
+    QueueFull,
+    /// Committed L0 spill segments exceed the configured limit:
+    /// compaction is falling behind and more writes would only deepen
+    /// the read-amplification hole.
+    ColdBacklog,
+    /// Hot memory is far past the spill watermark — spills themselves
+    /// are falling behind the write rate.
+    MemoryPressure,
+}
+
+impl fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusyReason::QueueFull => write!(f, "shard queue full"),
+            BusyReason::ColdBacklog => write!(f, "L0 compaction backlog"),
+            BusyReason::MemoryPressure => write!(f, "hot memory over watermark"),
+        }
+    }
+}
+
+/// Which tenant budget a rejected request would have exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaKind {
+    /// The live stored-bytes budget ([`crate::TenantQuota::max_bytes`]).
+    Bytes,
+    /// The admitted-operation budget ([`crate::TenantQuota::max_ops`]).
+    Ops,
+}
+
+impl fmt::Display for QuotaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotaKind::Bytes => write!(f, "bytes"),
+            QuotaKind::Ops => write!(f, "ops"),
+        }
+    }
+}
+
+/// Everything a router request can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control refused the request; retry after the hint.
+    /// Guarantee: the operation was **not** applied and **not** queued —
+    /// a `Busy` rejection has no side effects on the store or on the
+    /// tenant's quota accounting.
+    Busy {
+        /// The signal that tripped.
+        reason: BusyReason,
+        /// How long the client should back off before retrying.
+        retry_after: Duration,
+    },
+    /// The request would exceed one of the tenant's budgets. Not applied,
+    /// not queued, no accounting change.
+    QuotaExceeded {
+        /// The tenant that ran out of budget.
+        tenant: String,
+        /// Which budget.
+        kind: QuotaKind,
+        /// The configured limit.
+        limit: u64,
+        /// What admitting the request would have brought usage to.
+        requested: u64,
+    },
+    /// No tenant with that name was registered.
+    UnknownTenant {
+        /// The name looked up.
+        tenant: String,
+    },
+    /// [`crate::Router::create_tenant`] for a name that already exists.
+    TenantExists {
+        /// The duplicate name.
+        tenant: String,
+    },
+    /// A tenant name failed validation (empty, too long, or a character
+    /// outside `[a-zA-Z0-9_-]`).
+    InvalidTenantName {
+        /// The rejected name.
+        tenant: String,
+    },
+    /// The router is shutting down; queued-but-unapplied writes fail
+    /// with this rather than being silently dropped.
+    Shutdown,
+    /// Spawning a router worker thread failed.
+    Io(io::Error),
+    /// The underlying tiered store failed.
+    Tier(TierError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy {
+                reason,
+                retry_after,
+            } => {
+                write!(f, "busy ({reason}); retry after {retry_after:?}")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                kind,
+                limit,
+                requested,
+            } => write!(
+                f,
+                "tenant `{tenant}` {kind} quota exceeded: {requested} over limit {limit}"
+            ),
+            ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant `{tenant}`"),
+            ServeError::TenantExists { tenant } => {
+                write!(f, "tenant `{tenant}` already exists")
+            }
+            ServeError::InvalidTenantName { tenant } => {
+                write!(
+                    f,
+                    "invalid tenant name `{tenant}` (want 1-64 chars of [a-zA-Z0-9_-])"
+                )
+            }
+            ServeError::Shutdown => write!(f, "router is shutting down"),
+            ServeError::Io(e) => write!(f, "router i/o failed: {e}"),
+            ServeError::Tier(e) => write!(f, "store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Tier(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TierError> for ServeError {
+    fn from(e: TierError) -> Self {
+        ServeError::Tier(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// `Result` alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -125,7 +125,7 @@ pub use planner::{
     CompactionJob, CompactionPlanner, KeyRange, PlannerConfig, SegmentStats, LEVEL_L0, LEVEL_L1,
 };
 pub use scan::RangeScan;
-pub use store::{CompactionSummary, TierStats, TieredStore};
+pub use store::{CompactionSummary, TierStats, TieredStore, WritePressure};
 
 #[cfg(test)]
 mod tests {

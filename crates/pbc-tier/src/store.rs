@@ -48,7 +48,7 @@
 
 use std::collections::BTreeMap;
 use std::ops::{Bound, RangeBounds};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::{Mutex, RwLock};
@@ -446,6 +446,41 @@ impl TierStats {
     }
 }
 
+/// A lock-free snapshot of the signals a serving front end's admission
+/// control reads on every write ([`TieredStore::write_pressure`]).
+///
+/// Everything here comes from atomics — the hot tier's byte counters, a
+/// mirror of the committed L0 segment count refreshed at every manifest
+/// commit, and the spill-in-progress flag — so sampling it on the hot
+/// write path never touches the `cold` read lock and never contends
+/// with a commit's pointer swap.
+#[derive(Debug, Clone, Copy)]
+pub struct WritePressure {
+    /// Hot-tier bytes the watermark governs (keys + values + tombstones).
+    pub memory_bytes: u64,
+    /// The configured spill watermark ([`TierConfig::with_watermark`]).
+    pub watermark_bytes: u64,
+    /// Committed L0 spill segments — the compaction backlog a planner
+    /// has not yet promoted into L1. Grows when spills outpace
+    /// compaction; the canonical "cold tier is falling behind" signal.
+    pub l0_segments: u64,
+    /// Whether a spill pass (watermark drain, explicit spill, or flush)
+    /// is running right now.
+    pub spill_active: bool,
+}
+
+impl WritePressure {
+    /// Hot memory as a multiple of the watermark (`1.0` = exactly at the
+    /// spill threshold; `0.0` when the watermark is unbounded).
+    pub fn memory_ratio(&self) -> f64 {
+        if self.watermark_bytes == 0 || self.watermark_bytes == u64::MAX {
+            0.0
+        } else {
+            self.memory_bytes as f64 / self.watermark_bytes as f64
+        }
+    }
+}
+
 /// What a compaction (full [`TieredStore::compact`] or one planned job)
 /// reports.
 #[derive(Debug, Clone)]
@@ -476,6 +511,25 @@ impl CompactionSummary {
             tombstones_dropped: 0,
             tombstones_kept: 0,
         }
+    }
+}
+
+/// RAII setter for [`TierInner::spill_active`]: armed right after the
+/// `spill_lock` is taken, cleared on every exit path (including spill
+/// errors). Spill entry points are serialized by that lock, so arming is
+/// never nested.
+struct SpillActiveGuard<'a>(&'a AtomicBool);
+
+impl<'a> SpillActiveGuard<'a> {
+    fn arm(flag: &'a AtomicBool) -> Self {
+        flag.store(true, Ordering::Relaxed);
+        SpillActiveGuard(flag)
+    }
+}
+
+impl Drop for SpillActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Relaxed);
     }
 }
 
@@ -535,6 +589,17 @@ pub(crate) struct TierInner {
     /// [`crate::obs`]). Counters here are the source of truth for
     /// [`TieredStore::stats`].
     obs: TierObs,
+    /// Lock-free mirror of the committed L0 segment count, refreshed by
+    /// [`TierInner::publish_gauges`] at every manifest commit. Exists so
+    /// [`TieredStore::write_pressure`] — an admission-control hook called
+    /// on every front-end write — never touches the `cold` read lock and
+    /// so never contends with a commit's pointer swap.
+    l0_count_hint: AtomicU64,
+    /// Whether a spill pass (watermark drain, explicit spill, or flush)
+    /// is currently running. Advisory, for backpressure: admission
+    /// control can distinguish "over the watermark and draining" from
+    /// "over the watermark and stuck behind a cold backlog".
+    spill_active: AtomicBool,
     /// Advisory exclusive lock on the store directory, held for the
     /// store's lifetime (released by the OS on drop or process death).
     /// Without it, a second open would sweep the first handle's in-flight
@@ -724,6 +789,8 @@ impl TieredStore {
             wal,
             wal_recovery,
             obs,
+            l0_count_hint: AtomicU64::new(0),
+            spill_active: AtomicBool::new(false),
             _dir_lock: dir_lock,
             config,
         });
@@ -760,6 +827,23 @@ impl TieredStore {
     /// tombstones.
     pub fn memory_usage_bytes(&self) -> u64 {
         self.inner.memory_usage_bytes()
+    }
+
+    /// The lock-free backpressure signals a serving front end samples on
+    /// every write (see [`WritePressure`]). Reads only atomics — safe to
+    /// call at full admission-control frequency without adding contention
+    /// on the store's locks. The L0 count is a mirror refreshed at each
+    /// manifest commit, so it can trail the live tier by one in-flight
+    /// commit; admission thresholds are coarse by nature, so a
+    /// one-commit-stale read is fine.
+    pub fn write_pressure(&self) -> WritePressure {
+        let inner = &self.inner;
+        WritePressure {
+            memory_bytes: inner.memory_usage_bytes(),
+            watermark_bytes: inner.config.memory_watermark_bytes,
+            l0_segments: inner.l0_count_hint.load(Ordering::Relaxed),
+            spill_active: inner.spill_active.load(Ordering::Relaxed),
+        }
     }
 
     /// Keys resident in the hot tier.
@@ -804,27 +888,33 @@ impl TieredStore {
 
     /// A snapshot of the store's counters and cold-tier gauges.
     ///
-    /// The five cold-tier gauges and the generation are read together
-    /// under one segment-set read lock — commits publish them with the
-    /// tier swap, so `l0_segments`/`l1_partitions`/`cold_records`/
-    /// `cold_tombstones` and `generation` always describe the *same*
-    /// committed segment set, never a half-applied commit. Counters are
+    /// The five cold-tier gauges and the generation are captured from one
+    /// pinned segment-set snapshot (the `Arc` swap that commits publish),
+    /// so `l0_segments`/`l1_partitions`/`cold_records`/`cold_tombstones`
+    /// and `generation` always describe the *same* committed segment set,
+    /// never a half-applied commit — while the O(segments) sums run after
+    /// the read lock is released. Counters are
     /// typed views over the metrics registry (all zero when
     /// [`TierConfig::with_metrics`] disabled collection); the gauges are
     /// derived exactly from the live tier either way.
     pub fn stats(&self) -> TierStats {
         let inner = &self.inner;
         let o = &inner.obs;
-        let (cold_records, cold_tombstones, l0_segments, l1_partitions, generation) = {
-            let cold = inner.cold.read();
-            (
-                cold.iter().map(|seg| seg.records).sum(),
-                cold.iter().map(|seg| seg.tombstones).sum(),
-                cold.l0.len() as u64,
-                cold.l1.len() as u64,
-                inner.generation.load(Ordering::Relaxed),
-            )
+        // Pin the segment-set snapshot and read the matching generation
+        // under the read lock, but do the O(segments) record/tombstone
+        // sums *after* dropping it — the snapshot is immutable, so the
+        // sums stay exact while writers no longer wait out a stats call
+        // proportional to the segment count.
+        let (cold, generation) = {
+            let guard = inner.cold.read();
+            (Arc::clone(&guard), inner.generation.load(Ordering::Relaxed))
         };
+        let (cold_records, cold_tombstones, l0_segments, l1_partitions) = (
+            cold.iter().map(|seg| seg.records).sum(),
+            cold.iter().map(|seg| seg.tombstones).sum(),
+            cold.l0.len() as u64,
+            cold.l1.len() as u64,
+        );
         TierStats {
             hot_hits: o.hot_hits.value(),
             tombstone_negatives: o.tombstone_negatives.value(),
@@ -1426,6 +1516,7 @@ impl TierInner {
             return Ok(());
         }
         let _guard = self.spill_lock.lock();
+        let _active = SpillActiveGuard::arm(&self.spill_active);
         // Re-check: another thread may have spilled while we waited.
         while self.memory_usage_bytes() > self.config.memory_watermark_bytes {
             let victims = self.pick_victims(self.config.spill_target_bytes());
@@ -1439,6 +1530,7 @@ impl TierInner {
 
     fn spill_coldest(&self, n: usize) -> Result<()> {
         let _guard = self.spill_lock.lock();
+        let _active = SpillActiveGuard::arm(&self.spill_active);
         let mut victims = self.shards_coldest_first();
         victims.truncate(n);
         if victims.is_empty() {
@@ -1449,6 +1541,7 @@ impl TierInner {
 
     fn flush_all(&self) -> Result<()> {
         let _guard = self.spill_lock.lock();
+        let _active = SpillActiveGuard::arm(&self.spill_active);
         let victims = self.shards_coldest_first();
         if victims.is_empty() {
             return Ok(());
@@ -1711,6 +1804,10 @@ impl TierInner {
         self.obs.l0_segments.set(tier.l0.len() as u64);
         self.obs.l1_partitions.set(tier.l1.len() as u64);
         self.obs.generation.set(generation);
+        // The registry gauge above can be a no-op (metrics disabled), so
+        // the write-pressure hook keeps its own mirror.
+        self.l0_count_hint
+            .store(tier.l0.len() as u64, Ordering::Relaxed);
     }
 
     /// Write the manifest for `tier` under the next generation and return

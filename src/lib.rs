@@ -24,6 +24,10 @@
 //! * [`wal`] — the sharded group-commit write-ahead log behind
 //!   `TierConfig::wal`: CRC-framed records, four durability levels,
 //!   torn-tail recovery, and checkpoint-bounded size.
+//! * [`serve`] — the multi-tenant serving layer over [`tier`]: a sharded
+//!   request router with write batching, bounded-queue admission control
+//!   with typed `Busy` backpressure, and per-tenant namespaces with
+//!   byte/op quotas.
 //! * [`obs`] — lock-free observability primitives: the metrics registry
 //!   with log-linear latency histograms, Prometheus/JSON exporters, and
 //!   the bounded trace ring the tiered store records into.
@@ -61,6 +65,7 @@ pub use pbc_datagen as datagen;
 pub use pbc_json as json;
 pub use pbc_logs as logs;
 pub use pbc_obs as obs;
+pub use pbc_serve as serve;
 pub use pbc_store as store;
 pub use pbc_tier as tier;
 pub use pbc_wal as wal;

@@ -339,3 +339,166 @@ fn every_durability_level_recovers_after_a_kill() {
         assert_matches_model(&store, &model, n);
     }
 }
+
+/// Batch equivalence: writes batched through the router's shard appliers,
+/// replayed from the WAL after a kill, land on exactly the state that
+/// applying each client's sequence directly would have produced. Batching
+/// is an amortization, never a reordering — per-key order is client
+/// order, and the log preserves it.
+#[test]
+fn router_batches_replay_to_sequential_state() {
+    use std::sync::{Arc, Mutex};
+
+    use pbc::serve::{Router, ServeConfig, TenantQuota};
+
+    let (dir, _guard) = temp_dir("router-batch");
+    let tenants = ["alpha", "beta"];
+    let model: BTreeMap<(usize, Vec<u8>), Option<Vec<u8>>> = {
+        let store = Arc::new(TieredStore::open(wal_config(&dir, Durability::PerBatch)).unwrap());
+        let router = Arc::new(
+            Router::start(
+                Arc::clone(&store),
+                ServeConfig::default().with_shards(3).with_max_batch(8),
+            )
+            .unwrap(),
+        );
+        for tenant in tenants {
+            router
+                .create_tenant(tenant, TenantQuota::unlimited())
+                .unwrap();
+        }
+        // 4 clients × 2 tenants, disjoint key slices per client, with
+        // overwrites and deletes inside each slice. Every write blocks for
+        // its ack, so each client's slice has a definite sequential
+        // history; the appliers batch them arbitrarily across clients.
+        let model = Arc::new(Mutex::new(BTreeMap::new()));
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let router = Arc::clone(&router);
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || {
+                    let mut mine: BTreeMap<(usize, Vec<u8>), Option<Vec<u8>>> = BTreeMap::new();
+                    for i in 0..120usize {
+                        let tenant_idx = i % 2;
+                        let k = key(t * 1_000 + i % 30);
+                        if i % 7 == 3 {
+                            router.delete(tenants[tenant_idx], &k).unwrap();
+                            mine.insert((tenant_idx, k), None);
+                        } else {
+                            let v = format!("t{t}i{i}").into_bytes();
+                            router.put(tenants[tenant_idx], &k, &v).unwrap();
+                            mine.insert((tenant_idx, k), Some(v));
+                        }
+                    }
+                    model.lock().unwrap().extend(mine);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        router.shutdown();
+        assert_eq!(store.segment_count(), 0, "nothing spilled before the kill");
+        Arc::try_unwrap(model).unwrap().into_inner().unwrap()
+    };
+
+    // Kill + recover, then read back through a fresh router.
+    let store = Arc::new(TieredStore::open(wal_config(&dir, Durability::PerBatch)).unwrap());
+    assert!(store.wal_recovery().unwrap().records_replayed > 0);
+    let router = Router::start(Arc::clone(&store), ServeConfig::default()).unwrap();
+    for tenant in tenants {
+        router
+            .create_tenant(tenant, TenantQuota::unlimited())
+            .unwrap();
+    }
+    for ((tenant_idx, k), want) in &model {
+        assert_eq!(
+            &router.get(tenants[*tenant_idx], k).unwrap(),
+            want,
+            "key {:?} diverged from the sequential model",
+            String::from_utf8_lossy(k)
+        );
+    }
+}
+
+/// Crash with a router batch in flight: clients hammer the router while
+/// the main thread aborts it mid-stream (queued writes fail with
+/// `Shutdown`, appliers stop, nothing is flushed). After recovery, the
+/// tenant's recovered keys must be exactly the acknowledged set — every
+/// acked write present with its acked value, every unacknowledged write
+/// absent (it was refused, not half-applied).
+#[test]
+fn abort_with_inflight_batch_recovers_exactly_the_acked_writes() {
+    use std::sync::{Arc, Mutex};
+
+    use pbc::serve::{Router, ServeConfig, ServeError, TenantQuota};
+
+    let (dir, _guard) = temp_dir("router-abort");
+    let acked: BTreeMap<Vec<u8>, Vec<u8>> = {
+        let store = Arc::new(TieredStore::open(wal_config(&dir, Durability::PerBatch)).unwrap());
+        let router = Arc::new(
+            Router::start(
+                Arc::clone(&store),
+                ServeConfig::default().with_shards(2).with_max_batch(4),
+            )
+            .unwrap(),
+        );
+        router
+            .create_tenant("tenant", TenantQuota::unlimited())
+            .unwrap();
+        let acked = Arc::new(Mutex::new(BTreeMap::new()));
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let router = Arc::clone(&router);
+                let acked = Arc::clone(&acked);
+                std::thread::spawn(move || {
+                    for i in 0..5_000usize {
+                        let k = key(t * 100_000 + i);
+                        let v = value(i);
+                        match router.put("tenant", &k, &v) {
+                            Ok(_) => {
+                                acked.lock().unwrap().insert(k, v);
+                            }
+                            Err(ServeError::Shutdown) => break,
+                            Err(e) => panic!("only Ok or Shutdown expected, got {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Let the clients get well into their run, then pull the plug
+        // with their batches in flight.
+        while acked.lock().unwrap().len() < 200 {
+            std::thread::yield_now();
+        }
+        router.abort();
+        for h in handles {
+            h.join().unwrap();
+        }
+        Arc::try_unwrap(acked).unwrap().into_inner().unwrap()
+    };
+    assert!(!acked.is_empty(), "some writes must ack before the abort");
+
+    let store = Arc::new(TieredStore::open(wal_config(&dir, Durability::PerBatch)).unwrap());
+    let router = Router::start(Arc::clone(&store), ServeConfig::default()).unwrap();
+    router
+        .create_tenant("tenant", TenantQuota::unlimited())
+        .unwrap();
+    // Every acked write survives the crash...
+    for (k, v) in &acked {
+        assert_eq!(
+            router.get("tenant", k).unwrap().as_ref(),
+            Some(v),
+            "acked key {:?} lost in the crash",
+            String::from_utf8_lossy(k)
+        );
+    }
+    // ...and nothing else was half-applied: the recovered namespace is
+    // exactly the acked set.
+    let recovered = router.scan("tenant", b"", usize::MAX).unwrap();
+    assert_eq!(
+        recovered.len(),
+        acked.len(),
+        "recovered a write that was never acknowledged"
+    );
+}
