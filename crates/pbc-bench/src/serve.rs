@@ -79,9 +79,9 @@ pub struct ServeRungRow {
     pub ops_per_sec: f64,
     /// Median submit-to-ack write latency (ns; 0 where the rung shares a
     /// registry and a per-rung histogram cannot be isolated).
-    pub put_p50_ns: u64,
+    pub write_p50_ns: u64,
     /// 99th-percentile submit-to-ack write latency (ns).
-    pub put_p99_ns: u64,
+    pub write_p99_ns: u64,
     /// Median router get latency (ns).
     pub get_p50_ns: u64,
     /// 99th-percentile router get latency (ns).
@@ -247,10 +247,10 @@ fn run_rung(
     // Histograms cannot be delta'd the way counters can: only report
     // latency for rungs that own their registry from the first record.
     let histogram = |name: &str| snap.histograms.get(name).cloned();
-    let (put_p50, put_p99, get_p50, get_p99, mean_batch) = if isolated_registry {
+    let (write_p50, write_p99, get_p50, get_p99, mean_batch) = if isolated_registry {
         (
-            histogram("pbc_serve_put_wait_ns").map_or(0, |h| h.p50()),
-            histogram("pbc_serve_put_wait_ns").map_or(0, |h| h.p99()),
+            histogram("pbc_serve_write_wait_ns").map_or(0, |h| h.p50()),
+            histogram("pbc_serve_write_wait_ns").map_or(0, |h| h.p99()),
             histogram("pbc_serve_get_latency_ns").map_or(0, |h| h.p50()),
             histogram("pbc_serve_get_latency_ns").map_or(0, |h| h.p99()),
             histogram("pbc_serve_batch_records").map_or(0.0, |h| h.mean()),
@@ -266,8 +266,8 @@ fn run_rung(
         rejections: counter("pbc_serve_admission_rejections_total") - base_rejections,
         elapsed_secs: elapsed,
         ops_per_sec: acked as f64 / elapsed.max(1e-9),
-        put_p50_ns: put_p50,
-        put_p99_ns: put_p99,
+        write_p50_ns: write_p50,
+        write_p99_ns: write_p99,
         get_p50_ns: get_p50,
         get_p99_ns: get_p99,
         mean_batch,
@@ -395,8 +395,8 @@ pub fn serve_throughput(scale: f64) -> Table {
             "acked/s",
             "acked",
             "rejected",
-            "put p50 us",
-            "put p99 us",
+            "write p50 us",
+            "write p99 us",
             "get p50 us",
             "get p99 us",
             "mean batch",
@@ -416,8 +416,8 @@ pub fn serve_throughput(scale: f64) -> Table {
             format!("{:.0}", row.ops_per_sec),
             row.acked.to_string(),
             row.rejections.to_string(),
-            us(row.put_p50_ns),
-            us(row.put_p99_ns),
+            us(row.write_p50_ns),
+            us(row.write_p99_ns),
             us(row.get_p50_ns),
             us(row.get_p99_ns),
             if row.mean_batch > 0.0 {
@@ -466,7 +466,7 @@ mod tests {
         );
         assert_eq!(nominal.acked, nominal.attempted as u64);
         assert!(nominal.ops_per_sec > 0.0);
-        assert!(nominal.put_p50_ns > 0 && nominal.put_p99_ns >= nominal.put_p50_ns);
+        assert!(nominal.write_p50_ns > 0 && nominal.write_p99_ns >= nominal.write_p50_ns);
         assert!(nominal.get_p50_ns > 0 && nominal.get_p99_ns >= nominal.get_p50_ns);
 
         // Saturation: the L0 gate must trip and bounce writes, and the

@@ -29,9 +29,9 @@ pub(crate) struct ServeObs {
     pub(crate) tenants: Gauge,
     /// Writes per drained batch.
     pub(crate) batch_records: Histogram,
-    /// Submit-to-ack latency of acknowledged writes (queue wait + batch
-    /// application, nanoseconds).
-    pub(crate) put_wait_ns: Histogram,
+    /// Submit-to-ack latency of acknowledged writes — puts and deletes
+    /// both (queue wait + batch application, nanoseconds).
+    pub(crate) write_wait_ns: Histogram,
     /// Whole-call router get latency (nanoseconds).
     pub(crate) get_ns: Histogram,
 }
@@ -49,7 +49,7 @@ impl ServeObs {
             queue_depth: registry.gauge("pbc_serve_queue_depth"),
             tenants: registry.gauge("pbc_serve_tenants"),
             batch_records: registry.histogram("pbc_serve_batch_records"),
-            put_wait_ns: registry.histogram("pbc_serve_put_wait_ns"),
+            write_wait_ns: registry.histogram("pbc_serve_write_wait_ns"),
             get_ns: registry.histogram("pbc_serve_get_latency_ns"),
         }
     }

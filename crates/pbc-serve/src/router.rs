@@ -246,9 +246,14 @@ impl Shared {
                 });
             }
             state.pending.push_back(PendingWrite { op, waiter });
+            // Still under the queue lock: the applier drains (and
+            // decrements) under this same mutex, so every decrement is
+            // covered by an increment that happened-before it and the
+            // counter can never transiently under-count (which would
+            // underflow note_drained's subtraction).
+            let depth = self.total_depth.fetch_add(1, Ordering::Relaxed) + 1;
+            self.obs.queue_depth.set(depth as u64);
         }
-        let depth = self.total_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.obs.queue_depth.set(depth as u64);
         shard.work.notify_one();
         Ok(())
     }
@@ -263,8 +268,8 @@ impl Shared {
             match state.mode {
                 RunMode::Abort => {
                     let drained: Vec<PendingWrite> = state.pending.drain(..).collect();
-                    drop(state);
                     self.note_drained(drained.len());
+                    drop(state);
                     return if drained.is_empty() {
                         BatchAction::Exit
                     } else {
@@ -275,8 +280,8 @@ impl Shared {
                     if !state.pending.is_empty() {
                         let take = state.pending.len().min(self.config.max_batch);
                         let drained: Vec<PendingWrite> = state.pending.drain(..take).collect();
-                        drop(state);
                         self.note_drained(drained.len());
+                        drop(state);
                         return BatchAction::Apply(drained);
                     }
                     if state.mode == RunMode::Drain {
@@ -289,9 +294,15 @@ impl Shared {
         }
     }
 
+    /// Account for `n` writes leaving a shard queue. Must be called with
+    /// that shard's queue lock held (see the matching increment in
+    /// [`Shared::try_enqueue`]): the lock guarantees the increments for
+    /// the drained writes happened-before this subtraction, so the
+    /// counter never underflows. Saturating arithmetic keeps the gauge
+    /// sane even if that invariant is ever broken.
     fn note_drained(&self, n: usize) {
         if n > 0 {
-            let depth = self.total_depth.fetch_sub(n, Ordering::Relaxed) - n;
+            let depth = self.total_depth.fetch_sub(n, Ordering::Relaxed).saturating_sub(n);
             self.obs.queue_depth.set(depth as u64);
         }
     }
@@ -358,11 +369,29 @@ impl Router {
         let mut workers = Vec::with_capacity(shared.shards.len());
         for index in 0..shared.shards.len() {
             let worker_shared = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("pbc-serve-applier-{index}"))
-                    .spawn(move || worker_shared.applier_loop(index))?,
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("pbc-serve-applier-{index}"))
+                .spawn(move || worker_shared.applier_loop(index));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind the already-spawned appliers instead of
+                    // leaking them parked on their condvars: the queues
+                    // are still empty, so Drain makes each exit at once.
+                    for shard in &shared.shards {
+                        // pbc-allow(panic): queue mutex poisoning only follows a panic elsewhere; the shard is then wedged anyway
+                        let mut state = shard.queue.lock().expect("shard queue poisoned");
+                        state.mode = RunMode::Drain;
+                        drop(state);
+                        shard.work.notify_all();
+                    }
+                    for worker in workers {
+                        // pbc-allow(panic): an applier panic this early means the router never existed; surfacing it beats leaking
+                        worker.join().expect("router applier panicked");
+                    }
+                    return Err(e.into());
+                }
+            }
         }
         Ok(Router {
             shared,
@@ -420,7 +449,7 @@ impl Router {
             Ok(WriteOutcome::Put { stored }) => {
                 shared
                     .obs
-                    .put_wait_ns
+                    .write_wait_ns
                     .record(started.elapsed().as_nanos() as u64);
                 shared.obs.puts.inc();
                 Ok(stored)
@@ -465,7 +494,7 @@ impl Router {
             Ok(WriteOutcome::Delete { existed }) => {
                 shared
                     .obs
-                    .put_wait_ns
+                    .write_wait_ns
                     .record(started.elapsed().as_nanos() as u64);
                 shared.obs.deletes.inc();
                 Ok(existed)

@@ -188,7 +188,8 @@ impl Tenant {
         let mut state = self.lock_usage();
         self.check_ops(&state)?;
         let previous = state.sizes.get(key).copied();
-        let projected = state.live_bytes - previous.unwrap_or(0) + charge;
+        // Saturating for the same reason as admit_delete below.
+        let projected = state.live_bytes.saturating_sub(previous.unwrap_or(0)) + charge;
         if let Some(max_bytes) = self.quota.max_bytes {
             if projected > max_bytes {
                 return Err(ServeError::QuotaExceeded {
@@ -225,7 +226,12 @@ impl Tenant {
         self.check_ops(&state)?;
         state.ops_admitted += 1;
         let freed = state.sizes.remove(key);
-        state.live_bytes -= freed.unwrap_or(0);
+        // Saturating like the rollback paths: a same-key race between a
+        // rollback and concurrent admissions (the documented
+        // last-writer-wins ambiguity) may transiently leave live_bytes
+        // below the sum of tracked sizes, and that misaccounting must
+        // stay misaccounting rather than escalate to an underflow panic.
+        state.live_bytes = state.live_bytes.saturating_sub(freed.unwrap_or(0));
         Ok(DeleteCharge { freed })
     }
 
